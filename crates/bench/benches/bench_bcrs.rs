@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the BCRS scheduler and the communication model: the
+//! per-round cost of computing the schedule is negligible next to training
+//! and transmission, which is part of the paper's practicality argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fl_core::BcrsScheduler;
+use fl_netsim::{CommModel, LinkGenerator};
+use std::hint::black_box;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcrs_schedule");
+    let comm = CommModel::paper_default();
+    let scheduler = BcrsScheduler::new(comm);
+    for &n in &[5usize, 10, 50, 200] {
+        let links = LinkGenerator::paper_default().generate(n, 3);
+        group.bench_with_input(BenchmarkId::new("cohort", n), &n, |b, _| {
+            b.iter(|| black_box(scheduler.schedule(black_box(&links), 101_672.0, 0.01)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coefficients(c: &mut Criterion) {
+    let comm = CommModel::paper_default();
+    let scheduler = BcrsScheduler::new(comm);
+    let links = LinkGenerator::paper_default().generate(50, 5);
+    let schedule = scheduler.schedule(&links, 101_672.0, 0.01);
+    let fractions = vec![1.0 / 50.0; 50];
+    c.bench_function("bcrs_adjusted_coefficients_50", |b| {
+        b.iter(|| black_box(schedule.adjusted_coefficients(black_box(&fractions), 0.3)))
+    });
+}
+
+fn bench_link_generation(c: &mut Criterion) {
+    let gen = LinkGenerator::paper_default();
+    c.bench_function("link_generation_1000", |b| {
+        b.iter(|| black_box(gen.generate(1000, 9)))
+    });
+}
+
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_schedule, bench_coefficients, bench_link_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the compression substrate: Top-K, Rand-K, Threshold,
+//! QSGD and error feedback at the update sizes and compression ratios the
+//! experiments use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fl_compress::{Compressor, ErrorFeedback, Qsgd, RandK, SparseUpdate, Threshold, TopK};
+use fl_tensor::rng::{Rng, Xoshiro256};
+use std::hint::black_box;
+
+fn dense_update(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256::new(seed);
+    (0..n).map(|_| rng.next_f32() - 0.5).collect()
+}
+
+fn bench_sparsifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsify");
+    for &n in &[25_418usize, 100_000] {
+        let dense = dense_update(n, 1);
+        for &ratio in &[0.01, 0.1] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("topk_n{n}"), ratio),
+                &ratio,
+                |b, &r| b.iter(|| black_box(TopK::new().compress(black_box(&dense), r))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("randk_n{n}"), ratio),
+                &ratio,
+                |b, &r| b.iter(|| black_box(RandK::new(7).compress(black_box(&dense), r))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("threshold_n{n}"), ratio),
+                &ratio,
+                |b, &r| b.iter(|| black_box(Threshold::new().compress(black_box(&dense), r))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_quantizer_and_ef(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize_and_ef");
+    let dense = dense_update(25_418, 2);
+    group.bench_function("qsgd_16_levels", |b| {
+        b.iter(|| black_box(Qsgd::new(15, 3).compress(black_box(&dense), 1.0)))
+    });
+    group.bench_function("ef_topk_round", |b| {
+        let mut ef = ErrorFeedback::new(TopK::new(), dense.len());
+        b.iter(|| black_box(ef.compress_with_feedback(black_box(&dense), 0.1)))
+    });
+    group.finish();
+}
+
+fn bench_wire_format(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_format");
+    let dense = dense_update(100_000, 3);
+    let sparse = TopK::new()
+        .compress(&dense, 0.1)
+        .as_sparse()
+        .unwrap()
+        .clone();
+    group.bench_function("serialize_10k_coords", |b| {
+        b.iter(|| black_box(sparse.to_wire()))
+    });
+    let wire = sparse.to_wire();
+    group.bench_function("deserialize_10k_coords", |b| {
+        b.iter(|| black_box(SparseUpdate::from_wire(wire.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_sparsifiers, bench_quantizer_and_ef, bench_wire_format
+}
+criterion_main!(benches);

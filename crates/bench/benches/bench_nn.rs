@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the training substrate: one local SGD step of the
+//! default experiment model, parameter flattening, and evaluation — the
+//! components that dominate the simulator's wall-clock time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fl_data::{BatchLoader, DatasetPreset};
+use fl_nn::{flatten_params, mlp, unflatten_params, Sgd, SoftmaxCrossEntropy};
+use fl_tensor::rng::Xoshiro256;
+use std::hint::black_box;
+
+fn bench_training_step(c: &mut Criterion) {
+    let spec = DatasetPreset::Cifar10Like.spec(0.1);
+    let (train, _) = spec.generate(1);
+    let mut rng = Xoshiro256::new(1);
+    let mut model = mlp(train.feature_dim(), &[128, 64], train.num_classes(), &mut rng);
+    let loader = BatchLoader::new(64, false);
+    let batches = loader.epoch_batches(&train, &mut rng);
+    let (x, y) = &batches[0];
+    let mut loss = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+
+    c.bench_function("sgd_step_batch64_mlp25k", |b| {
+        b.iter(|| {
+            model.zero_grad();
+            let logits = model.forward(black_box(x));
+            loss.forward(&logits, y);
+            let g = loss.backward();
+            model.backward(&g);
+            opt.step(&mut model);
+        })
+    });
+}
+
+fn bench_param_flattening(c: &mut Criterion) {
+    let mut rng = Xoshiro256::new(2);
+    let mut model = mlp(128, &[128, 64], 10, &mut rng);
+    let flat = flatten_params(&model);
+    c.bench_function("flatten_params_25k", |b| {
+        b.iter(|| black_box(flatten_params(black_box(&model))))
+    });
+    c.bench_function("unflatten_params_25k", |b| {
+        b.iter(|| unflatten_params(&mut model, black_box(&flat)))
+    });
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let spec = DatasetPreset::Cifar10Like.spec(0.1);
+    let (_, test) = spec.generate(3);
+    let mut rng = Xoshiro256::new(3);
+    let mut model = mlp(test.feature_dim(), &[128, 64], test.num_classes(), &mut rng);
+    c.bench_function("evaluate_test_split", |b| {
+        b.iter(|| black_box(fl_core::eval::evaluate(&mut model, black_box(&test), 64)))
+    });
+}
+
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_training_step, bench_param_flattening, bench_evaluation
+}
+criterion_main!(benches);

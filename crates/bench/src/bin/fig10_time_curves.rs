@@ -1,0 +1,37 @@
+//! Fig. 10 — test accuracy vs accumulated communication time on the
+//! CIFAR-10-like benchmark (β ∈ {0.1, 0.5} × CR ∈ {0.1, 0.01}), for BCRS and
+//! the baselines.
+//!
+//! `cargo run --release -p fl-bench --bin fig10_time_curves`
+
+use fl_bench::{bench_config, BenchArgs};
+use fl_core::{run_experiment, Algorithm};
+use fl_data::DatasetPreset;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let algorithms = [
+        Algorithm::Bcrs,
+        Algorithm::FedAvg,
+        Algorithm::TopK,
+        Algorithm::EfTopK,
+    ];
+    println!("beta,cr,algorithm,round,cumulative_comm_s,test_accuracy");
+    for &beta in &[0.1, 0.5] {
+        for &cr in &[0.1, 0.01] {
+            for &alg in &algorithms {
+                let config = bench_config(alg, DatasetPreset::Cifar10Like, beta, cr, &args);
+                let result = run_experiment(&config);
+                for r in &result.records {
+                    println!(
+                        "{beta},{cr},{},{},{:.2},{:.4}",
+                        alg.name(),
+                        r.round,
+                        r.cumulative_actual_s,
+                        r.test_accuracy
+                    );
+                }
+            }
+        }
+    }
+}

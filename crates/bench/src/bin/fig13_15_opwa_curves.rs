@@ -1,0 +1,45 @@
+//! Figs. 13–15 — test accuracy vs round for BCRS+OPWA against every baseline
+//! (FedAvg, Top-K, EF-Top-K, BCRS) on CIFAR-10-like, CIFAR-100-like and
+//! SVHN-like, under β ∈ {0.1, 0.5} × CR ∈ {0.1, 0.01}.
+//!
+//! Only CIFAR-10-like (Fig. 13) runs by default; `--all-datasets` adds
+//! Figs. 14 and 15.
+//!
+//! `cargo run --release -p fl-bench --bin fig13_15_opwa_curves [-- --all-datasets]`
+
+use fl_bench::{bench_config, BenchArgs};
+use fl_core::{run_experiment, Algorithm};
+use fl_data::DatasetPreset;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let datasets: Vec<DatasetPreset> = if args.has_flag("--all-datasets") || args.full {
+        vec![
+            DatasetPreset::Cifar10Like,
+            DatasetPreset::Cifar100Like,
+            DatasetPreset::SvhnLike,
+        ]
+    } else {
+        vec![DatasetPreset::Cifar10Like]
+    };
+    println!("dataset,beta,cr,algorithm,round,test_accuracy");
+    for &dataset in &datasets {
+        for &beta in &[0.1, 0.5] {
+            for &cr in &[0.1, 0.01] {
+                for &alg in &Algorithm::paper_lineup() {
+                    let config = bench_config(alg, dataset, beta, cr, &args);
+                    let result = run_experiment(&config);
+                    for r in &result.records {
+                        println!(
+                            "{},{beta},{cr},{},{},{:.4}",
+                            dataset.name(),
+                            alg.name(),
+                            r.round,
+                            r.test_accuracy
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

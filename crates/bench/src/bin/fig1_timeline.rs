@@ -1,0 +1,74 @@
+//! Fig. 1 — round timelines of three clients under (a) no compression,
+//! (b) uniform compression and (c) BCRS adaptive compression.
+//!
+//! Prints, for each scheme, every client's download / training / upload /
+//! waiting split plus the round duration, showing that adaptive compression
+//! removes the waiting time without extending the round.
+//!
+//! `cargo run --release -p fl-bench --bin fig1_timeline`
+
+use fl_bench::BenchArgs;
+use fl_core::BcrsScheduler;
+use fl_netsim::{CommModel, Link, RoundTimeline};
+
+fn main() {
+    let args = BenchArgs::parse();
+    // Three clients with B1 > B2 > B3, as in the figure.
+    let links = [
+        Link::from_mbps_ms(1.6, 60.0),
+        Link::from_mbps_ms(1.0, 100.0),
+        Link::from_mbps_ms(0.5, 180.0),
+    ];
+    let model_bytes = 101_672.0; // the default MLP (~25k parameters)
+    let training_s = [10.0, 10.0, 10.0];
+    let download_s = [0.5, 0.5, 0.5];
+    let comm = CommModel::paper_default();
+    let base_ratio = 0.1;
+
+    let schemes: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "uncompressed",
+            links.iter().map(|l| comm.dense_uplink_time(l, model_bytes)).collect(),
+        ),
+        (
+            "uniform-compression",
+            links
+                .iter()
+                .map(|l| comm.sparse_uplink_time(l, model_bytes, base_ratio))
+                .collect(),
+        ),
+        (
+            "adaptive-compression (BCRS)",
+            BcrsScheduler::new(comm)
+                .schedule(&links, model_bytes, base_ratio)
+                .scheduled_times,
+        ),
+    ];
+
+    if args.csv {
+        println!("scheme,client,download_s,training_s,upload_s,waiting_s,round_s");
+    }
+    for (name, uploads) in schemes {
+        let tl = RoundTimeline::synchronous(&download_s, &training_s, &uploads);
+        if args.csv {
+            for c in tl.clients() {
+                println!(
+                    "{name},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                    c.client_id, c.download_s, c.training_s, c.upload_s, c.waiting_s,
+                    tl.duration_s()
+                );
+            }
+        } else {
+            println!("== {name} ==");
+            println!("  round duration: {:.2} s, total waiting: {:.2} s ({:.0}% of client time)",
+                tl.duration_s(), tl.total_waiting_s(), tl.waiting_fraction() * 100.0);
+            for c in tl.clients() {
+                println!(
+                    "  C{}: train {:.1}s | upload {:>6.2}s | wait {:>6.2}s",
+                    c.client_id + 1, c.training_s, c.upload_s, c.waiting_s
+                );
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Fig. 5 — non-IID class allocation across clients for β = 0.5 and β = 0.1
+//! (the client × class heat-map of the CIFAR-10-like dataset).
+//!
+//! `cargo run --release -p fl-bench --bin fig5_partition`
+
+use fl_bench::BenchArgs;
+use fl_data::{dirichlet_partition, DatasetPreset, PartitionStats};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let spec = DatasetPreset::Cifar10Like.spec(args.effective_scale(1.0));
+    let (train, _) = spec.generate(args.seed);
+
+    for &beta in &[0.5, 0.1] {
+        let parts = dirichlet_partition(&train, 10, beta, 8, args.seed);
+        let stats = PartitionStats::from_partition(&parts, &train);
+        if args.csv {
+            println!("# beta = {beta}");
+            print!("{}", stats.to_csv());
+        } else {
+            println!("== beta = {beta} (rows: clients, columns: classes) ==");
+            for (client, row) in stats.counts.iter().enumerate() {
+                let cells: Vec<String> = row.iter().map(|c| format!("{c:>5}")).collect();
+                println!("client {client}: {}", cells.join(" "));
+            }
+            println!(
+                "label skew (mean max-class share per client): {:.3}\n",
+                stats.label_skew()
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figs. 7–9 — test accuracy vs communication round for BCRS against the
+//! baselines (FedAvg, Top-K, EF-Top-K) on CIFAR-10-like, SVHN-like and
+//! CIFAR-100-like, under β ∈ {0.1, 0.5} × CR ∈ {0.1, 0.01}.
+//!
+//! By default only the CIFAR-10-like grid (Fig. 7) is produced; pass
+//! `--all-datasets` for Figs. 8 and 9 as well.
+//!
+//! `cargo run --release -p fl-bench --bin fig7_9_bcrs_curves [-- --all-datasets]`
+
+use fl_bench::{bench_config, BenchArgs};
+use fl_core::{run_experiment, Algorithm};
+use fl_data::DatasetPreset;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let datasets: Vec<DatasetPreset> = if args.has_flag("--all-datasets") || args.full {
+        vec![
+            DatasetPreset::Cifar10Like,
+            DatasetPreset::SvhnLike,
+            DatasetPreset::Cifar100Like,
+        ]
+    } else {
+        vec![DatasetPreset::Cifar10Like]
+    };
+    let algorithms = [
+        Algorithm::FedAvg,
+        Algorithm::TopK,
+        Algorithm::EfTopK,
+        Algorithm::Bcrs,
+    ];
+
+    println!("dataset,beta,cr,algorithm,round,test_accuracy");
+    for &dataset in &datasets {
+        for &beta in &[0.1, 0.5] {
+            for &cr in &[0.1, 0.01] {
+                for &alg in &algorithms {
+                    let config = bench_config(alg, dataset, beta, cr, &args);
+                    let result = run_experiment(&config);
+                    for r in &result.records {
+                        println!(
+                            "{},{beta},{cr},{},{},{:.4}",
+                            dataset.name(),
+                            alg.name(),
+                            r.round,
+                            r.test_accuracy
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Table 2 — final test accuracy of FedAvg, Top-K, EF-Top-K, BCRS and
+//! BCRS+OPWA across datasets × heterogeneity (β) × compression ratio (CR).
+//!
+//! Defaults to a reduced grid (CIFAR-10-like only, shortened runs); pass
+//! `--all-datasets` for all three datasets and `--full` for the paper's
+//! 200-round, full-scale settings. `--with-ef-bcrs` adds the
+//! error-feedback-under-BCRS ablation row.
+//!
+//! `cargo run --release -p fl-bench --bin table2_main [-- --all-datasets --full]`
+
+use fl_bench::{bench_config, summarize, BenchArgs};
+use fl_core::{run_experiment, Algorithm};
+use fl_data::DatasetPreset;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let datasets: Vec<DatasetPreset> = if args.has_flag("--all-datasets") || args.full {
+        vec![
+            DatasetPreset::Cifar10Like,
+            DatasetPreset::SvhnLike,
+            DatasetPreset::Cifar100Like,
+        ]
+    } else {
+        vec![DatasetPreset::Cifar10Like]
+    };
+    let betas = [0.1, 0.5];
+    let ratios = [0.1, 0.01];
+    let algorithms = Algorithm::paper_lineup();
+
+    println!("dataset,beta,cr,algorithm,final_accuracy,best_accuracy,cum_comm_s");
+    for &dataset in &datasets {
+        for &beta in &betas {
+            for &cr in &ratios {
+                for &alg in &algorithms {
+                    let config = bench_config(alg, dataset, beta, cr, &args);
+                    let result = run_experiment(&config);
+                    let last = result.records.last().unwrap();
+                    println!(
+                        "{},{beta},{cr},{},{:.4},{:.4},{:.1}",
+                        dataset.name(),
+                        alg.name(),
+                        result.final_accuracy,
+                        result.best_accuracy,
+                        last.cumulative_actual_s
+                    );
+                    if !args.csv {
+                        eprintln!("# {}", summarize(&result));
+                    }
+                }
+                if args.has_flag("--with-ef-bcrs") {
+                    // Ablation: BCRS scheduling with error-feedback residuals
+                    // is approximated by running EF-Top-K at the BCRS mean CR.
+                    let probe = bench_config(Algorithm::Bcrs, dataset, beta, cr, &args);
+                    let bcrs_probe = run_experiment(&probe);
+                    let mean_cr = bcrs_probe.records[0].mean_compression_ratio.min(1.0);
+                    let mut ef = bench_config(Algorithm::EfTopK, dataset, beta, mean_cr, &args);
+                    ef.compression_ratio = mean_cr;
+                    let result = run_experiment(&ef);
+                    println!(
+                        "{},{beta},{cr},eftopk@bcrs-cr,{:.4},{:.4},{:.1}",
+                        dataset.name(),
+                        result.final_accuracy,
+                        result.best_accuracy,
+                        result.records.last().unwrap().cumulative_actual_s
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 4 / Fig. 11 — OPWA accuracy as a function of the enlarge rate γ on
+//! the CIFAR-10-like benchmark (β ∈ {0.1, 0.5} × CR ∈ {0.1, 0.01}).
+//!
+//! Prints both the per-γ final accuracies (Table 4) and the full training
+//! curves (Fig. 11) when `--curves` is passed.
+//!
+//! `cargo run --release -p fl-bench --bin table4_fig11_gamma [-- --curves]`
+
+use fl_bench::{bench_config, BenchArgs};
+use fl_core::{run_experiment, Algorithm};
+use fl_data::DatasetPreset;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let gammas = [1.0f32, 3.0, 5.0, 7.0, 8.0];
+    let curves = args.has_flag("--curves");
+
+    println!("beta,cr,gamma,final_accuracy,best_accuracy");
+    let mut curve_rows: Vec<String> = Vec::new();
+    for &beta in &[0.1, 0.5] {
+        for &cr in &[0.1, 0.01] {
+            // FedAvg reference row (the last row of Table 4).
+            let fedavg = run_experiment(&bench_config(
+                Algorithm::FedAvg,
+                DatasetPreset::Cifar10Like,
+                beta,
+                cr,
+                &args,
+            ));
+            for &gamma in &gammas {
+                let mut config = bench_config(
+                    Algorithm::BcrsOpwa,
+                    DatasetPreset::Cifar10Like,
+                    beta,
+                    cr,
+                    &args,
+                );
+                config.gamma = gamma;
+                let result = run_experiment(&config);
+                println!(
+                    "{beta},{cr},{gamma},{:.4},{:.4}",
+                    result.final_accuracy, result.best_accuracy
+                );
+                if curves {
+                    for r in &result.records {
+                        curve_rows.push(format!(
+                            "{beta},{cr},{gamma},{},{:.4}",
+                            r.round, r.test_accuracy
+                        ));
+                    }
+                }
+            }
+            println!(
+                "{beta},{cr},fedavg,{:.4},{:.4}",
+                fedavg.final_accuracy, fedavg.best_accuracy
+            );
+        }
+    }
+    if curves {
+        println!();
+        println!("beta,cr,gamma,round,test_accuracy");
+        for row in curve_rows {
+            println!("{row}");
+        }
+    }
+}

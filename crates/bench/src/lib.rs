@@ -1,0 +1,217 @@
+//! `fl-bench` — shared plumbing for the experiment binaries that regenerate
+//! every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one artifact (see DESIGN.md §3 for
+//! the full index). They all accept the same flags, parsed by [`BenchArgs`]:
+//!
+//! * `--rounds N`   — communication rounds per run (default: per-binary);
+//! * `--scale F`    — synthetic dataset scale factor (default: per-binary);
+//! * `--seed N`     — master seed (default 42);
+//! * `--quick`      — very small settings for smoke runs;
+//! * `--full`       — the paper's full settings (200 rounds, scale 1.0);
+//! * `--csv`        — print machine-readable CSV only (no prose).
+//!
+//! The Criterion benches under `benches/` cover the micro-performance of the
+//! building blocks (compression, aggregation, scheduling, training step).
+
+use fl_core::{Algorithm, ExperimentConfig, ExperimentResult, ModelPreset};
+use fl_data::DatasetPreset;
+
+/// Command-line arguments shared by every experiment binary.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Number of communication rounds (overrides the binary's default).
+    pub rounds: Option<usize>,
+    /// Dataset scale factor (overrides the binary's default).
+    pub scale: Option<f64>,
+    /// Master seed.
+    pub seed: u64,
+    /// Reduced smoke-test settings.
+    pub quick: bool,
+    /// Paper-scale settings.
+    pub full: bool,
+    /// Emit CSV only.
+    pub csv: bool,
+    /// Extra flags not recognised by the common parser (binary-specific).
+    pub extra: Vec<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            rounds: None,
+            scale: None,
+            seed: 42,
+            quick: false,
+            full: false,
+            csv: false,
+            extra: Vec::new(),
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args()` (skipping the program name).
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (used by tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--rounds" => {
+                    out.rounds = it.next().and_then(|v| v.parse().ok());
+                }
+                "--scale" => {
+                    out.scale = it.next().and_then(|v| v.parse().ok());
+                }
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        out.seed = v;
+                    }
+                }
+                "--quick" => out.quick = true,
+                "--full" => out.full = true,
+                "--csv" => out.csv = true,
+                other => out.extra.push(other.to_string()),
+            }
+        }
+        out
+    }
+
+    /// True if a binary-specific flag was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.extra.iter().any(|f| f == flag)
+    }
+
+    /// Resolve the effective number of rounds given the binary's default.
+    pub fn effective_rounds(&self, default_rounds: usize) -> usize {
+        if let Some(r) = self.rounds {
+            return r;
+        }
+        if self.full {
+            200
+        } else if self.quick {
+            (default_rounds / 4).max(2)
+        } else {
+            default_rounds
+        }
+    }
+
+    /// Resolve the effective dataset scale given the binary's default.
+    pub fn effective_scale(&self, default_scale: f64) -> f64 {
+        if let Some(s) = self.scale {
+            return s;
+        }
+        if self.full {
+            1.0
+        } else if self.quick {
+            (default_scale / 2.0).max(0.05)
+        } else {
+            default_scale
+        }
+    }
+}
+
+/// The benchmark-suite default configuration: the paper's hyper-parameters
+/// with a reduced round count and dataset scale so the entire suite runs on a
+/// single CPU core in minutes (pass `--full` for the paper's 200-round runs).
+pub fn bench_config(
+    algorithm: Algorithm,
+    dataset: DatasetPreset,
+    beta: f64,
+    compression_ratio: f64,
+    args: &BenchArgs,
+) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_setting(algorithm, dataset, beta, compression_ratio);
+    config.rounds = args.effective_rounds(40);
+    config.dataset_scale = args.effective_scale(0.3);
+    config.model = ModelPreset::Mlp { hidden1: 128, hidden2: 64 };
+    config.seed = args.seed;
+    config
+}
+
+/// Format a table row with fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths.iter())
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// A compact one-line summary of a finished run.
+pub fn summarize(result: &ExperimentResult) -> String {
+    let last = result.records.last();
+    format!(
+        "{:<10} beta={:<4} CR={:<5} final_acc={:.4} best_acc={:.4} comm={:.1}s (max {:.1}s)",
+        result.config.algorithm.name(),
+        result.config.beta,
+        result.config.compression_ratio,
+        result.final_accuracy,
+        result.best_accuracy,
+        last.map(|r| r.cumulative_actual_s).unwrap_or(0.0),
+        last.map(|r| r.cumulative_max_s).unwrap_or(0.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_common_flags() {
+        let a = parse(&["--rounds", "17", "--scale", "0.5", "--seed", "9", "--csv"]);
+        assert_eq!(a.rounds, Some(17));
+        assert_eq!(a.scale, Some(0.5));
+        assert_eq!(a.seed, 9);
+        assert!(a.csv);
+        assert!(!a.quick);
+    }
+
+    #[test]
+    fn unknown_flags_go_to_extra() {
+        let a = parse(&["--ablation", "--quick"]);
+        assert!(a.has_flag("--ablation"));
+        assert!(!a.has_flag("--other"));
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn effective_rounds_precedence() {
+        assert_eq!(parse(&["--rounds", "7", "--full"]).effective_rounds(40), 7);
+        assert_eq!(parse(&["--full"]).effective_rounds(40), 200);
+        assert_eq!(parse(&["--quick"]).effective_rounds(40), 10);
+        assert_eq!(parse(&[]).effective_rounds(40), 40);
+    }
+
+    #[test]
+    fn effective_scale_precedence() {
+        assert_eq!(parse(&["--scale", "0.9"]).effective_scale(0.3), 0.9);
+        assert_eq!(parse(&["--full"]).effective_scale(0.3), 1.0);
+        assert_eq!(parse(&[]).effective_scale(0.3), 0.3);
+    }
+
+    #[test]
+    fn bench_config_is_valid() {
+        let args = parse(&["--quick"]);
+        let c = bench_config(Algorithm::Bcrs, DatasetPreset::Cifar10Like, 0.1, 0.01, &args);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.beta, 0.1);
+        assert_eq!(c.compression_ratio, 0.01);
+    }
+
+    #[test]
+    fn row_formatting_aligns() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

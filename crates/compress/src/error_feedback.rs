@@ -1,0 +1,160 @@
+//! Error feedback (residual memory) wrapper — the EF-Top-K baseline.
+//!
+//! Error feedback keeps, per client, the part of the update that compression
+//! dropped and adds it back before the next round's compression:
+//!
+//! ```text
+//! corrected_t = delta_t + residual_{t-1}
+//! sent_t      = C(corrected_t)
+//! residual_t  = corrected_t - sent_t
+//! ```
+//!
+//! Wrapped around Top-K this is exactly the paper's EFTOPK baseline
+//! (Sattler et al. 2019; Li & Li 2023).
+
+use crate::compressor::{CompressedUpdate, Compressor};
+
+/// Stateful error-feedback wrapper around any [`Compressor`].
+pub struct ErrorFeedback<C: Compressor> {
+    inner: C,
+    residual: Vec<f32>,
+}
+
+impl<C: Compressor> ErrorFeedback<C> {
+    /// Wrap a compressor for updates of length `dense_len`.
+    pub fn new(inner: C, dense_len: usize) -> Self {
+        Self { inner, residual: vec![0.0; dense_len] }
+    }
+
+    /// Current residual vector (what has been dropped so far and not yet sent).
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+
+    /// L2 norm of the residual — a measure of accumulated compression error.
+    pub fn residual_norm(&self) -> f64 {
+        self.residual.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt()
+    }
+
+    /// Reset the residual to zero (e.g. when the client re-joins training).
+    pub fn reset(&mut self) {
+        self.residual.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Name of the wrapped compressor with an `ef-` prefix.
+    pub fn name(&self) -> String {
+        format!("ef-{}", self.inner.name())
+    }
+
+    /// Compress `dense` with error correction and update the residual.
+    pub fn compress_with_feedback(&mut self, dense: &[f32], ratio: f64) -> CompressedUpdate {
+        assert_eq!(
+            dense.len(),
+            self.residual.len(),
+            "update length changed between rounds"
+        );
+        let corrected: Vec<f32> = dense
+            .iter()
+            .zip(self.residual.iter())
+            .map(|(d, r)| d + r)
+            .collect();
+        let compressed = self.inner.compress(&corrected, ratio);
+        let sent = compressed.to_dense();
+        for ((res, &corr), &s) in self
+            .residual
+            .iter_mut()
+            .zip(corrected.iter())
+            .zip(sent.iter())
+        {
+            *res = corr - s;
+        }
+        compressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::TopK;
+    use proptest::prelude::*;
+
+    #[test]
+    fn residual_holds_dropped_mass() {
+        let mut ef = ErrorFeedback::new(TopK::new(), 4);
+        let dense = vec![10.0, 1.0, 2.0, 3.0];
+        let sent = ef.compress_with_feedback(&dense, 0.25); // keeps only 10.0
+        assert_eq!(sent.as_sparse().unwrap().indices(), &[0]);
+        assert_eq!(ef.residual(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropped_coordinates_eventually_sent() {
+        // A coordinate too small to ever win Top-K on its own accumulates in
+        // the residual until it is transmitted.
+        let mut ef = ErrorFeedback::new(TopK::new(), 2);
+        let dense = vec![1.0, 0.4];
+        let mut coord1_sent = false;
+        for _ in 0..5 {
+            let sent = ef.compress_with_feedback(&dense, 0.5); // k = 1
+            if sent.as_sparse().unwrap().indices().contains(&1) {
+                coord1_sent = true;
+                break;
+            }
+        }
+        assert!(coord1_sent, "error feedback never flushed the small coordinate");
+    }
+
+    #[test]
+    fn conservation_every_round() {
+        // sent + residual_new == dense + residual_old (exact bookkeeping).
+        let mut ef = ErrorFeedback::new(TopK::new(), 5);
+        let rounds = [
+            vec![1.0, -2.0, 3.0, -4.0, 5.0],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5],
+            vec![-1.0, 2.0, 0.0, 1.0, -3.0],
+        ];
+        for dense in &rounds {
+            let before: Vec<f32> = ef.residual().to_vec();
+            let sent = ef.compress_with_feedback(dense, 0.4).to_dense();
+            for i in 0..5 {
+                let lhs = sent[i] + ef.residual()[i];
+                let rhs = dense[i] + before[i];
+                assert!((lhs - rhs).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_residual() {
+        let mut ef = ErrorFeedback::new(TopK::new(), 3);
+        ef.compress_with_feedback(&[1.0, 2.0, 3.0], 0.34);
+        assert!(ef.residual_norm() > 0.0);
+        ef.reset();
+        assert_eq!(ef.residual_norm(), 0.0);
+    }
+
+    #[test]
+    fn name_has_prefix() {
+        let ef = ErrorFeedback::new(TopK::new(), 1);
+        assert_eq!(ef.name(), "ef-topk");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_conservation(
+            dense in proptest::collection::vec(-10.0f32..10.0, 8..64),
+            ratio in 0.05f64..0.9,
+        ) {
+            let mut ef = ErrorFeedback::new(TopK::new(), dense.len());
+            for _ in 0..3 {
+                let before: Vec<f32> = ef.residual().to_vec();
+                let sent = ef.compress_with_feedback(&dense, ratio).to_dense();
+                for i in 0..dense.len() {
+                    let lhs = sent[i] + ef.residual()[i];
+                    let rhs = dense[i] + before[i];
+                    prop_assert!((lhs - rhs).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

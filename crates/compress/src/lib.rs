@@ -1,0 +1,29 @@
+//! `fl-compress` — compression of federated model updates.
+//!
+//! The paper's framework is built around *uplink sparsification*: each client
+//! compresses its model delta with Top-K before transmission, and the BCRS
+//! scheduler chooses a per-client compression ratio. This crate provides:
+//!
+//! * [`sparse::SparseUpdate`] — the COO (index + value) representation of a
+//!   compressed update, with wire-size accounting used by the network model;
+//! * the [`compressor::Compressor`] trait and the concrete compressors the
+//!   paper evaluates or mentions: [`topk::TopK`], [`randk::RandK`],
+//!   [`threshold::Threshold`], and a QSGD-style [`quantize::Qsgd`] quantizer;
+//! * [`error_feedback::ErrorFeedback`] — the residual-memory wrapper that
+//!   turns any compressor into its error-feedback variant (EF-Top-K baseline).
+
+pub mod compressor;
+pub mod error_feedback;
+pub mod quantize;
+pub mod randk;
+pub mod sparse;
+pub mod threshold;
+pub mod topk;
+
+pub use compressor::{CompressedUpdate, Compressor};
+pub use error_feedback::ErrorFeedback;
+pub use quantize::Qsgd;
+pub use randk::RandK;
+pub use sparse::SparseUpdate;
+pub use threshold::Threshold;
+pub use topk::TopK;

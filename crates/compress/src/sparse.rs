@@ -1,0 +1,253 @@
+//! Sparse (COO) representation of a compressed model update.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// A sparse model update: the retained coordinates of a dense vector of
+/// length `dense_len`, stored as parallel `indices` / `values` arrays.
+///
+/// This is what a client "transmits" in the simulation. The wire size is
+/// `indices.len() * (4 + 4)` bytes (a `u32` index plus an `f32` value per
+/// retained coordinate) — the factor-of-two overhead relative to pure values
+/// is exactly the `2 × V × CR` term in the paper's communication model
+/// (Alg. 2, line 7).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SparseUpdate {
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    dense_len: usize,
+}
+
+impl SparseUpdate {
+    /// Build from parallel arrays. Indices must be strictly increasing and in
+    /// range (this keeps overlap computation and aggregation linear-time).
+    pub fn new(indices: Vec<u32>, values: Vec<f32>, dense_len: usize) -> Self {
+        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
+        if let Some(&last) = indices.last() {
+            assert!((last as usize) < dense_len, "index {last} out of range");
+        }
+        Self { indices, values, dense_len }
+    }
+
+    /// An empty update of a given dense length.
+    pub fn empty(dense_len: usize) -> Self {
+        Self { indices: Vec::new(), values: Vec::new(), dense_len }
+    }
+
+    /// Build from a dense vector, retaining the coordinates where `keep` is true.
+    pub fn from_dense_mask(dense: &[f32], keep: impl Fn(usize, f32) -> bool) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if keep(i, v) {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+        Self { indices, values, dense_len: dense.len() }
+    }
+
+    /// Retained coordinate indices (strictly increasing).
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Retained values, aligned with `indices`.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable view of the retained values (the OPWA mask scales these).
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Length of the original dense vector.
+    pub fn dense_len(&self) -> usize {
+        self.dense_len
+    }
+
+    /// Number of retained coordinates.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Achieved compression ratio `nnz / dense_len` (0 for an empty vector).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.dense_len == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.dense_len as f64
+        }
+    }
+
+    /// Bytes on the wire: 4 (index) + 4 (value) per retained coordinate.
+    pub fn wire_size_bytes(&self) -> usize {
+        self.nnz() * 8
+    }
+
+    /// Bytes a dense transmission of the same vector would need.
+    pub fn dense_size_bytes(&self) -> usize {
+        self.dense_len * 4
+    }
+
+    /// Expand into a dense vector (zeros elsewhere).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dense_len];
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// `target += scale * self` scattered into a dense buffer.
+    pub fn add_scaled_into(&self, target: &mut [f32], scale: f32) {
+        assert_eq!(target.len(), self.dense_len, "dense length mismatch");
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            target[i as usize] += scale * v;
+        }
+    }
+
+    /// Squared L2 norm of the retained values.
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+
+    /// Serialize to a compact binary wire format (little-endian):
+    /// `[dense_len: u64][nnz: u64][indices: u32 * nnz][values: f32 * nnz]`.
+    pub fn to_wire(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.nnz() * 8);
+        buf.put_u64_le(self.dense_len as u64);
+        buf.put_u64_le(self.nnz() as u64);
+        for &i in &self.indices {
+            buf.put_u32_le(i);
+        }
+        for &v in &self.values {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Parse the wire format produced by [`SparseUpdate::to_wire`].
+    pub fn from_wire(mut bytes: Bytes) -> Result<Self, String> {
+        if bytes.remaining() < 16 {
+            return Err("truncated header".into());
+        }
+        let dense_len = bytes.get_u64_le() as usize;
+        let nnz = bytes.get_u64_le() as usize;
+        if bytes.remaining() < nnz * 8 {
+            return Err(format!("truncated body: need {} bytes", nnz * 8));
+        }
+        let mut indices = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            indices.push(bytes.get_u32_le());
+        }
+        let mut values = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            values.push(bytes.get_f32_le());
+        }
+        if !indices.windows(2).all(|w| w[0] < w[1]) {
+            return Err("indices not strictly increasing".into());
+        }
+        if indices.last().is_some_and(|&l| l as usize >= dense_len) {
+            return Err("index out of range".into());
+        }
+        Ok(Self { indices, values, dense_len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_dense() {
+        let dense = vec![0.0, 1.5, 0.0, -2.0, 0.0];
+        let s = SparseUpdate::from_dense_mask(&dense, |_, v| v != 0.0);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.indices(), &[1, 3]);
+        assert_eq!(s.to_dense(), dense);
+    }
+
+    #[test]
+    fn wire_size_accounting() {
+        let s = SparseUpdate::new(vec![0, 5, 9], vec![1.0, 2.0, 3.0], 10);
+        assert_eq!(s.wire_size_bytes(), 24);
+        assert_eq!(s.dense_size_bytes(), 40);
+        assert!((s.compression_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_into_accumulates() {
+        let s = SparseUpdate::new(vec![1, 3], vec![2.0, -1.0], 4);
+        let mut target = vec![1.0; 4];
+        s.add_scaled_into(&mut target, 0.5);
+        assert_eq!(target, vec![1.0, 2.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn binary_wire_roundtrip() {
+        let s = SparseUpdate::new(vec![2, 7, 100], vec![0.25, -3.5, 7.0], 128);
+        let w = s.to_wire();
+        assert_eq!(w.len(), 16 + 3 * 8);
+        let back = SparseUpdate::from_wire(w).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn wire_rejects_garbage() {
+        assert!(SparseUpdate::from_wire(Bytes::from_static(&[1, 2, 3])).is_err());
+        // Valid header but truncated body.
+        let s = SparseUpdate::new(vec![0, 1], vec![1.0, 2.0], 4);
+        let w = s.to_wire();
+        let truncated = w.slice(0..w.len() - 4);
+        assert!(SparseUpdate::from_wire(truncated).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_indices_rejected() {
+        SparseUpdate::new(vec![3, 1], vec![1.0, 2.0], 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_index_rejected() {
+        SparseUpdate::new(vec![10], vec![1.0], 5);
+    }
+
+    #[test]
+    fn empty_update_behaves() {
+        let s = SparseUpdate::empty(7);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.to_dense(), vec![0.0; 7]);
+        assert_eq!(s.compression_ratio(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dense_roundtrip(dense in proptest::collection::vec(-100.0f32..100.0, 1..200)) {
+            let s = SparseUpdate::from_dense_mask(&dense, |_, v| v.abs() > 1.0);
+            let back = s.to_dense();
+            for (i, (&orig, &rec)) in dense.iter().zip(back.iter()).enumerate() {
+                if orig.abs() > 1.0 {
+                    prop_assert_eq!(orig, rec, "index {}", i);
+                } else {
+                    prop_assert_eq!(rec, 0.0f32);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_wire_roundtrip(dense in proptest::collection::vec(-10.0f32..10.0, 1..100)) {
+            let s = SparseUpdate::from_dense_mask(&dense, |i, _| i % 3 == 0);
+            let back = SparseUpdate::from_wire(s.to_wire()).unwrap();
+            prop_assert_eq!(back, s);
+        }
+    }
+}

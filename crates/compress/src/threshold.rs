@@ -1,0 +1,93 @@
+//! Hard-threshold sparsification: keep coordinates whose magnitude exceeds a
+//! multiple of the vector's RMS value.
+
+use crate::compressor::{CompressedUpdate, Compressor};
+use crate::sparse::SparseUpdate;
+
+/// Keep every coordinate with `|x_i| >= tau`, where `tau` is chosen from the
+/// target ratio via the vector's magnitude distribution.
+///
+/// Unlike Top-K, the achieved ratio is only approximately the target — the
+/// threshold is derived from the `1 - ratio` quantile of magnitudes — but
+/// compression is a single pass and the retained set is "all coordinates that
+/// matter at least this much", which some FL systems prefer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Threshold;
+
+impl Threshold {
+    /// New threshold compressor.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The magnitude threshold corresponding to a retention `ratio`.
+    pub fn threshold_for(dense: &[f32], ratio: f64) -> f32 {
+        if dense.is_empty() {
+            return 0.0;
+        }
+        let ratio = ratio.clamp(0.0, 1.0);
+        if ratio >= 1.0 {
+            return 0.0;
+        }
+        if ratio <= 0.0 {
+            return f32::INFINITY;
+        }
+        let mut mags: Vec<f32> = dense.iter().map(|v| v.abs()).collect();
+        mags.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let cut = ((1.0 - ratio) * dense.len() as f64).floor() as usize;
+        mags[cut.min(dense.len() - 1)]
+    }
+}
+
+impl Compressor for Threshold {
+    fn compress(&self, dense: &[f32], ratio: f64) -> CompressedUpdate {
+        let tau = Self::threshold_for(dense, ratio);
+        let sparse = SparseUpdate::from_dense_mask(dense, |_, v| v.abs() >= tau && v != 0.0);
+        CompressedUpdate::Sparse(sparse)
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_large_magnitudes_only() {
+        let dense = vec![0.1, 5.0, -0.2, -6.0, 0.05];
+        let c = Threshold::new().compress(&dense, 0.4);
+        let s = c.as_sparse().unwrap();
+        assert_eq!(s.indices(), &[1, 3]);
+    }
+
+    #[test]
+    fn achieved_ratio_close_to_target() {
+        let dense: Vec<f32> = (0..1000).map(|i| ((i * 37) % 997) as f32 / 997.0 - 0.5).collect();
+        let c = Threshold::new().compress(&dense, 0.1);
+        let achieved = c.as_sparse().unwrap().compression_ratio();
+        assert!((achieved - 0.1).abs() < 0.02, "achieved {achieved}");
+    }
+
+    #[test]
+    fn ratio_one_keeps_all_nonzero() {
+        let dense = vec![1.0, 0.0, 2.0];
+        let c = Threshold::new().compress(&dense, 1.0);
+        assert_eq!(c.as_sparse().unwrap().nnz(), 2);
+    }
+
+    #[test]
+    fn ratio_zero_keeps_nothing() {
+        let dense = vec![1.0, 2.0, 3.0];
+        let c = Threshold::new().compress(&dense, 0.0);
+        assert_eq!(c.as_sparse().unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let c = Threshold::new().compress(&[], 0.5);
+        assert_eq!(c.as_sparse().unwrap().nnz(), 0);
+    }
+}

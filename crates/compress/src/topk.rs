@@ -1,0 +1,164 @@
+//! Magnitude-based Top-K sparsification — the paper's primary compressor.
+
+use crate::compressor::{CompressedUpdate, Compressor};
+use crate::sparse::SparseUpdate;
+
+/// Retain the `k = ceil(ratio * len)` coordinates with the largest absolute
+/// value (ties broken towards lower indices), zeroing the rest.
+///
+/// ```
+/// use fl_compress::{Compressor, TopK};
+///
+/// let delta = vec![0.1, -5.0, 0.3, 4.0, -0.2];
+/// let compressed = TopK::new().compress(&delta, 0.4); // keep 2 of 5
+/// let sparse = compressed.as_sparse().unwrap();
+/// assert_eq!(sparse.indices(), &[1, 3]);
+/// assert_eq!(sparse.values(), &[-5.0, 4.0]);
+/// assert_eq!(sparse.wire_size_bytes(), 16); // 8 bytes per retained coord
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TopK;
+
+impl TopK {
+    /// New Top-K compressor.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Number of coordinates retained for a vector of length `len` at `ratio`.
+    /// At least one coordinate is kept for any positive ratio and non-empty
+    /// vector; the ratio is clamped to `[0, 1]`.
+    pub fn k_for(len: usize, ratio: f64) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let ratio = ratio.clamp(0.0, 1.0);
+        if ratio == 0.0 {
+            return 0;
+        }
+        ((ratio * len as f64).ceil() as usize).clamp(1, len)
+    }
+
+    /// Select the indices of the `k` largest-magnitude entries, returned in
+    /// increasing index order.
+    pub fn select_indices(dense: &[f32], k: usize) -> Vec<u32> {
+        let k = k.min(dense.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        if k == dense.len() {
+            return (0..dense.len() as u32).collect();
+        }
+        // Partial selection: sort index list by |value| descending using
+        // select_nth_unstable for O(n) average behaviour.
+        let mut idx: Vec<u32> = (0..dense.len() as u32).collect();
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            let va = dense[a as usize].abs();
+            let vb = dense[b as usize].abs();
+            vb.partial_cmp(&va)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut selected = idx[..k].to_vec();
+        selected.sort_unstable();
+        selected
+    }
+}
+
+impl Compressor for TopK {
+    fn compress(&self, dense: &[f32], ratio: f64) -> CompressedUpdate {
+        let k = Self::k_for(dense.len(), ratio);
+        let indices = Self::select_indices(dense, k);
+        let values = indices.iter().map(|&i| dense[i as usize]).collect();
+        CompressedUpdate::Sparse(SparseUpdate::new(indices, values, dense.len()))
+    }
+
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let dense = vec![0.1, -5.0, 0.3, 4.0, -0.2];
+        let c = TopK::new().compress(&dense, 0.4); // k = 2
+        let s = c.as_sparse().unwrap();
+        assert_eq!(s.indices(), &[1, 3]);
+        assert_eq!(s.values(), &[-5.0, 4.0]);
+    }
+
+    #[test]
+    fn k_for_boundaries() {
+        assert_eq!(TopK::k_for(100, 0.1), 10);
+        assert_eq!(TopK::k_for(100, 0.001), 1); // at least one retained
+        assert_eq!(TopK::k_for(100, 0.0), 0);
+        assert_eq!(TopK::k_for(100, 1.5), 100);
+        assert_eq!(TopK::k_for(0, 0.5), 0);
+        assert_eq!(TopK::k_for(7, 0.5), 4); // ceil(3.5)
+    }
+
+    #[test]
+    fn ratio_one_keeps_everything() {
+        let dense = vec![1.0, 0.0, -2.0];
+        let c = TopK::new().compress(&dense, 1.0);
+        assert_eq!(c.to_dense(), dense);
+    }
+
+    #[test]
+    fn zero_ratio_keeps_nothing() {
+        let dense = vec![1.0, 2.0];
+        let c = TopK::new().compress(&dense, 0.0);
+        assert_eq!(c.as_sparse().unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let dense = vec![1.0, 1.0, 1.0, 1.0];
+        let a = TopK::new().compress(&dense, 0.5);
+        let b = TopK::new().compress(&dense, 0.5);
+        assert_eq!(a.as_sparse().unwrap().indices(), b.as_sparse().unwrap().indices());
+        assert_eq!(a.as_sparse().unwrap().nnz(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_retained_dominate_dropped(
+            dense in proptest::collection::vec(-100.0f32..100.0, 2..300),
+            ratio in 0.01f64..1.0,
+        ) {
+            let c = TopK::new().compress(&dense, ratio);
+            let s = c.as_sparse().unwrap();
+            prop_assert_eq!(s.nnz(), TopK::k_for(dense.len(), ratio));
+            // Every retained magnitude >= every dropped magnitude.
+            let retained: std::collections::HashSet<u32> = s.indices().iter().cloned().collect();
+            let min_kept = s
+                .values()
+                .iter()
+                .map(|v| v.abs())
+                .fold(f32::INFINITY, f32::min);
+            for (i, &v) in dense.iter().enumerate() {
+                if !retained.contains(&(i as u32)) {
+                    prop_assert!(v.abs() <= min_kept + 1e-6);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_error_norm_not_larger_than_input(
+            dense in proptest::collection::vec(-10.0f32..10.0, 1..200),
+            ratio in 0.01f64..1.0,
+        ) {
+            // Top-K is a contraction: ||x - C(x)|| <= ||x||.
+            let c = TopK::new().compress(&dense, ratio);
+            let rec = c.to_dense();
+            let err: f32 = dense.iter().zip(rec.iter()).map(|(a, b)| (a - b).powi(2)).sum();
+            let norm: f32 = dense.iter().map(|a| a * a).sum();
+            prop_assert!(err <= norm + 1e-4);
+        }
+    }
+}

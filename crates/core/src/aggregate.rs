@@ -1,0 +1,178 @@
+//! Server-side aggregation of client updates (Alg. 1 lines 14–18).
+
+use crate::opwa::OpwaMask;
+use fl_compress::{CompressedUpdate, SparseUpdate};
+
+/// Plain FedAvg data-fraction coefficients `f_i = |D_i| / Σ_j |D_j|` over the
+/// selected cohort.
+pub fn data_fractions(sample_counts: &[usize]) -> Vec<f64> {
+    let total: usize = sample_counts.iter().sum();
+    assert!(total > 0, "cohort holds no samples");
+    sample_counts
+        .iter()
+        .map(|&n| n as f64 / total as f64)
+        .collect()
+}
+
+/// Weighted aggregation of sparse updates into a dense delta:
+/// `Σ_i coeff_i · (mask ⊙ update_i)` (Alg. 1 line 14/16/18).
+pub fn aggregate_sparse(
+    updates: &[&SparseUpdate],
+    coefficients: &[f64],
+    mask: Option<&OpwaMask>,
+) -> Vec<f32> {
+    assert!(!updates.is_empty(), "nothing to aggregate");
+    assert_eq!(
+        updates.len(),
+        coefficients.len(),
+        "one coefficient per update required"
+    );
+    let dense_len = updates[0].dense_len();
+    assert!(
+        updates.iter().all(|u| u.dense_len() == dense_len),
+        "updates have mismatched lengths"
+    );
+    let mut acc = vec![0.0f32; dense_len];
+    for (u, &c) in updates.iter().zip(coefficients.iter()) {
+        match mask {
+            Some(m) => m.apply(u).add_scaled_into(&mut acc, c as f32),
+            None => u.add_scaled_into(&mut acc, c as f32),
+        }
+    }
+    acc
+}
+
+/// Weighted aggregation of arbitrary compressed updates (sparse or quantized).
+pub fn aggregate_compressed(
+    updates: &[&CompressedUpdate],
+    coefficients: &[f64],
+    mask: Option<&OpwaMask>,
+) -> Vec<f32> {
+    assert!(!updates.is_empty(), "nothing to aggregate");
+    assert_eq!(updates.len(), coefficients.len(), "coefficient count mismatch");
+    // Fast path: all sparse.
+    if updates.iter().all(|u| u.as_sparse().is_some()) {
+        let sparse: Vec<&SparseUpdate> = updates.iter().map(|u| u.as_sparse().unwrap()).collect();
+        return aggregate_sparse(&sparse, coefficients, mask);
+    }
+    let dense_len = updates[0].dense_len();
+    let mut acc = vec![0.0f32; dense_len];
+    for (u, &c) in updates.iter().zip(coefficients.iter()) {
+        let mut dense = u.to_dense();
+        if let Some(m) = mask {
+            m.apply_dense(&mut dense);
+        }
+        for (a, d) in acc.iter_mut().zip(dense.iter()) {
+            *a += c as f32 * d;
+        }
+    }
+    acc
+}
+
+/// Apply the aggregated delta to the global parameters:
+/// `w_{t+1} = w_t − η_server · Σ_i coeff_i Δw_i`.
+pub fn apply_update(global: &mut [f32], aggregated_delta: &[f32], server_lr: f32) {
+    assert_eq!(global.len(), aggregated_delta.len(), "parameter length mismatch");
+    for (w, d) in global.iter_mut().zip(aggregated_delta.iter()) {
+        *w -= server_lr * d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlap::OverlapCounts;
+    use proptest::prelude::*;
+
+    fn sparse(indices: Vec<u32>, values: Vec<f32>, len: usize) -> SparseUpdate {
+        SparseUpdate::new(indices, values, len)
+    }
+
+    #[test]
+    fn data_fractions_sum_to_one() {
+        let f = data_fractions(&[100, 300, 600]);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.1).abs() < 1e-12);
+        assert!((f[2] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_cohort_fractions_rejected() {
+        data_fractions(&[0, 0]);
+    }
+
+    #[test]
+    fn sparse_aggregation_weighted_sum() {
+        let a = sparse(vec![0, 2], vec![1.0, 2.0], 4);
+        let b = sparse(vec![2, 3], vec![4.0, 8.0], 4);
+        let agg = aggregate_sparse(&[&a, &b], &[0.5, 0.25], None);
+        assert_eq!(agg, vec![0.5, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn aggregation_with_mask_enlarges_singletons() {
+        let a = sparse(vec![0, 1], vec![1.0, 1.0], 3);
+        let b = sparse(vec![1, 2], vec![1.0, 1.0], 3);
+        let counts = OverlapCounts::from_updates(&[&a, &b]);
+        let mask = OpwaMask::from_overlap(&counts, 2.0, 1);
+        let agg = aggregate_sparse(&[&a, &b], &[0.5, 0.5], Some(&mask));
+        // Coordinates 0 and 2 are singletons (enlarged 2x), coordinate 1 overlaps.
+        assert_eq!(agg, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_update_descends() {
+        let mut w = vec![1.0, 1.0, 1.0];
+        apply_update(&mut w, &[0.5, -0.5, 0.0], 1.0);
+        assert_eq!(w, vec![0.5, 1.5, 1.0]);
+        apply_update(&mut w, &[1.0, 1.0, 1.0], 0.1);
+        assert!((w[0] - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compressed_aggregation_mixes_sparse_and_quantized() {
+        let s = CompressedUpdate::Sparse(sparse(vec![0], vec![2.0], 2));
+        let q = CompressedUpdate::Quantized { values: vec![1.0, 1.0], wire_bytes: 4 };
+        let agg = aggregate_compressed(&[&s, &q], &[0.5, 0.5], None);
+        assert_eq!(agg, vec![1.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn coefficient_mismatch_rejected() {
+        let a = sparse(vec![0], vec![1.0], 2);
+        aggregate_sparse(&[&a], &[0.5, 0.5], None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_aggregation_linear_in_coefficients(
+            values in proptest::collection::vec(-5.0f32..5.0, 4..32),
+            coeff in 0.01f64..2.0,
+        ) {
+            // aggregate([u], [c]) == c * dense(u)
+            let len = values.len();
+            let indices: Vec<u32> = (0..len as u32).collect();
+            let u = SparseUpdate::new(indices, values.clone(), len);
+            let agg = aggregate_sparse(&[&u], &[coeff], None);
+            for (a, v) in agg.iter().zip(values.iter()) {
+                prop_assert!((a - coeff as f32 * v).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_uncompressed_aggregate_preserves_weighted_mean(
+            d1 in proptest::collection::vec(-1.0f32..1.0, 8),
+            d2 in proptest::collection::vec(-1.0f32..1.0, 8),
+        ) {
+            // With CR = 1 updates, aggregation equals the dense weighted mean.
+            let u1 = SparseUpdate::from_dense_mask(&d1, |_, _| true);
+            let u2 = SparseUpdate::from_dense_mask(&d2, |_, _| true);
+            let agg = aggregate_sparse(&[&u1, &u2], &[0.5, 0.5], None);
+            for i in 0..8 {
+                prop_assert!((agg[i] - 0.5 * (d1[i] + d2[i])).abs() < 1e-5);
+            }
+        }
+    }
+}

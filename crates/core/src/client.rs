@@ -1,0 +1,249 @@
+//! Simulated federated client: local dataset, local model replica, local SGD
+//! and (optionally) error-feedback compression state.
+
+use crate::config::{ExperimentConfig, ModelPreset};
+use fl_compress::{CompressedUpdate, Compressor, ErrorFeedback, RandK, TopK};
+use fl_data::{BatchLoader, Dataset};
+use fl_nn::{flatten_params, mlp, unflatten_params, Sequential, Sgd, SoftmaxCrossEntropy};
+use fl_tensor::rng::Xoshiro256;
+
+/// The result of one client's local training in one round.
+#[derive(Clone, Debug)]
+pub struct LocalTrainOutput {
+    /// Client id of the producer.
+    pub client_id: usize,
+    /// The model delta `w_t − w_{t,local}` (descent direction) as a flat vector.
+    pub delta: Vec<f32>,
+    /// Mean training loss over the local epochs.
+    pub train_loss: f64,
+    /// Number of local training samples (the `n_k` of FedAvg's weights).
+    pub num_samples: usize,
+    /// Wall-clock seconds spent in local training.
+    pub train_time_s: f64,
+}
+
+/// One simulated client.
+pub struct ClientState {
+    /// Client id in `[0, N)`.
+    pub id: usize,
+    dataset: Dataset,
+    model: Sequential,
+    loader: BatchLoader,
+    rng: Xoshiro256,
+    error_feedback: Option<ErrorFeedback<TopK>>,
+    local_lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    local_epochs: usize,
+}
+
+impl ClientState {
+    /// Create a client from the experiment configuration and its local shard.
+    pub fn new(id: usize, dataset: Dataset, config: &ExperimentConfig, rng: Xoshiro256) -> Self {
+        let mut model_rng = Xoshiro256::new(config.seed); // same init as the server
+        let model = build_model(&config.model, dataset.feature_dim(), dataset.num_classes(), &mut model_rng);
+        let num_params = model.num_params();
+        let error_feedback = if config.algorithm.uses_error_feedback() {
+            Some(ErrorFeedback::new(TopK::new(), num_params))
+        } else {
+            None
+        };
+        Self {
+            id,
+            dataset,
+            model,
+            loader: BatchLoader::new(config.batch_size, false),
+            rng,
+            error_feedback,
+            local_lr: config.local_lr,
+            momentum: config.momentum,
+            weight_decay: config.weight_decay,
+            local_epochs: config.local_epochs,
+        }
+    }
+
+    /// Number of local training samples.
+    pub fn num_samples(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// Borrow the local dataset (used by evaluation helpers and tests).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Run `E` local epochs of SGD starting from the given global parameters
+    /// and return the flat model delta (`global − local`).
+    pub fn local_update(&mut self, global_params: &[f32]) -> LocalTrainOutput {
+        let start = std::time::Instant::now();
+        unflatten_params(&mut self.model, global_params);
+        let mut optimizer = Sgd::new(self.local_lr, self.momentum, self.weight_decay);
+        let mut loss_fn = SoftmaxCrossEntropy::new();
+        let mut loss_acc = 0.0f64;
+        let mut loss_count = 0usize;
+        for _ in 0..self.local_epochs {
+            for (x, y) in self.loader.epoch_batches(&self.dataset, &mut self.rng) {
+                self.model.zero_grad();
+                let logits = self.model.forward(&x);
+                let loss = loss_fn.forward(&logits, &y);
+                let grad = loss_fn.backward();
+                self.model.backward(&grad);
+                optimizer.step(&mut self.model);
+                loss_acc += loss as f64;
+                loss_count += 1;
+            }
+        }
+        let local = flatten_params(&self.model);
+        let delta: Vec<f32> = global_params
+            .iter()
+            .zip(local.iter())
+            .map(|(g, l)| g - l)
+            .collect();
+        LocalTrainOutput {
+            client_id: self.id,
+            delta,
+            train_loss: if loss_count == 0 { 0.0 } else { loss_acc / loss_count as f64 },
+            num_samples: self.dataset.len(),
+            train_time_s: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Compress a delta at the given ratio using this client's configured
+    /// compressor (Top-K, EF-Top-K residual state, or Rand-K).
+    pub fn compress(
+        &mut self,
+        delta: &[f32],
+        ratio: f64,
+        use_randk: bool,
+    ) -> CompressedUpdate {
+        if let Some(ef) = self.error_feedback.as_mut() {
+            ef.compress_with_feedback(delta, ratio)
+        } else if use_randk {
+            RandK::new(self.rng_seed_for_round()).compress(delta, ratio)
+        } else {
+            TopK::new().compress(delta, ratio)
+        }
+    }
+
+    /// Current L2 norm of the error-feedback residual (0 when EF is unused).
+    pub fn residual_norm(&self) -> f64 {
+        self.error_feedback
+            .as_ref()
+            .map(|ef| ef.residual_norm())
+            .unwrap_or(0.0)
+    }
+
+    fn rng_seed_for_round(&mut self) -> u64 {
+        use fl_tensor::rng::Rng;
+        self.rng.next_u64()
+    }
+}
+
+/// Build the model described by a [`ModelPreset`].
+pub fn build_model(
+    preset: &ModelPreset,
+    input_dim: usize,
+    classes: usize,
+    rng: &mut Xoshiro256,
+) -> Sequential {
+    match preset {
+        ModelPreset::Mlp { hidden1, hidden2 } => mlp(input_dim, &[*hidden1, *hidden2], classes, rng),
+        ModelPreset::Linear => fl_nn::model::logistic_regression(input_dim, classes, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+
+    fn quick_client(algorithm: Algorithm) -> (ClientState, Vec<f32>, ExperimentConfig) {
+        let config = ExperimentConfig::quick(algorithm);
+        let (train, _) = config.dataset.spec(config.dataset_scale).generate(config.seed);
+        let local = train.subset(&(0..64).collect::<Vec<_>>());
+        let mut rng = Xoshiro256::new(config.seed);
+        let global_model = build_model(&config.model, local.feature_dim(), local.num_classes(), &mut rng);
+        let global = flatten_params(&global_model);
+        let client = ClientState::new(0, local, &config, Xoshiro256::new(7));
+        (client, global, config)
+    }
+
+    #[test]
+    fn local_update_produces_matching_delta_length() {
+        let (mut client, global, _) = quick_client(Algorithm::TopK);
+        let out = client.local_update(&global);
+        assert_eq!(out.delta.len(), global.len());
+        assert_eq!(out.num_samples, 64);
+        assert!(out.train_loss > 0.0);
+        assert!(out.delta.iter().any(|&d| d != 0.0), "training should move the model");
+    }
+
+    #[test]
+    fn delta_direction_reduces_local_loss() {
+        // Applying the delta (w - eta*delta ... here directly w_local = w - delta)
+        // must give a model with lower local loss than the global one.
+        let (mut client, global, _) = quick_client(Algorithm::TopK);
+        let out = client.local_update(&global);
+        let local_params: Vec<f32> = global
+            .iter()
+            .zip(out.delta.iter())
+            .map(|(g, d)| g - d)
+            .collect();
+        let mut rng = Xoshiro256::new(1);
+        let mut probe = build_model(
+            &ExperimentConfig::quick(Algorithm::TopK).model,
+            client.dataset().feature_dim(),
+            client.dataset().num_classes(),
+            &mut rng,
+        );
+        let mut loss_fn = SoftmaxCrossEntropy::new();
+        let (x, y) = client.dataset().full_batch();
+        unflatten_params(&mut probe, &global);
+        let loss_global = loss_fn.forward(&probe.forward(&x), &y);
+        unflatten_params(&mut probe, &local_params);
+        let loss_local = loss_fn.forward(&probe.forward(&x), &y);
+        assert!(
+            loss_local < loss_global,
+            "local training should reduce local loss ({loss_global} -> {loss_local})"
+        );
+    }
+
+    #[test]
+    fn ef_client_keeps_residual_state() {
+        let (mut client, global, _) = quick_client(Algorithm::EfTopK);
+        let out = client.local_update(&global);
+        assert_eq!(client.residual_norm(), 0.0);
+        let _ = client.compress(&out.delta, 0.05, false);
+        assert!(client.residual_norm() > 0.0, "EF residual should be non-empty");
+    }
+
+    #[test]
+    fn non_ef_client_has_zero_residual() {
+        let (mut client, global, _) = quick_client(Algorithm::TopK);
+        let out = client.local_update(&global);
+        let _ = client.compress(&out.delta, 0.05, false);
+        assert_eq!(client.residual_norm(), 0.0);
+    }
+
+    #[test]
+    fn compression_respects_ratio() {
+        let (mut client, global, _) = quick_client(Algorithm::TopK);
+        let out = client.local_update(&global);
+        let c = client.compress(&out.delta, 0.1, false);
+        let nnz = c.as_sparse().unwrap().nnz();
+        let expected = (0.1 * global.len() as f64).ceil() as usize;
+        assert_eq!(nnz, expected);
+    }
+
+    #[test]
+    fn randk_compression_differs_from_topk() {
+        let (mut client, global, _) = quick_client(Algorithm::RandK);
+        let out = client.local_update(&global);
+        let topk = TopK::new().compress(&out.delta, 0.1);
+        let randk = client.compress(&out.delta, 0.1, true);
+        assert_ne!(
+            topk.as_sparse().unwrap().indices(),
+            randk.as_sparse().unwrap().indices()
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Experiment configuration: one struct that fully determines a run.
+
+use crate::algorithm::Algorithm;
+use fl_data::DatasetPreset;
+use fl_netsim::LinkGenerator;
+use serde::{Deserialize, Serialize};
+
+/// Which model architecture the clients train.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ModelPreset {
+    /// Multi-layer perceptron with two hidden layers (default; see DESIGN.md
+    /// §4 for why this substitutes for the paper's ResNet-18).
+    Mlp {
+        /// First hidden layer width.
+        hidden1: usize,
+        /// Second hidden layer width.
+        hidden2: usize,
+    },
+    /// Single linear layer (logistic regression) — cheapest, used in tests.
+    Linear,
+}
+
+impl ModelPreset {
+    /// The default MLP used by the experiment suite.
+    pub fn default_mlp() -> Self {
+        ModelPreset::Mlp { hidden1: 128, hidden2: 64 }
+    }
+}
+
+/// Everything needed to run one federated-learning experiment.
+///
+/// ```
+/// use fl_core::{Algorithm, ExperimentConfig};
+/// use fl_data::DatasetPreset;
+///
+/// // The paper's Table-2 cell "BCRS+OPWA, CIFAR-10, beta = 0.1, CR = 0.01".
+/// let config = ExperimentConfig::paper_setting(
+///     Algorithm::BcrsOpwa,
+///     DatasetPreset::Cifar10Like,
+///     0.1,
+///     0.01,
+/// );
+/// assert!(config.validate().is_ok());
+/// assert_eq!(config.rounds, 200);
+/// assert_eq!(config.clients_per_round(), 5);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Algorithm under evaluation.
+    pub algorithm: Algorithm,
+    /// Dataset preset (CIFAR-10-like, CIFAR-100-like, SVHN-like).
+    pub dataset: DatasetPreset,
+    /// Dataset scale factor (1.0 = full synthetic size; smaller for quick runs).
+    pub dataset_scale: f64,
+    /// Model architecture.
+    pub model: ModelPreset,
+    /// Total number of clients `N` (paper: 10, 16, 20).
+    pub num_clients: usize,
+    /// Fraction of clients selected per round `C` (paper: 0.5).
+    pub participation: f64,
+    /// Number of communication rounds `T` (paper: 200).
+    pub rounds: usize,
+    /// Local epochs per round `E` (paper: 1).
+    pub local_epochs: usize,
+    /// Mini-batch size (paper: 64).
+    pub batch_size: usize,
+    /// Local SGD learning rate `η`.
+    pub local_lr: f32,
+    /// Local SGD momentum.
+    pub momentum: f32,
+    /// Local weight decay.
+    pub weight_decay: f32,
+    /// Server learning rate applied to the aggregated update.
+    pub server_lr: f32,
+    /// Dirichlet heterogeneity level `β` (paper: 0.1 severe, 0.5 moderate).
+    pub beta: f64,
+    /// Base/uniform compression ratio `CR` (paper: 0.1 or 0.01).
+    pub compression_ratio: f64,
+    /// BCRS averaging-coefficient scale `α` (Eq. 6; paper tunes over
+    /// {0.01, 0.03, 0.1, 0.3, 1}).
+    pub alpha: f64,
+    /// OPWA enlarge rate `γ` (Alg. 3; paper explores 1..N).
+    pub gamma: f32,
+    /// OPWA overlap threshold `D`: coordinates retained by at most `D`
+    /// clients are enlarged (paper default: 1).
+    pub overlap_threshold: usize,
+    /// Ablation switch: disable the Eq. 6 coefficient clamp and use plain
+    /// data-fraction weights with BCRS.
+    pub disable_coefficient_adjustment: bool,
+    /// Network link generator (paper Section 5.2 defaults).
+    pub links: LinkGenerator,
+    /// Master seed; every random decision in the run derives from it.
+    pub seed: u64,
+    /// Maximum worker threads for parallel client training (0 = auto).
+    pub max_threads: usize,
+    /// Record the overlap-degree histogram every round (costs a little time;
+    /// needed only by the Fig. 4 experiment).
+    pub record_overlap: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: Algorithm::BcrsOpwa,
+            dataset: DatasetPreset::Cifar10Like,
+            dataset_scale: 1.0,
+            model: ModelPreset::default_mlp(),
+            num_clients: 10,
+            participation: 0.5,
+            rounds: 200,
+            local_epochs: 1,
+            batch_size: 64,
+            local_lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            server_lr: 1.0,
+            beta: 0.5,
+            compression_ratio: 0.1,
+            alpha: 0.3,
+            gamma: 5.0,
+            overlap_threshold: 1,
+            disable_coefficient_adjustment: false,
+            links: LinkGenerator::paper_default(),
+            seed: 42,
+            max_threads: 0,
+            record_overlap: false,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's main-table setting for a given algorithm, dataset,
+    /// heterogeneity and compression ratio.
+    pub fn paper_setting(
+        algorithm: Algorithm,
+        dataset: DatasetPreset,
+        beta: f64,
+        compression_ratio: f64,
+    ) -> Self {
+        Self { algorithm, dataset, beta, compression_ratio, ..Default::default() }
+    }
+
+    /// A small, fast configuration used by tests and `--quick` benches:
+    /// fewer rounds, a smaller synthetic dataset and a linear model.
+    pub fn quick(algorithm: Algorithm) -> Self {
+        Self {
+            algorithm,
+            dataset_scale: 0.1,
+            model: ModelPreset::Mlp { hidden1: 32, hidden2: 16 },
+            rounds: 10,
+            batch_size: 32,
+            // The quick dataset is tiny, so a slightly larger local learning
+            // rate keeps short smoke runs informative.
+            local_lr: 0.1,
+            ..Default::default()
+        }
+    }
+
+    /// Number of clients selected each round (`max(1, round(N · C))`).
+    pub fn clients_per_round(&self) -> usize {
+        ((self.num_clients as f64 * self.participation).round() as usize)
+            .clamp(1, self.num_clients)
+    }
+
+    /// Validate parameter ranges, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_clients == 0 {
+            return Err("num_clients must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.participation) || self.participation == 0.0 {
+            return Err("participation must be in (0, 1]".into());
+        }
+        if self.rounds == 0 {
+            return Err("rounds must be positive".into());
+        }
+        if self.local_epochs == 0 {
+            return Err("local_epochs must be positive".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if !(self.compression_ratio > 0.0 && self.compression_ratio <= 1.0) {
+            return Err("compression_ratio must be in (0, 1]".into());
+        }
+        if self.beta <= 0.0 {
+            return Err("beta must be positive".into());
+        }
+        if self.alpha <= 0.0 {
+            return Err("alpha must be positive".into());
+        }
+        if self.gamma < 1.0 {
+            return Err("gamma must be >= 1".into());
+        }
+        if self.local_lr <= 0.0 || self.server_lr <= 0.0 {
+            return Err("learning rates must be positive".into());
+        }
+        if self.dataset_scale <= 0.0 {
+            return Err("dataset_scale must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let c = ExperimentConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.num_clients, 10);
+        assert_eq!(c.rounds, 200);
+        assert_eq!(c.local_epochs, 1);
+        assert_eq!(c.batch_size, 64);
+        assert_eq!(c.clients_per_round(), 5);
+    }
+
+    #[test]
+    fn quick_config_is_valid() {
+        assert!(ExperimentConfig::quick(Algorithm::TopK).validate().is_ok());
+    }
+
+    #[test]
+    fn clients_per_round_bounds() {
+        let mut c = ExperimentConfig::default();
+        c.num_clients = 20;
+        c.participation = 0.5;
+        assert_eq!(c.clients_per_round(), 10);
+        c.participation = 0.01;
+        assert_eq!(c.clients_per_round(), 1);
+        c.participation = 1.0;
+        assert_eq!(c.clients_per_round(), 20);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = ExperimentConfig::default();
+        c.compression_ratio = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::default();
+        c.gamma = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::default();
+        c.participation = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::default();
+        c.rounds = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paper_setting_overrides() {
+        let c = ExperimentConfig::paper_setting(
+            Algorithm::TopK,
+            DatasetPreset::SvhnLike,
+            0.1,
+            0.01,
+        );
+        assert_eq!(c.algorithm, Algorithm::TopK);
+        assert_eq!(c.beta, 0.1);
+        assert_eq!(c.compression_ratio, 0.01);
+    }
+}

@@ -1,0 +1,105 @@
+//! Model evaluation on a held-out test set.
+
+use fl_data::Dataset;
+use fl_nn::{Sequential, SoftmaxCrossEntropy};
+
+/// Loss and accuracy of a model on a dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Evaluation {
+    /// Mean cross-entropy loss.
+    pub loss: f64,
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+/// Evaluate `model` on `dataset` in batches of `batch_size` (the dataset may
+/// be too large for a single forward pass).
+pub fn evaluate(model: &mut Sequential, dataset: &Dataset, batch_size: usize) -> Evaluation {
+    assert!(batch_size > 0, "batch size must be positive");
+    if dataset.is_empty() {
+        return Evaluation { loss: 0.0, accuracy: 0.0 };
+    }
+    let mut loss_fn = SoftmaxCrossEntropy::new();
+    let mut total_loss = 0.0f64;
+    let mut total_correct = 0.0f64;
+    let mut seen = 0usize;
+    let n = dataset.len();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let indices: Vec<usize> = (start..end).collect();
+        let (x, y) = dataset.gather_batch(&indices);
+        let logits = model.forward(&x);
+        let batch_loss = loss_fn.forward(&logits, &y) as f64;
+        let batch_acc = SoftmaxCrossEntropy::accuracy(&logits, &y);
+        let count = end - start;
+        total_loss += batch_loss * count as f64;
+        total_correct += batch_acc * count as f64;
+        seen += count;
+        start = end;
+    }
+    Evaluation {
+        loss: total_loss / seen as f64,
+        accuracy: total_correct / seen as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_nn::model::logistic_regression;
+    use fl_tensor::rng::Xoshiro256;
+
+    fn toy_dataset() -> Dataset {
+        // Two trivially separable classes along the first coordinate.
+        let mut d = Dataset::empty(2, 2);
+        for i in 0..20 {
+            let class = i % 2;
+            let x0 = if class == 0 { -1.0 } else { 1.0 };
+            d.push(&[x0, 0.0], class);
+        }
+        d
+    }
+
+    #[test]
+    fn random_model_near_chance() {
+        let mut rng = Xoshiro256::new(1);
+        let mut model = logistic_regression(2, 2, &mut rng);
+        let e = evaluate(&mut model, &toy_dataset(), 8);
+        assert!(e.accuracy >= 0.0 && e.accuracy <= 1.0);
+        assert!((e.loss - (2.0f64).ln()).abs() < 0.5);
+    }
+
+    #[test]
+    fn perfect_model_perfect_accuracy() {
+        let mut rng = Xoshiro256::new(1);
+        let mut model = logistic_regression(2, 2, &mut rng);
+        // Set weights so class 1 wins when x0 > 0.
+        let mut params = model.params_mut();
+        params[0].data_mut().copy_from_slice(&[-10.0, 10.0, 0.0, 0.0]);
+        params[1].data_mut().copy_from_slice(&[0.0, 0.0]);
+        let e = evaluate(&mut model, &toy_dataset(), 7);
+        assert_eq!(e.accuracy, 1.0);
+        assert!(e.loss < 0.01);
+    }
+
+    #[test]
+    fn batched_equals_full_batch() {
+        let mut rng = Xoshiro256::new(2);
+        let mut model = logistic_regression(2, 2, &mut rng);
+        let ds = toy_dataset();
+        let small = evaluate(&mut model, &ds, 3);
+        let full = evaluate(&mut model, &ds, 100);
+        assert!((small.loss - full.loss).abs() < 1e-6);
+        assert!((small.accuracy - full.accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_is_zero() {
+        let mut rng = Xoshiro256::new(3);
+        let mut model = logistic_regression(2, 2, &mut rng);
+        let e = evaluate(&mut model, &Dataset::empty(2, 2), 4);
+        assert_eq!(e.accuracy, 0.0);
+        assert_eq!(e.loss, 0.0);
+    }
+}

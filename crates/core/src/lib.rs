@@ -1,0 +1,44 @@
+//! `fl-core` — the paper's contribution: Bandwidth-aware Compression Ratio
+//! Scheduling (BCRS) and Overlap-aware Parameter Weighted Averaging (OPWA),
+//! plus the federated-learning simulation loop that evaluates them.
+//!
+//! # The two algorithms
+//!
+//! **BCRS** ([`bcrs`]) removes the straggler bottleneck of uniformly
+//! compressed FedAvg. It takes the slowest selected client's *compressed*
+//! upload time as a benchmark and gives every other client the largest
+//! compression ratio that still finishes within that benchmark, so all uploads
+//! land at roughly the same time and fast clients ship more information
+//! instead of idling (Alg. 2). Client averaging coefficients are adjusted to
+//! `p'_i = f_i / max(f_i, Norm(CR_i)) · α` (Eq. 6).
+//!
+//! **OPWA** ([`overlap`], [`opwa`]) fixes the under-weighting of rarely
+//! retained coordinates. After Top-K, each coordinate is retained by only a
+//! subset of clients (its *degree of overlap*); uniform averaging shrinks the
+//! coordinates retained by few clients. OPWA multiplies low-overlap
+//! coordinates by an enlarge rate `γ` (Alg. 3, Eq. 7).
+//!
+//! # Running experiments
+//!
+//! [`config::ExperimentConfig`] describes a complete experiment (dataset
+//! preset, heterogeneity `β`, compression ratio, algorithm, network model,
+//! …); [`runner::run_experiment`] executes it and returns per-round records
+//! (accuracy, loss, communication times) from which every table and figure of
+//! the paper is regenerated (see the `fl-bench` crate).
+
+pub mod aggregate;
+pub mod algorithm;
+pub mod bcrs;
+pub mod client;
+pub mod config;
+pub mod eval;
+pub mod opwa;
+pub mod overlap;
+pub mod runner;
+
+pub use algorithm::Algorithm;
+pub use bcrs::{BcrsSchedule, BcrsScheduler};
+pub use config::{ExperimentConfig, ModelPreset};
+pub use opwa::OpwaMask;
+pub use overlap::{OverlapCounts, OverlapStats};
+pub use runner::{run_experiment, ExperimentResult, RoundRecord};

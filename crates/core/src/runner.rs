@@ -1,0 +1,529 @@
+//! The experiment runner: executes one federated-learning experiment
+//! (Algorithm 1 with the configured variant) and records everything the
+//! paper's tables and figures need.
+
+use crate::aggregate::{aggregate_sparse, apply_update, data_fractions};
+use crate::algorithm::Algorithm;
+use crate::bcrs::BcrsScheduler;
+use crate::client::{build_model, ClientState};
+use crate::config::ExperimentConfig;
+use crate::eval::evaluate;
+use crate::opwa::OpwaMask;
+use crate::overlap::{OverlapCounts, OverlapStats};
+use fl_compress::SparseUpdate;
+use fl_data::{dirichlet_partition, Dataset, PartitionStats};
+use fl_netsim::{CommModel, Link, RoundBreakdown, RoundTiming, TimeAccumulator};
+use fl_nn::{flatten_params, unflatten_params, Sequential};
+use fl_tensor::parallel::{default_threads, parallel_map};
+use fl_tensor::rng::{Rng, Xoshiro256};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Everything recorded about one communication round.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Global-model accuracy on the held-out test set after this round.
+    pub test_accuracy: f64,
+    /// Global-model loss on the test set after this round.
+    pub test_loss: f64,
+    /// Mean local training loss over the selected clients.
+    pub train_loss: f64,
+    /// Mean compression ratio actually used by the cohort this round.
+    pub mean_compression_ratio: f64,
+    /// This round's communication time under the evaluated algorithm (straggler).
+    pub comm_actual_s: f64,
+    /// This round's straggler time for an uncompressed transfer.
+    pub comm_max_s: f64,
+    /// This round's fastest client time under the evaluated algorithm.
+    pub comm_min_s: f64,
+    /// Cumulative actual communication time up to and including this round.
+    pub cumulative_actual_s: f64,
+    /// Cumulative uncompressed straggler time.
+    pub cumulative_max_s: f64,
+    /// Cumulative fastest-client time.
+    pub cumulative_min_s: f64,
+    /// Clients selected this round.
+    pub selected_clients: Vec<usize>,
+    /// Degree-of-overlap distribution of this round's sparse updates (present
+    /// when OPWA is active or `record_overlap` is set).
+    pub overlap: Option<OverlapStats>,
+}
+
+/// The outcome of a full experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// Per-round records, one per communication round.
+    pub records: Vec<RoundRecord>,
+    /// Test accuracy after the final round.
+    pub final_accuracy: f64,
+    /// Best test accuracy observed in any round.
+    pub best_accuracy: f64,
+    /// Number of trainable model parameters.
+    pub model_params: usize,
+    /// Dense model size in bytes (`V` of the communication model).
+    pub model_bytes: usize,
+    /// Average per-round time breakdown (the bars of Fig. 6).
+    pub breakdown: RoundBreakdown,
+    /// Client × class allocation of the training data (Fig. 5).
+    pub partition: PartitionStats,
+    /// Total wall-clock seconds the simulation itself took.
+    pub wall_time_s: f64,
+}
+
+impl ExperimentResult {
+    /// Test-accuracy series over rounds.
+    pub fn accuracy_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.test_accuracy).collect()
+    }
+
+    /// Cumulative actual communication-time series over rounds.
+    pub fn comm_time_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.cumulative_actual_s).collect()
+    }
+
+    /// First round (and the cumulative actual / max / min communication time
+    /// at that round) where test accuracy reaches `target`. `None` if never.
+    /// This is the quantity reported in Table 3.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<(usize, f64, f64, f64)> {
+        self.records
+            .iter()
+            .find(|r| r.test_accuracy >= target)
+            .map(|r| {
+                (
+                    r.round,
+                    r.cumulative_actual_s,
+                    r.cumulative_max_s,
+                    r.cumulative_min_s,
+                )
+            })
+    }
+
+    /// Merge the per-round overlap statistics into a single distribution.
+    pub fn merged_overlap(&self) -> Option<OverlapStats> {
+        let mut merged: Option<OverlapStats> = None;
+        for r in &self.records {
+            if let Some(o) = &r.overlap {
+                match &mut merged {
+                    Some(m) => m.merge(o),
+                    None => merged = Some(o.clone()),
+                }
+            }
+        }
+        merged
+    }
+
+    /// CSV dump of the round records
+    /// (`round,test_accuracy,train_loss,mean_cr,comm_actual,cum_actual,cum_max,cum_min`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "round,test_accuracy,test_loss,train_loss,mean_cr,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+                r.round,
+                r.test_accuracy,
+                r.test_loss,
+                r.train_loss,
+                r.mean_compression_ratio,
+                r.comm_actual_s,
+                r.cumulative_actual_s,
+                r.cumulative_max_s,
+                r.cumulative_min_s
+            ));
+        }
+        out
+    }
+}
+
+/// Run an experiment, invoking `on_round` after every communication round.
+pub fn run_experiment_with<F: FnMut(&RoundRecord)>(
+    config: &ExperimentConfig,
+    mut on_round: F,
+) -> ExperimentResult {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid experiment config: {e}"));
+    let wall_start = std::time::Instant::now();
+
+    // --- Data -----------------------------------------------------------------
+    let spec = config.dataset.spec(config.dataset_scale);
+    let (train, test) = spec.generate(config.seed);
+    let min_samples = (config.batch_size / 4)
+        .clamp(2, (train.len() / config.num_clients).max(1));
+    let partitions = dirichlet_partition(
+        &train,
+        config.num_clients,
+        config.beta,
+        min_samples,
+        config.seed ^ 0xD1A1,
+    );
+    let partition_stats = PartitionStats::from_partition(&partitions, &train);
+
+    // --- Model ----------------------------------------------------------------
+    let mut model_rng = Xoshiro256::new(config.seed);
+    let mut global_model = build_model(
+        &config.model,
+        train.feature_dim(),
+        train.num_classes(),
+        &mut model_rng,
+    );
+    let mut global_params = flatten_params(&global_model);
+    let model_params = global_params.len();
+    let model_bytes = model_params * 4;
+
+    // --- Clients and network ---------------------------------------------------
+    let mut root_rng = Xoshiro256::new(config.seed ^ 0xC11E);
+    let clients: Vec<Mutex<ClientState>> = partitions
+        .iter()
+        .map(|p| {
+            let local = p.dataset(&train);
+            let client_rng = root_rng.fork(p.client_id as u64);
+            Mutex::new(ClientState::new(p.client_id, local, config, client_rng))
+        })
+        .collect();
+    let links: Vec<Link> = config.links.generate(config.num_clients, config.seed ^ 0x11C5);
+    let comm = CommModel::paper_default();
+    let scheduler = BcrsScheduler::new(comm);
+
+    let mut selection_rng = Xoshiro256::new(config.seed ^ 0x5E1E);
+    let mut time_acc = TimeAccumulator::new();
+    let mut breakdown_total = RoundBreakdown::default();
+    let mut records = Vec::with_capacity(config.rounds);
+    let threads = if config.max_threads == 0 {
+        default_threads()
+    } else {
+        config.max_threads
+    };
+    let cohort = config.clients_per_round();
+
+    // --- Rounds ------------------------------------------------------------------
+    for round in 0..config.rounds {
+        let selected = selection_rng.sample_without_replacement(config.num_clients, cohort);
+        let selected_links: Vec<Link> = selected.iter().map(|&i| links[i]).collect();
+
+        // Per-client compression ratios for this round.
+        let (ratios, schedule) = match config.algorithm {
+            Algorithm::FedAvg => (vec![1.0; cohort], None),
+            Algorithm::TopK | Algorithm::EfTopK | Algorithm::RandK | Algorithm::TopKOpwa => {
+                (vec![config.compression_ratio; cohort], None)
+            }
+            Algorithm::Bcrs | Algorithm::BcrsOpwa => {
+                let s = scheduler.schedule(
+                    &selected_links,
+                    model_bytes as f64,
+                    config.compression_ratio,
+                );
+                (s.ratios.clone(), Some(s))
+            }
+        };
+
+        // Local training + compression, in parallel over the cohort.
+        let use_randk = config.algorithm == Algorithm::RandK;
+        let work: Vec<(usize, f64)> = selected
+            .iter()
+            .cloned()
+            .zip(ratios.iter().cloned())
+            .collect();
+        let global_ref = &global_params;
+        let clients_ref = &clients;
+        let outputs = parallel_map(work, threads, move |(client_idx, ratio)| {
+            let mut client = clients_ref[client_idx].lock();
+            let train_out = client.local_update(global_ref);
+            let c_start = std::time::Instant::now();
+            let compressed = client.compress(&train_out.delta, ratio, use_randk);
+            let compress_time = c_start.elapsed().as_secs_f64();
+            (train_out, compressed, compress_time)
+        });
+
+        // Gather sparse updates, losses and timings.
+        let sparse_updates: Vec<SparseUpdate> = outputs
+            .iter()
+            .map(|(_, c, _)| {
+                c.as_sparse()
+                    .expect("sparsifying compressors always produce sparse updates")
+                    .clone()
+            })
+            .collect();
+        let sparse_refs: Vec<&SparseUpdate> = sparse_updates.iter().collect();
+        let sample_counts: Vec<usize> = outputs.iter().map(|(t, _, _)| t.num_samples).collect();
+        let train_loss = outputs.iter().map(|(t, _, _)| t.train_loss).sum::<f64>()
+            / outputs.len() as f64;
+        let max_train_time = outputs
+            .iter()
+            .map(|(t, _, _)| t.train_time_s)
+            .fold(0.0f64, f64::max);
+        let total_compress_time: f64 = outputs.iter().map(|(_, _, c)| *c).sum();
+
+        // Averaging coefficients.
+        let fractions = data_fractions(&sample_counts);
+        let coefficients: Vec<f64> = match (&schedule, config.disable_coefficient_adjustment) {
+            (Some(s), false) => s.adjusted_coefficients(&fractions, config.alpha),
+            (Some(_), true) => fractions.clone(),
+            (None, _) => fractions.clone(),
+        };
+
+        // Overlap analysis and OPWA mask.
+        let need_overlap = config.algorithm.uses_opwa() || config.record_overlap;
+        let overlap_stats = if need_overlap {
+            Some(OverlapCounts::from_updates(&sparse_refs))
+        } else {
+            None
+        };
+        let mask = if config.algorithm.uses_opwa() {
+            overlap_stats
+                .as_ref()
+                .map(|c| OpwaMask::from_overlap(c, config.gamma, config.overlap_threshold))
+        } else {
+            None
+        };
+
+        // Aggregate and update the global model.
+        let aggregated = aggregate_sparse(&sparse_refs, &coefficients, mask.as_ref());
+        apply_update(&mut global_params, &aggregated, config.server_lr);
+
+        // Communication timing.
+        let dense_times: Vec<f64> = selected_links
+            .iter()
+            .map(|l| comm.dense_uplink_time(l, model_bytes as f64))
+            .collect();
+        let algorithm_times: Vec<f64> = match (&schedule, config.algorithm) {
+            (Some(s), _) => s.scheduled_times.clone(),
+            (None, Algorithm::FedAvg) => dense_times.clone(),
+            (None, _) => selected_links
+                .iter()
+                .map(|l| comm.sparse_uplink_time(l, model_bytes as f64, config.compression_ratio))
+                .collect(),
+        };
+        let timing = RoundTiming::from_client_times(&algorithm_times, &dense_times);
+        time_acc.push(timing);
+
+        breakdown_total.accumulate(&RoundBreakdown {
+            compress_s: total_compress_time,
+            training_s: max_train_time,
+            uncompressed_comm_s: timing.max,
+            scheduled_comm_s: timing.actual,
+        });
+
+        // Evaluate the new global model.
+        unflatten_params(&mut global_model, &global_params);
+        let eval = evaluate(&mut global_model, &test, config.batch_size.max(64));
+
+        let record = RoundRecord {
+            round,
+            test_accuracy: eval.accuracy,
+            test_loss: eval.loss,
+            train_loss,
+            mean_compression_ratio: ratios.iter().sum::<f64>() / ratios.len() as f64,
+            comm_actual_s: timing.actual,
+            comm_max_s: timing.max,
+            comm_min_s: timing.min,
+            cumulative_actual_s: time_acc.total_actual(),
+            cumulative_max_s: time_acc.total_max(),
+            cumulative_min_s: time_acc.total_min(),
+            selected_clients: selected,
+            overlap: overlap_stats.map(|c| c.stats()),
+        };
+        on_round(&record);
+        records.push(record);
+    }
+
+    let final_accuracy = records.last().map(|r| r.test_accuracy).unwrap_or(0.0);
+    let best_accuracy = records
+        .iter()
+        .map(|r| r.test_accuracy)
+        .fold(0.0f64, f64::max);
+    ExperimentResult {
+        config: config.clone(),
+        breakdown: breakdown_total.averaged_over(records.len()),
+        final_accuracy,
+        best_accuracy,
+        model_params,
+        model_bytes,
+        partition: partition_stats,
+        records,
+        wall_time_s: wall_start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run an experiment to completion and return its result.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
+    run_experiment_with(config, |_| {})
+}
+
+/// Run an experiment on a background thread, streaming each round's record
+/// over a channel (useful for progress display in long benchmark runs).
+pub fn stream_experiment(
+    config: ExperimentConfig,
+) -> (
+    std::thread::JoinHandle<ExperimentResult>,
+    crossbeam::channel::Receiver<RoundRecord>,
+) {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let handle = std::thread::spawn(move || {
+        run_experiment_with(&config, move |record| {
+            // The receiver may have been dropped if the caller only wants the
+            // final result; that is not an error.
+            let _ = tx.send(record.clone());
+        })
+    });
+    (handle, rx)
+}
+
+/// Evaluate an externally trained flat parameter vector on a dataset
+/// (convenience for tests and examples that manipulate parameters directly).
+pub fn evaluate_params(
+    config: &ExperimentConfig,
+    params: &[f32],
+    dataset: &Dataset,
+) -> f64 {
+    let mut rng = Xoshiro256::new(config.seed);
+    let mut model: Sequential = build_model(
+        &config.model,
+        dataset.feature_dim(),
+        dataset.num_classes(),
+        &mut rng,
+    );
+    unflatten_params(&mut model, params);
+    evaluate(&mut model, dataset, config.batch_size.max(64)).accuracy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(algorithm: Algorithm) -> ExperimentConfig {
+        let mut c = ExperimentConfig::quick(algorithm);
+        c.rounds = 6;
+        c.max_threads = 1;
+        c
+    }
+
+    #[test]
+    fn fedavg_learns_on_quick_config() {
+        let mut config = quick(Algorithm::FedAvg);
+        config.rounds = 10;
+        let result = run_experiment(&config);
+        assert_eq!(result.records.len(), 10);
+        // 10-class task: random guessing sits at ~0.1; a short FedAvg run must
+        // clear it comfortably even on the reduced quick dataset.
+        assert!(
+            result.best_accuracy > 0.2,
+            "accuracy should clear chance level, best was {}",
+            result.best_accuracy
+        );
+        assert!(result.model_params > 0);
+        assert_eq!(result.model_bytes, result.model_params * 4);
+    }
+
+    #[test]
+    fn every_algorithm_runs() {
+        for alg in [
+            Algorithm::FedAvg,
+            Algorithm::TopK,
+            Algorithm::EfTopK,
+            Algorithm::RandK,
+            Algorithm::Bcrs,
+            Algorithm::BcrsOpwa,
+        ] {
+            let mut c = quick(alg);
+            c.rounds = 2;
+            let r = run_experiment(&c);
+            assert_eq!(r.records.len(), 2, "{:?}", alg);
+            assert!(r.final_accuracy >= 0.0 && r.final_accuracy <= 1.0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let c = quick(Algorithm::BcrsOpwa);
+        let a = run_experiment(&c);
+        let b = run_experiment(&c);
+        assert_eq!(a.accuracy_series(), b.accuracy_series());
+        assert_eq!(
+            a.records.last().unwrap().cumulative_actual_s,
+            b.records.last().unwrap().cumulative_actual_s
+        );
+    }
+
+    #[test]
+    fn bcrs_round_time_not_worse_than_uniform_topk() {
+        // The core BCRS claim: its per-round communication time never exceeds
+        // the uniform-compression straggler time at the same base ratio.
+        let bcrs = run_experiment(&quick(Algorithm::Bcrs));
+        for r in &bcrs.records {
+            assert!(
+                r.comm_actual_s <= r.comm_max_s + 1e-9,
+                "BCRS actual {} should not exceed uncompressed straggler {}",
+                r.comm_actual_s,
+                r.comm_max_s
+            );
+        }
+        // And its mean CR is at least the base ratio (fast clients send more).
+        let mean_cr = bcrs.records[0].mean_compression_ratio;
+        assert!(mean_cr >= bcrs.config.compression_ratio - 1e-12);
+    }
+
+    #[test]
+    fn compressed_algorithms_have_lower_comm_time_than_fedavg() {
+        let fedavg = run_experiment(&quick(Algorithm::FedAvg));
+        let topk = run_experiment(&quick(Algorithm::TopK));
+        assert!(
+            topk.records.last().unwrap().cumulative_actual_s
+                < fedavg.records.last().unwrap().cumulative_actual_s
+        );
+    }
+
+    #[test]
+    fn opwa_records_overlap_stats() {
+        let r = run_experiment(&quick(Algorithm::BcrsOpwa));
+        assert!(r.records[0].overlap.is_some());
+        let merged = r.merged_overlap().unwrap();
+        assert!(merged.total_retained > 0);
+        assert_eq!(merged.cohort_size, r.config.clients_per_round());
+    }
+
+    #[test]
+    fn time_to_accuracy_reports_cumulative_time() {
+        let r = run_experiment(&quick(Algorithm::FedAvg));
+        // A trivially low target is reached in the first round.
+        let hit = r.time_to_accuracy(0.0).unwrap();
+        assert_eq!(hit.0, 0);
+        assert!(hit.1 > 0.0);
+        assert!(r.time_to_accuracy(2.0).is_none());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_round_plus_header() {
+        let r = run_experiment(&quick(Algorithm::TopK));
+        assert_eq!(r.to_csv().lines().count(), r.records.len() + 1);
+    }
+
+    #[test]
+    fn streaming_matches_blocking() {
+        let c = quick(Algorithm::TopK);
+        let (handle, rx) = stream_experiment(c.clone());
+        let streamed: Vec<RoundRecord> = rx.iter().collect();
+        let result = handle.join().unwrap();
+        assert_eq!(streamed.len(), result.records.len());
+        assert_eq!(
+            streamed.last().unwrap().test_accuracy,
+            result.final_accuracy
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_training_agree() {
+        let mut c = quick(Algorithm::TopK);
+        c.rounds = 3;
+        c.max_threads = 1;
+        let seq = run_experiment(&c);
+        c.max_threads = 4;
+        let par = run_experiment(&c);
+        assert_eq!(seq.accuracy_series(), par.accuracy_series());
+    }
+}

@@ -1,0 +1,181 @@
+//! In-memory classification dataset.
+
+use fl_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A classification dataset: a dense `[n, feature_dim]` feature matrix plus
+/// integer class labels.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<f32>,
+    labels: Vec<usize>,
+    feature_dim: usize,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset; `features.len()` must equal `labels.len() * feature_dim`
+    /// and every label must be `< num_classes`.
+    pub fn new(features: Vec<f32>, labels: Vec<usize>, feature_dim: usize, num_classes: usize) -> Self {
+        assert!(feature_dim > 0, "feature_dim must be positive");
+        assert_eq!(
+            features.len(),
+            labels.len() * feature_dim,
+            "feature buffer size does not match label count"
+        );
+        assert!(
+            labels.iter().all(|&y| y < num_classes),
+            "label out of range for {num_classes} classes"
+        );
+        Self { features, labels, feature_dim, num_classes }
+    }
+
+    /// Empty dataset with the given dimensions.
+    pub fn empty(feature_dim: usize, num_classes: usize) -> Self {
+        Self::new(Vec::new(), Vec::new(), feature_dim, num_classes)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality of every sample.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Labels of every sample.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Feature vector of sample `i`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        &self.features[i * self.feature_dim..(i + 1) * self.feature_dim]
+    }
+
+    /// Append one sample.
+    pub fn push(&mut self, features: &[f32], label: usize) {
+        assert_eq!(features.len(), self.feature_dim, "wrong feature length");
+        assert!(label < self.num_classes, "label out of range");
+        self.features.extend_from_slice(features);
+        self.labels.push(label);
+    }
+
+    /// Build a `[k, feature_dim]` batch tensor plus label vector for the given
+    /// sample indices.
+    pub fn gather_batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let mut feats = Vec::with_capacity(indices.len() * self.feature_dim);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            feats.extend_from_slice(self.sample(i));
+            labels.push(self.labels[i]);
+        }
+        (
+            Tensor::from_vec(Shape::matrix(indices.len(), self.feature_dim), feats),
+            labels,
+        )
+    }
+
+    /// The whole dataset as one batch.
+    pub fn full_batch(&self) -> (Tensor, Vec<usize>) {
+        let indices: Vec<usize> = (0..self.len()).collect();
+        self.gather_batch(&indices)
+    }
+
+    /// Dataset restricted to the given sample indices (copies the data).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::empty(self.feature_dim, self.num_classes);
+        for &i in indices {
+            out.push(self.sample(i), self.labels[i]);
+        }
+        out
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &y in &self.labels {
+            counts[y] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1],
+            vec![0, 1, 1],
+            2,
+            3,
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.feature_dim(), 2);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.sample(1), &[1.0, 1.1]);
+        assert_eq!(d.labels(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn class_counts_counted() {
+        assert_eq!(toy().class_counts(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn gather_batch_shapes() {
+        let d = toy();
+        let (x, y) = d.gather_batch(&[2, 0]);
+        assert_eq!(x.shape().dims(), &[2, 2]);
+        assert_eq!(x.data(), &[2.0, 2.1, 0.0, 0.1]);
+        assert_eq!(y, vec![1, 0]);
+    }
+
+    #[test]
+    fn subset_copies_requested_samples() {
+        let d = toy();
+        let s = d.subset(&[1]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.sample(0), &[1.0, 1.1]);
+        assert_eq!(s.labels(), &[1]);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut d = Dataset::empty(2, 3);
+        d.push(&[5.0, 6.0], 2);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.sample(0), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_feature_buffer_rejected() {
+        Dataset::new(vec![0.0; 5], vec![0, 1], 2, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_rejected() {
+        Dataset::new(vec![0.0; 4], vec![0, 5], 2, 2);
+    }
+}

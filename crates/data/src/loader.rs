@@ -1,0 +1,126 @@
+//! Shuffled mini-batch loading.
+
+use crate::dataset::Dataset;
+use fl_tensor::rng::Rng;
+use fl_tensor::Tensor;
+
+/// Iterates over a dataset in shuffled mini-batches.
+///
+/// Shuffling happens once per epoch via [`BatchLoader::epoch_batches`]; the
+/// caller supplies the RNG so the full experiment stays seed-deterministic.
+#[derive(Clone, Debug)]
+pub struct BatchLoader {
+    batch_size: usize,
+    drop_last: bool,
+}
+
+impl BatchLoader {
+    /// Create a loader. `drop_last` discards a trailing partial batch.
+    pub fn new(batch_size: usize, drop_last: bool) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { batch_size, drop_last }
+    }
+
+    /// Configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of batches one epoch over `n` samples will produce.
+    pub fn num_batches(&self, n: usize) -> usize {
+        if self.drop_last {
+            n / self.batch_size
+        } else {
+            n.div_ceil(self.batch_size)
+        }
+    }
+
+    /// Produce the shuffled batches (feature tensor + labels) for one epoch.
+    pub fn epoch_batches<R: Rng>(
+        &self,
+        dataset: &Dataset,
+        rng: &mut R,
+    ) -> Vec<(Tensor, Vec<usize>)> {
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        rng.shuffle(&mut order);
+        let mut batches = Vec::with_capacity(self.num_batches(dataset.len()));
+        let mut start = 0usize;
+        while start < order.len() {
+            let end = (start + self.batch_size).min(order.len());
+            if self.drop_last && end - start < self.batch_size {
+                break;
+            }
+            batches.push(dataset.gather_batch(&order[start..end]));
+            start = end;
+        }
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_tensor::rng::Xoshiro256;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::empty(1, 2);
+        for i in 0..10 {
+            d.push(&[i as f32], i % 2);
+        }
+        d
+    }
+
+    #[test]
+    fn batches_cover_all_samples() {
+        let loader = BatchLoader::new(3, false);
+        let mut rng = Xoshiro256::new(1);
+        let batches = loader.epoch_batches(&toy(), &mut rng);
+        assert_eq!(batches.len(), 4);
+        let total: usize = batches.iter().map(|(_, y)| y.len()).sum();
+        assert_eq!(total, 10);
+        let mut seen: Vec<f32> = batches
+            .iter()
+            .flat_map(|(x, _)| x.data().to_vec())
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_last_discards_partial() {
+        let loader = BatchLoader::new(3, true);
+        let mut rng = Xoshiro256::new(1);
+        let batches = loader.epoch_batches(&toy(), &mut rng);
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|(_, y)| y.len() == 3));
+    }
+
+    #[test]
+    fn num_batches_formula() {
+        let l = BatchLoader::new(4, false);
+        assert_eq!(l.num_batches(10), 3);
+        let l2 = BatchLoader::new(4, true);
+        assert_eq!(l2.num_batches(10), 2);
+        assert_eq!(l.num_batches(0), 0);
+    }
+
+    #[test]
+    fn shuffling_depends_on_rng() {
+        let loader = BatchLoader::new(10, false);
+        let mut r1 = Xoshiro256::new(1);
+        let mut r2 = Xoshiro256::new(2);
+        let b1 = loader.epoch_batches(&toy(), &mut r1);
+        let b2 = loader.epoch_batches(&toy(), &mut r2);
+        assert_ne!(b1[0].0.data(), b2[0].0.data());
+        // Same seed, same order.
+        let mut r3 = Xoshiro256::new(1);
+        let b3 = loader.epoch_batches(&toy(), &mut r3);
+        assert_eq!(b1[0].0.data(), b3[0].0.data());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_size_rejected() {
+        BatchLoader::new(0, false);
+    }
+}

@@ -1,0 +1,88 @@
+//! Per-round time breakdown (the four bars of the paper's Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+/// How one FL round's wall-clock time splits across phases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundBreakdown {
+    /// Time spent compressing and decompressing updates (seconds).
+    pub compress_s: f64,
+    /// Time spent on local training across the cohort (seconds, straggler view).
+    pub training_s: f64,
+    /// Communication time without compression (seconds).
+    pub uncompressed_comm_s: f64,
+    /// Communication time with the evaluated scheduler (seconds).
+    pub scheduled_comm_s: f64,
+}
+
+impl RoundBreakdown {
+    /// Element-wise accumulation of another breakdown.
+    pub fn accumulate(&mut self, other: &RoundBreakdown) {
+        self.compress_s += other.compress_s;
+        self.training_s += other.training_s;
+        self.uncompressed_comm_s += other.uncompressed_comm_s;
+        self.scheduled_comm_s += other.scheduled_comm_s;
+    }
+
+    /// Divide every component by `n` (producing a per-round average).
+    pub fn averaged_over(&self, n: usize) -> RoundBreakdown {
+        if n == 0 {
+            return *self;
+        }
+        let d = n as f64;
+        RoundBreakdown {
+            compress_s: self.compress_s / d,
+            training_s: self.training_s / d,
+            uncompressed_comm_s: self.uncompressed_comm_s / d,
+            scheduled_comm_s: self.scheduled_comm_s / d,
+        }
+    }
+
+    /// The communication time saved by the scheduler relative to no compression.
+    pub fn comm_saving_s(&self) -> f64 {
+        self.uncompressed_comm_s - self.scheduled_comm_s
+    }
+
+    /// CSV row (`compress,training,uncompressed_comm,scheduled_comm`).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{:.6},{:.6},{:.6},{:.6}",
+            self.compress_s, self.training_s, self.uncompressed_comm_s, self.scheduled_comm_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_average() {
+        let mut total = RoundBreakdown::default();
+        for _ in 0..4 {
+            total.accumulate(&RoundBreakdown {
+                compress_s: 0.25,
+                training_s: 10.0,
+                uncompressed_comm_s: 48.0,
+                scheduled_comm_s: 1.0,
+            });
+        }
+        assert_eq!(total.training_s, 40.0);
+        let avg = total.averaged_over(4);
+        assert_eq!(avg.compress_s, 0.25);
+        assert_eq!(avg.uncompressed_comm_s, 48.0);
+        assert_eq!(avg.comm_saving_s(), 47.0);
+    }
+
+    #[test]
+    fn average_over_zero_is_identity() {
+        let b = RoundBreakdown { compress_s: 1.0, ..Default::default() };
+        assert_eq!(b.averaged_over(0), b);
+    }
+
+    #[test]
+    fn csv_row_has_four_fields() {
+        let b = RoundBreakdown::default();
+        assert_eq!(b.to_csv_row().split(',').count(), 4);
+    }
+}

@@ -1,0 +1,117 @@
+//! The latency/bandwidth communication cost model (paper Eq. 4 and Alg. 2).
+
+use crate::link::Link;
+use serde::{Deserialize, Serialize};
+
+/// Communication-time model: `T = L + bits / B`.
+///
+/// For sparsified uplinks the paper charges `2 × V × CR` bytes — each retained
+/// coordinate ships an index alongside its value — which is what
+/// [`CommModel::sparse_uplink_time`] implements. `V` is the dense model size
+/// in bytes.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CommModel {
+    /// If true (default, matches the paper) sparse transfers pay the 2× index
+    /// overhead. Exposed so the ablation bench can quantify its impact.
+    pub index_overhead: bool,
+}
+
+impl CommModel {
+    /// Model with the paper's 2× index+value accounting.
+    pub fn paper_default() -> Self {
+        Self { index_overhead: true }
+    }
+
+    /// Time in seconds to transmit `payload_bytes` over `link`.
+    pub fn transfer_time(&self, link: &Link, payload_bytes: f64) -> f64 {
+        assert!(payload_bytes >= 0.0, "payload must be non-negative");
+        link.latency_s + payload_bytes * 8.0 / link.bandwidth_bps
+    }
+
+    /// Uncompressed uplink time for a dense model of `model_bytes` bytes.
+    pub fn dense_uplink_time(&self, link: &Link, model_bytes: f64) -> f64 {
+        self.transfer_time(link, model_bytes)
+    }
+
+    /// Uplink time for a sparsified update at compression ratio `cr` of a
+    /// dense model of `model_bytes` bytes: `L + 2·V·CR·8 / B` (Alg. 2 line 7).
+    pub fn sparse_uplink_time(&self, link: &Link, model_bytes: f64, cr: f64) -> f64 {
+        assert!(cr >= 0.0, "compression ratio must be non-negative");
+        let factor = if self.index_overhead { 2.0 } else { 1.0 };
+        self.transfer_time(link, factor * model_bytes * cr)
+    }
+
+    /// Invert the sparse uplink model: the compression ratio that makes the
+    /// transfer finish in exactly `budget_s` seconds (clamped to `>= 0`).
+    /// This is the core of BCRS (Alg. 2 line 13).
+    pub fn ratio_for_budget(&self, link: &Link, model_bytes: f64, budget_s: f64) -> f64 {
+        let factor = if self.index_overhead { 2.0 } else { 1.0 };
+        let usable = (budget_s - link.latency_s).max(0.0);
+        usable * link.bandwidth_bps / (factor * model_bytes * 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link_1mbps_100ms() -> Link {
+        Link::from_mbps_ms(1.0, 100.0)
+    }
+
+    #[test]
+    fn dense_transfer_time() {
+        let m = CommModel::paper_default();
+        // 1 Mbit/s, 125_000 bytes = 1 Mbit => 1 s + 0.1 s latency
+        let t = m.dense_uplink_time(&link_1mbps_100ms(), 125_000.0);
+        assert!((t - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_pays_double() {
+        let m = CommModel::paper_default();
+        let link = link_1mbps_100ms();
+        let dense = m.dense_uplink_time(&link, 125_000.0);
+        let sparse_full = m.sparse_uplink_time(&link, 125_000.0, 1.0);
+        // CR = 1 with the 2x index overhead is slower than a dense transfer.
+        assert!(sparse_full > dense);
+        let sparse_tenth = m.sparse_uplink_time(&link, 125_000.0, 0.1);
+        assert!(sparse_tenth < dense);
+    }
+
+    #[test]
+    fn no_overhead_variant() {
+        let m = CommModel { index_overhead: false };
+        let link = link_1mbps_100ms();
+        let t1 = m.sparse_uplink_time(&link, 125_000.0, 1.0);
+        let t2 = m.dense_uplink_time(&link, 125_000.0);
+        assert!((t1 - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_for_budget_inverts_time() {
+        let m = CommModel::paper_default();
+        let link = link_1mbps_100ms();
+        let v = 500_000.0;
+        for &budget in &[0.2, 0.5, 2.0, 10.0] {
+            let cr = m.ratio_for_budget(&link, v, budget);
+            let t = m.sparse_uplink_time(&link, v, cr);
+            assert!((t - budget).abs() < 1e-9, "budget {budget} gave time {t}");
+        }
+    }
+
+    #[test]
+    fn ratio_for_budget_below_latency_is_zero() {
+        let m = CommModel::paper_default();
+        let link = link_1mbps_100ms();
+        assert_eq!(m.ratio_for_budget(&link, 1e6, 0.05), 0.0);
+    }
+
+    #[test]
+    fn higher_bandwidth_is_faster() {
+        let m = CommModel::paper_default();
+        let fast = Link::from_mbps_ms(2.0, 100.0);
+        let slow = Link::from_mbps_ms(0.5, 100.0);
+        assert!(m.sparse_uplink_time(&fast, 1e6, 0.1) < m.sparse_uplink_time(&slow, 1e6, 0.1));
+    }
+}

@@ -1,0 +1,180 @@
+//! Parameter-free activation layers.
+
+use crate::layer::Layer;
+use fl_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(x, 0)`.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
+        out.map_inplace(|x| if x > 0.0 { x } else { 0.0 });
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Relu backward called before forward");
+        assert_eq!(mask.len(), grad_output.numel(), "Relu backward size mismatch");
+        let mut grad = grad_output.clone();
+        for (g, &m) in grad.data_mut().iter_mut().zip(mask.iter()) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        grad
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![]
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// New Tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        out.map_inplace(|x| x.tanh());
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let out = self
+            .output
+            .as_ref()
+            .expect("Tanh backward called before forward");
+        let mut grad = grad_output.clone();
+        for (g, &y) in grad.data_mut().iter_mut().zip(out.data().iter()) {
+            *g *= 1.0 - y * y;
+        }
+        grad
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![]
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_tensor::Shape;
+
+    #[test]
+    fn relu_forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
+        r.forward(&x);
+        let g = r.backward(&Tensor::from_slice(&[10.0, 10.0, 10.0]));
+        assert_eq!(g.data(), &[0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn relu_has_no_params() {
+        let r = Relu::new();
+        assert!(r.params().is_empty());
+        assert_eq!(r.num_params(), 0);
+    }
+
+    #[test]
+    fn tanh_forward_range() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_slice(&[-100.0, 0.0, 100.0]);
+        let y = t.forward(&x);
+        assert!((y.data()[0] + 1.0).abs() < 1e-5);
+        assert_eq!(y.data()[1], 0.0);
+        assert!((y.data()[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tanh_gradient_at_zero_is_identity() {
+        let mut t = Tanh::new();
+        let x = Tensor::zeros(Shape::vector(3));
+        t.forward(&x);
+        let g = t.backward(&Tensor::from_slice(&[1.0, 2.0, 3.0]));
+        assert_eq!(g.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn tanh_numerical_gradient() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_slice(&[0.3, -0.7]);
+        t.forward(&x);
+        let analytic = t.backward(&Tensor::from_slice(&[1.0, 1.0]));
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = t.forward(&xp).data()[i];
+            let fm = t.forward(&xm).data()[i];
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((analytic.data()[i] - numeric).abs() < 1e-3);
+        }
+    }
+}

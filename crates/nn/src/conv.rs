@@ -1,0 +1,498 @@
+//! 2-D convolution and pooling layers (im2col based).
+//!
+//! These layers exist so that the image-shaped synthetic datasets can be
+//! trained with a genuinely convolutional model (the paper's backbone is
+//! ResNet-18); the default experiment configuration uses the MLP for speed,
+//! and [`crate::model::small_cnn`] wires these layers into a compact CNN.
+
+use crate::layer::Layer;
+use fl_tensor::matmul::{matmul_a_bt, matmul_at_b};
+use fl_tensor::rng::Rng;
+use fl_tensor::{Shape, Tensor};
+
+/// 2-D convolution with square kernels, stride 1 and symmetric zero padding.
+///
+/// Input `[batch, in_ch, h, w]`, output `[batch, out_ch, h_out, w_out]`.
+pub struct Conv2d {
+    weight: Tensor, // [out_ch, in_ch * k * k]
+    bias: Tensor,   // [out_ch]
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    padding: usize,
+    cached_cols: Option<Tensor>, // [batch * h_out * w_out, in_ch * k * k]
+    cached_input_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl Conv2d {
+    /// Create a convolution layer with Kaiming-initialised weights.
+    pub fn new<R: Rng>(in_ch: usize, out_ch: usize, kernel: usize, padding: usize, rng: &mut R) -> Self {
+        let fan_in = in_ch * kernel * kernel;
+        Self {
+            weight: Tensor::kaiming(Shape::matrix(out_ch, fan_in), fan_in, rng),
+            bias: Tensor::zeros(Shape::vector(out_ch)),
+            grad_weight: Tensor::zeros(Shape::matrix(out_ch, fan_in)),
+            grad_bias: Tensor::zeros(Shape::vector(out_ch)),
+            in_ch,
+            out_ch,
+            kernel,
+            padding,
+            cached_cols: None,
+            cached_input_shape: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.padding + 1 - self.kernel, w + 2 * self.padding + 1 - self.kernel)
+    }
+
+    /// im2col: unfold the padded input into a `[batch*h_out*w_out, in_ch*k*k]` matrix.
+    fn im2col(&self, input: &Tensor) -> Tensor {
+        let dims = input.shape().dims();
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (ho, wo) = self.out_hw(h, w);
+        let k = self.kernel;
+        let pad = self.padding as isize;
+        let cols_per_patch = c * k * k;
+        let mut cols = vec![0.0f32; b * ho * wo * cols_per_patch];
+        let data = input.data();
+        for bi in 0..b {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let patch_base = ((bi * ho + oy) * wo + ox) * cols_per_patch;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad;
+                                let col_idx = patch_base + (ci * k + ky) * k + kx;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    cols[col_idx] = data
+                                        [((bi * c + ci) * h + iy as usize) * w + ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(Shape::matrix(b * ho * wo, cols_per_patch), cols)
+    }
+
+    /// col2im: fold gradients w.r.t. the unfolded matrix back into input shape.
+    fn col2im(&self, cols: &Tensor, b: usize, c: usize, h: usize, w: usize) -> Tensor {
+        let (ho, wo) = self.out_hw(h, w);
+        let k = self.kernel;
+        let pad = self.padding as isize;
+        let cols_per_patch = c * k * k;
+        let mut out = vec![0.0f32; b * c * h * w];
+        let cd = cols.data();
+        for bi in 0..b {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let patch_base = ((bi * ho + oy) * wo + ox) * cols_per_patch;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    out[((bi * c + ci) * h + iy as usize) * w + ix as usize] +=
+                                        cd[patch_base + (ci * k + ky) * k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(Shape::new(&[b, c, h, w]), out)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "Conv2d expects [batch, ch, h, w]");
+        assert_eq!(dims[1], self.in_ch, "Conv2d: channel mismatch");
+        let (b, h, w) = (dims[0], dims[2], dims[3]);
+        let (ho, wo) = self.out_hw(h, w);
+        let cols = self.im2col(input); // [b*ho*wo, c*k*k]
+        // out_patches = cols @ W^T : [b*ho*wo, out_ch]
+        let out_patches = matmul_a_bt(&cols, &self.weight);
+        self.cached_cols = Some(cols);
+        self.cached_input_shape = Some((b, self.in_ch, h, w));
+        // Rearrange to [b, out_ch, ho, wo] and add bias.
+        let pd = out_patches.data();
+        let bias = self.bias.data();
+        let mut out = vec![0.0f32; b * self.out_ch * ho * wo];
+        for bi in 0..b {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let patch = (bi * ho + oy) * wo + ox;
+                    for oc in 0..self.out_ch {
+                        out[((bi * self.out_ch + oc) * ho + oy) * wo + ox] =
+                            pd[patch * self.out_ch + oc] + bias[oc];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(Shape::new(&[b, self.out_ch, ho, wo]), out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .expect("Conv2d backward called before forward");
+        let (b, c, h, w) = self
+            .cached_input_shape
+            .expect("Conv2d backward called before forward");
+        let (ho, wo) = self.out_hw(h, w);
+        let god = grad_output.data();
+        // Rearrange grad_output [b, out_ch, ho, wo] -> [b*ho*wo, out_ch]
+        let mut gp = vec![0.0f32; b * ho * wo * self.out_ch];
+        let mut gbias = vec![0.0f32; self.out_ch];
+        for bi in 0..b {
+            for oc in 0..self.out_ch {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let v = god[((bi * self.out_ch + oc) * ho + oy) * wo + ox];
+                        gp[((bi * ho + oy) * wo + ox) * self.out_ch + oc] = v;
+                        gbias[oc] += v;
+                    }
+                }
+            }
+        }
+        let grad_patches = Tensor::from_vec(Shape::matrix(b * ho * wo, self.out_ch), gp);
+        // dW = grad_patches^T @ cols : [out_ch, c*k*k]
+        let dw = matmul_at_b(&grad_patches, cols);
+        self.grad_weight.add_assign(&dw);
+        for (g, v) in self.grad_bias.data_mut().iter_mut().zip(gbias.iter()) {
+            *g += *v;
+        }
+        // dcols = grad_patches @ W : [b*ho*wo, c*k*k]
+        let dcols = fl_tensor::matmul::matmul(&grad_patches, &self.weight);
+        self.col2im(&dcols, b, c, h, w)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// Global average pooling: `[batch, ch, h, w] -> [batch, ch]`.
+#[derive(Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// New pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "GlobalAvgPool expects [batch, ch, h, w]");
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        self.cached_shape = Some((b, c, h, w));
+        let data = input.data();
+        let denom = (h * w) as f32;
+        let mut out = vec![0.0f32; b * c];
+        for bi in 0..b {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                out[bi * c + ci] = data[base..base + h * w].iter().sum::<f32>() / denom;
+            }
+        }
+        Tensor::from_vec(Shape::matrix(b, c), out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (b, c, h, w) = self
+            .cached_shape
+            .expect("GlobalAvgPool backward called before forward");
+        let god = grad_output.data();
+        let denom = (h * w) as f32;
+        let mut out = vec![0.0f32; b * c * h * w];
+        for bi in 0..b {
+            for ci in 0..c {
+                let g = god[bi * c + ci] / denom;
+                let base = (bi * c + ci) * h * w;
+                out[base..base + h * w].iter_mut().for_each(|x| *x = g);
+            }
+        }
+        Tensor::from_vec(Shape::new(&[b, c, h, w]), out)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![]
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+/// Reshape `[batch, ch, h, w]` activations into `[batch, ch*h*w]` (no parameters).
+#[derive(Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let dims = input.shape().dims().to_vec();
+        assert!(dims.len() >= 2, "Flatten expects a batched tensor");
+        let batch = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        self.cached_shape = Some(dims);
+        let mut out = input.clone();
+        out.reshape(Shape::matrix(batch, rest));
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = self
+            .cached_shape
+            .as_ref()
+            .expect("Flatten backward called before forward");
+        let mut out = grad_output.clone();
+        out.reshape(Shape::new(dims));
+        out
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![]
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+/// Reshape flat `[batch, channels*h*w]` activations into `[batch, channels, h, w]`
+/// — the inverse of [`Flatten`], used to feed image-shaped convolutions from a
+/// flat-feature dataset.
+pub struct Unflatten {
+    channels: usize,
+    height: usize,
+    width: usize,
+}
+
+impl Unflatten {
+    /// Create an unflatten layer producing `[batch, channels, height, width]`.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        assert!(channels * height * width > 0, "dimensions must be positive");
+        Self { channels, height, width }
+    }
+}
+
+impl Layer for Unflatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 2, "Unflatten expects [batch, features]");
+        assert_eq!(
+            dims[1],
+            self.channels * self.height * self.width,
+            "feature count does not match target shape"
+        );
+        let mut out = input.clone();
+        out.reshape(Shape::new(&[dims[0], self.channels, self.height, self.width]));
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = grad_output.shape().dims();
+        let mut out = grad_output.clone();
+        out.reshape(Shape::matrix(dims[0], self.channels * self.height * self.width));
+        out
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![]
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "Unflatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_tensor::rng::Xoshiro256;
+
+    #[test]
+    fn unflatten_roundtrip() {
+        let mut u = Unflatten::new(2, 4, 4);
+        let x = Tensor::zeros(Shape::matrix(3, 32));
+        let y = u.forward(&x);
+        assert_eq!(y.shape().dims(), &[3, 2, 4, 4]);
+        let dx = u.backward(&y);
+        assert_eq!(dx.shape().dims(), &[3, 32]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unflatten_rejects_wrong_feature_count() {
+        let mut u = Unflatten::new(3, 4, 4);
+        u.forward(&Tensor::zeros(Shape::matrix(1, 32)));
+    }
+
+    #[test]
+    fn conv_output_shape_with_padding() {
+        let mut rng = Xoshiro256::new(1);
+        let mut conv = Conv2d::new(3, 8, 3, 1, &mut rng);
+        let x = Tensor::zeros(Shape::new(&[2, 3, 8, 8]));
+        let y = conv.forward(&x);
+        assert_eq!(y.shape().dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn conv_output_shape_no_padding() {
+        let mut rng = Xoshiro256::new(1);
+        let mut conv = Conv2d::new(1, 4, 3, 0, &mut rng);
+        let x = Tensor::zeros(Shape::new(&[1, 1, 5, 5]));
+        let y = conv.forward(&x);
+        assert_eq!(y.shape().dims(), &[1, 4, 3, 3]);
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // A single 1x1 kernel with weight 1 reproduces the input channel.
+        let mut rng = Xoshiro256::new(2);
+        let mut conv = Conv2d::new(1, 1, 1, 0, &mut rng);
+        conv.params_mut()[0].data_mut()[0] = 1.0;
+        conv.params_mut()[1].data_mut()[0] = 0.0;
+        let x = Tensor::from_vec(
+            Shape::new(&[1, 1, 2, 2]),
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut rng = Xoshiro256::new(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, &mut rng);
+        let x = Tensor::rand_normal(Shape::new(&[1, 2, 4, 4]), 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x);
+        let ones = Tensor::full(y.shape().clone(), 1.0);
+        conv.zero_grad();
+        conv.forward(&x);
+        conv.backward(&ones);
+        let analytic = conv.grads()[0].clone();
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 5, 17] {
+            let orig = conv.params()[0].data()[idx];
+            conv.params_mut()[0].data_mut()[idx] = orig + eps;
+            let lp = conv.forward(&x).sum();
+            conv.params_mut()[0].data_mut()[idx] = orig - eps;
+            let lm = conv.forward(&x).sum();
+            conv.params_mut()[0].data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic.data()[idx] - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "conv grad mismatch at {idx}: {} vs {numeric}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_input_gradient_shape() {
+        let mut rng = Xoshiro256::new(4);
+        let mut conv = Conv2d::new(2, 3, 3, 1, &mut rng);
+        let x = Tensor::rand_normal(Shape::new(&[2, 2, 6, 6]), 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x);
+        let dx = conv.backward(&Tensor::full(y.shape().clone(), 1.0));
+        assert_eq!(dx.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn global_avg_pool_forward_backward() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(
+            Shape::new(&[1, 2, 2, 2]),
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        );
+        let y = pool.forward(&x);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+        let dx = pool.backward(&Tensor::from_slice(&[4.0, 8.0]));
+        assert_eq!(dx.shape().dims(), &[1, 2, 2, 2]);
+        assert!(dx.data()[..4].iter().all(|&v| v == 1.0));
+        assert!(dx.data()[4..].iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::zeros(Shape::new(&[3, 2, 4, 4]));
+        let y = fl.forward(&x);
+        assert_eq!(y.shape().dims(), &[3, 32]);
+        let dx = fl.backward(&y);
+        assert_eq!(dx.shape().dims(), &[3, 2, 4, 4]);
+    }
+}

@@ -1,0 +1,45 @@
+//! The [`Layer`] trait: explicit forward/backward with per-layer parameter
+//! and gradient accessors.
+
+use fl_tensor::Tensor;
+
+/// A differentiable layer.
+///
+/// The contract is the classic two-pass one:
+/// * `forward` maps an input batch to an output batch, caching whatever it
+///   needs for the backward pass;
+/// * `backward` receives `dL/d(output)` and returns `dL/d(input)`, while
+///   accumulating `dL/d(params)` into the layer's gradient buffers;
+/// * `params` / `params_mut` / `grads` expose the trainable state so the
+///   optimizer and the federated-learning parameter flattening can reach it.
+///
+/// Inputs are rank-2 tensors `[batch, features]` for dense layers and rank-4
+/// tensors `[batch, channels, height, width]` for convolutional layers.
+pub trait Layer: Send {
+    /// Forward pass over a batch. Must cache activations needed by `backward`.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backward pass. `grad_output` is `dL/d(output)` for the most recent
+    /// `forward`; returns `dL/d(input)` and accumulates parameter gradients.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Immutable references to the trainable parameter tensors (possibly empty).
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable references to the trainable parameter tensors (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Immutable references to the gradient tensors, aligned with `params`.
+    fn grads(&self) -> Vec<&Tensor>;
+
+    /// Reset all gradient buffers to zero.
+    fn zero_grad(&mut self);
+
+    /// Human-readable layer name for debugging and reports.
+    fn name(&self) -> &'static str;
+
+    /// Total number of trainable scalars in this layer.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+}

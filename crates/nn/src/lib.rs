@@ -1,0 +1,27 @@
+//! `fl-nn` — a minimal neural-network training engine for the bwfl
+//! federated-learning simulator.
+//!
+//! The paper trains ResNet-18 with PyTorch; this crate is the from-scratch
+//! substitute: a small set of layers (fully-connected, ReLU, 2-D convolution,
+//! pooling), a softmax cross-entropy loss, plain SGD with momentum/weight
+//! decay, and utilities for flattening a model's parameters into the single
+//! dense vector that the compression pipeline operates on.
+//!
+//! Layers follow a classic explicit forward/backward contract
+//! ([`layer::Layer`]); models are built with [`model::Sequential`] or the
+//! convenience constructors [`model::mlp`] and [`model::small_cnn`].
+
+pub mod activation;
+pub mod conv;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod params;
+
+pub use layer::Layer;
+pub use loss::SoftmaxCrossEntropy;
+pub use model::{mlp, small_cnn, small_cnn_flat, Sequential};
+pub use optim::Sgd;
+pub use params::{flatten_params, num_params, unflatten_params};

@@ -1,0 +1,154 @@
+//! Stochastic gradient descent with optional momentum and weight decay.
+
+use crate::model::Sequential;
+use fl_tensor::Tensor;
+
+/// Plain SGD: `p <- p - lr * (g + wd * p)` with optional classical momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Create an optimizer. `momentum` and `weight_decay` may be 0.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replace the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Apply one update step using the gradients currently stored in `model`.
+    pub fn step(&mut self, model: &mut Sequential) {
+        let grads: Vec<Tensor> = model.grads().iter().map(|g| (*g).clone()).collect();
+        let params = model.params_mut();
+        assert_eq!(params.len(), grads.len(), "params/grads mismatch");
+        if self.momentum > 0.0 && self.velocity.len() != params.len() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().clone()))
+                .collect();
+        }
+        for (i, (param, grad)) in params.into_iter().zip(grads.iter()).enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                // v <- mu * v + g + wd * p ; p <- p - lr * v
+                for ((vj, &gj), &pj) in v
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad.data().iter())
+                    .zip(param.data().iter())
+                {
+                    *vj = self.momentum * *vj + gj + self.weight_decay * pj;
+                }
+                param.axpy(-self.lr, v);
+            } else {
+                let wd = self.weight_decay;
+                let lr = self.lr;
+                for (pj, &gj) in param.data_mut().iter_mut().zip(grad.data().iter()) {
+                    *pj -= lr * (gj + wd * *pj);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use fl_tensor::rng::Xoshiro256;
+    use fl_tensor::{Shape, Tensor};
+
+    fn one_layer_model() -> Sequential {
+        let mut rng = Xoshiro256::new(1);
+        Sequential::new().push(Box::new(Linear::new(2, 1, &mut rng)))
+    }
+
+    #[test]
+    fn step_moves_against_gradient() {
+        let mut model = one_layer_model();
+        let x = Tensor::from_vec(Shape::matrix(1, 2), vec![1.0, 1.0]);
+        model.zero_grad();
+        let y = model.forward(&x);
+        // dL/dy = 1 => dW = x, db = 1
+        model.backward(&Tensor::full(y.shape().clone(), 1.0));
+        let w_before: Vec<f32> = model.params()[0].data().to_vec();
+        let mut opt = Sgd::new(0.5, 0.0, 0.0);
+        opt.step(&mut model);
+        let w_after = model.params()[0].data();
+        for (b, a) in w_before.iter().zip(w_after.iter()) {
+            assert!((b - a - 0.5).abs() < 1e-6, "expected decrease by lr*grad");
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut model = one_layer_model();
+        model.params_mut()[0].fill(1.0);
+        model.zero_grad();
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        opt.step(&mut model);
+        for &w in model.params()[0].data() {
+            assert!((w - 0.95).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        // Constant gradient of 1: with momentum 0.9 the second step is larger.
+        let mut model = one_layer_model();
+        model.params_mut()[0].fill(0.0);
+        model.params_mut()[1].fill(0.0);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        let x = Tensor::from_vec(Shape::matrix(1, 2), vec![1.0, 1.0]);
+
+        model.zero_grad();
+        let y = model.forward(&x);
+        model.backward(&Tensor::full(y.shape().clone(), 1.0));
+        opt.step(&mut model);
+        let after_one = model.params()[0].data()[0];
+
+        model.zero_grad();
+        let y = model.forward(&x);
+        model.backward(&Tensor::full(y.shape().clone(), 1.0));
+        opt.step(&mut model);
+        let after_two = model.params()[0].data()[0];
+
+        let step1 = -after_one;
+        let step2 = after_one - after_two;
+        assert!(step2 > step1 * 1.5, "momentum should grow the step: {step1} vs {step2}");
+    }
+
+    #[test]
+    fn set_lr_changes_step_size() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lr_rejected() {
+        Sgd::new(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_momentum_rejected() {
+        Sgd::new(0.1, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Parameter flattening — the bridge between the model and the compression
+//! pipeline.
+//!
+//! Federated compression operates on a single flat vector per client
+//! (the model *delta* `w_t - w_{t,k,E}`); these helpers pack a model's
+//! parameters into that vector and scatter a vector back into the model.
+
+use crate::model::Sequential;
+
+/// Total number of trainable scalars of the model.
+pub fn num_params(model: &Sequential) -> usize {
+    model.num_params()
+}
+
+/// Concatenate every parameter tensor into one flat `Vec<f32>` (layer order,
+/// then tensor order within the layer — the same order `unflatten_params`
+/// expects).
+pub fn flatten_params(model: &Sequential) -> Vec<f32> {
+    let mut out = Vec::with_capacity(model.num_params());
+    for p in model.params() {
+        out.extend_from_slice(p.data());
+    }
+    out
+}
+
+/// Write a flat vector back into the model's parameters. Panics if the length
+/// does not match the model's parameter count.
+pub fn unflatten_params(model: &mut Sequential, flat: &[f32]) {
+    let expected = model.num_params();
+    assert_eq!(
+        flat.len(),
+        expected,
+        "flat vector has {} entries but the model has {} parameters",
+        flat.len(),
+        expected
+    );
+    let mut offset = 0usize;
+    for p in model.params_mut() {
+        let n = p.numel();
+        p.data_mut().copy_from_slice(&flat[offset..offset + n]);
+        offset += n;
+    }
+}
+
+/// Concatenate every gradient tensor into one flat vector, aligned with
+/// [`flatten_params`].
+pub fn flatten_grads(model: &Sequential) -> Vec<f32> {
+    let mut out = Vec::with_capacity(model.num_params());
+    for g in model.grads() {
+        out.extend_from_slice(g.data());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::mlp;
+    use fl_tensor::rng::Xoshiro256;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut rng = Xoshiro256::new(1);
+        let mut model = mlp(6, &[10], 4, &mut rng);
+        let flat = flatten_params(&model);
+        assert_eq!(flat.len(), num_params(&model));
+        let mut modified = flat.clone();
+        for (i, x) in modified.iter_mut().enumerate() {
+            *x = i as f32;
+        }
+        unflatten_params(&mut model, &modified);
+        let flat2 = flatten_params(&model);
+        assert_eq!(flat2, modified);
+    }
+
+    #[test]
+    fn flatten_preserves_layer_order() {
+        let mut rng = Xoshiro256::new(2);
+        let model = mlp(3, &[2], 2, &mut rng);
+        let flat = flatten_params(&model);
+        // First parameter tensor is the first Linear's weight [3,2].
+        assert_eq!(&flat[..6], model.params()[0].data());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unflatten_rejects_wrong_length() {
+        let mut rng = Xoshiro256::new(3);
+        let mut model = mlp(3, &[2], 2, &mut rng);
+        unflatten_params(&mut model, &[0.0; 3]);
+    }
+
+    #[test]
+    fn flatten_grads_matches_param_layout() {
+        let mut rng = Xoshiro256::new(4);
+        let model = mlp(5, &[7], 3, &mut rng);
+        let grads = flatten_grads(&model);
+        assert_eq!(grads.len(), num_params(&model));
+        assert!(grads.iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,197 @@
+//! Matrix multiplication and related linear-algebra kernels.
+//!
+//! The kernels are written as straightforward cache-friendly loops (ikj order
+//! with a blocked inner loop) — fast enough to train the simulator's models on
+//! CPU while staying dependency-free and easy to audit.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// `C = A @ B` where `A` is `[m, k]` and `B` is `[k, n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = as_matrix_dims(a, "matmul lhs");
+    let (k2, n) = as_matrix_dims(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// `C = A^T @ B` where `A` is `[k, m]` and `B` is `[k, n]` — used for weight
+/// gradients (`dW = X^T @ dY`).
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = as_matrix_dims(a, "matmul_at_b lhs");
+    let (k2, n) = as_matrix_dims(b, "matmul_at_b rhs");
+    assert_eq!(k, k2, "matmul_at_b: leading dimensions differ ({k} vs {k2})");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..k {
+        let a_row = &ad[p * m..(p + 1) * m];
+        let b_row = &bd[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// `C = A @ B^T` where `A` is `[m, k]` and `B` is `[n, k]` — used for input
+/// gradients (`dX = dY @ W^T` with `W` stored `[in, out]` transposed access).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = as_matrix_dims(a, "matmul_a_bt lhs");
+    let (n, k2) = as_matrix_dims(b, "matmul_a_bt rhs");
+    assert_eq!(k, k2, "matmul_a_bt: inner dimensions differ ({k} vs {k2})");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// Matrix transpose of a `[m, n]` tensor.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = as_matrix_dims(a, "transpose");
+    let ad = a.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = ad[i * n + j];
+        }
+    }
+    Tensor::from_vec(Shape::matrix(n, m), out)
+}
+
+/// Add a row vector `bias` (`[n]`) to every row of a `[m, n]` matrix in place.
+pub fn add_bias_rows(a: &mut Tensor, bias: &Tensor) {
+    let (m, n) = as_matrix_dims(a, "add_bias_rows matrix");
+    assert_eq!(bias.numel(), n, "bias length must equal column count");
+    let bd = bias.data().to_vec();
+    let ad = a.data_mut();
+    for i in 0..m {
+        for j in 0..n {
+            ad[i * n + j] += bd[j];
+        }
+    }
+}
+
+/// Sum over rows of a `[m, n]` matrix, producing a `[n]` vector
+/// (used for bias gradients).
+pub fn sum_rows(a: &Tensor) -> Tensor {
+    let (m, n) = as_matrix_dims(a, "sum_rows");
+    let ad = a.data();
+    let mut out = vec![0.0f32; n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j] += ad[i * n + j];
+        }
+    }
+    Tensor::from_vec(Shape::vector(n), out)
+}
+
+fn as_matrix_dims(t: &Tensor, what: &str) -> (usize, usize) {
+    let dims = t.shape().dims();
+    assert_eq!(dims.len(), 2, "{what}: expected a rank-2 tensor, got {:?}", dims);
+    (dims[0], dims[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::matrix(rows, cols), data.to_vec())
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let eye = mat(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &eye).data(), a.data());
+        assert_eq!(matmul(&eye, &a).data(), a.data());
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = mat(3, 2, &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]); // A is [3,2]
+        let b = mat(3, 2, &[7.0, 10.0, 8.0, 11.0, 9.0, 12.0]);
+        let via_helper = matmul_at_b(&a, &b);
+        let via_transpose = matmul(&transpose(&a), &b);
+        assert_eq!(via_helper.data(), via_transpose.data());
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(4, 3, &[1.0, 0.0, 2.0, 3.0, 1.0, 1.0, 0.0, 2.0, 2.0, 1.0, 1.0, 0.0]);
+        let via_helper = matmul_a_bt(&a, &b);
+        let via_transpose = matmul(&a, &transpose(&b));
+        assert_eq!(via_helper.data(), via_transpose.data());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let tt = transpose(&transpose(&a));
+        assert_eq!(tt.data(), a.data());
+        assert_eq!(tt.shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn bias_and_row_sum() {
+        let mut a = mat(2, 3, &[0.0; 6]);
+        let bias = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        add_bias_rows(&mut a, &bias);
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let s = sum_rows(&a);
+        assert_eq!(s.data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_dim_mismatch_panics() {
+        let a = mat(2, 3, &[0.0; 6]);
+        let b = mat(2, 2, &[0.0; 4]);
+        matmul(&a, &b);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal data-parallel helpers built on scoped threads.
+//!
+//! The federated-learning runner trains the selected clients of a round in
+//! parallel; each client's work is independent, so a simple chunked map over
+//! scoped threads is all that is needed. The number of worker threads adapts
+//! to the machine (`available_parallelism`) and can be capped explicitly.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, but never zero.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item of `items`, possibly in parallel, returning the
+/// outputs in input order.
+///
+/// `max_threads = 1` (or a single item) degrades to a plain sequential map, so
+/// results are identical regardless of thread count — important because
+/// experiment reproducibility must not depend on the host's core count.
+pub fn parallel_map<T, U, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = max_threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let chunk = n.div_ceil(threads);
+    let chunks: Vec<Vec<(usize, T)>> = {
+        let mut out = Vec::new();
+        let mut it = work.into_iter().peekable();
+        while it.peek().is_some() {
+            out.push(it.by_ref().take(chunk).collect());
+        }
+        out
+    };
+
+    let mut chunk_results: Vec<Vec<(usize, U)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                scope.spawn(|| {
+                    c.into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            chunk_results.push(h.join().expect("parallel_map worker panicked"));
+        }
+    });
+
+    for (i, u) in chunk_results.into_iter().flatten() {
+        slots[i] = Some(u);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("parallel_map produced a hole"))
+        .collect()
+}
+
+/// Run `f(start, end)` over disjoint index ranges covering `0..len`, possibly
+/// in parallel. Useful for chunked in-place updates where the caller handles
+/// the split of mutable state.
+pub fn parallel_chunks<F>(len: usize, max_threads: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = max_threads.max(1).min(len.max(1));
+    if threads <= 1 || len == 0 {
+        f(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move || f(start, end));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(items.clone(), 4, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_sequential_equals_parallel() {
+        let items: Vec<usize> = (0..57).collect();
+        let seq = parallel_map(items.clone(), 1, |x| x * x + 1);
+        let par = parallel_map(items, 8, |x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        let empty: Vec<usize> = vec![];
+        assert!(parallel_map(empty, 4, |x| x).is_empty());
+        assert_eq!(parallel_map(vec![7], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn chunks_cover_everything_exactly_once() {
+        let covered = AtomicUsize::new(0);
+        parallel_chunks(1000, 4, |start, end| {
+            covered.fetch_add(end - start, Ordering::Relaxed);
+        });
+        assert_eq!(covered.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn chunks_zero_length_is_safe() {
+        parallel_chunks(0, 4, |start, end| {
+            assert_eq!(start, 0);
+            assert_eq!(end, 0);
+        });
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

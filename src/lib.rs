@@ -1,0 +1,48 @@
+//! # bwfl — Bandwidth-Aware and Overlap-Weighted Compression for
+//! Communication-Efficient Federated Learning
+//!
+//! A from-scratch Rust reproduction of the ICPP '24 paper by Tang et al.
+//! The workspace contains the paper's two contributions — **BCRS**
+//! (bandwidth-aware compression-ratio scheduling) and **OPWA**
+//! (overlap-aware parameter-weighted averaging) — together with every
+//! substrate the evaluation needs: a small neural-network training engine,
+//! synthetic non-IID federated datasets, a sparsification/quantization
+//! compression library and a latency/bandwidth network simulator.
+//!
+//! This crate is the single entry point: it re-exports the sub-crates and a
+//! [`prelude`] with the types most programs need.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bwfl::prelude::*;
+//!
+//! // A small configuration (reduced dataset / rounds) of the paper's
+//! // BCRS+OPWA algorithm on the CIFAR-10-like synthetic benchmark.
+//! let mut config = ExperimentConfig::quick(Algorithm::BcrsOpwa);
+//! config.rounds = 3;
+//! let result = run_experiment(&config);
+//! assert_eq!(result.records.len(), 3);
+//! println!("final accuracy: {:.3}", result.final_accuracy);
+//! ```
+
+pub use fl_compress as compress;
+pub use fl_core as core;
+pub use fl_data as data;
+pub use fl_netsim as netsim;
+pub use fl_nn as nn;
+pub use fl_tensor as tensor;
+
+/// The types most users need, in one import.
+pub mod prelude {
+    pub use fl_compress::{CompressedUpdate, Compressor, ErrorFeedback, Qsgd, RandK, SparseUpdate, Threshold, TopK};
+    pub use fl_core::{
+        run_experiment, Algorithm, BcrsSchedule, BcrsScheduler, ExperimentConfig,
+        ExperimentResult, ModelPreset, OpwaMask, OverlapCounts, OverlapStats, RoundRecord,
+    };
+    pub use fl_core::runner::{evaluate_params, run_experiment_with, stream_experiment};
+    pub use fl_data::{dirichlet_partition, BatchLoader, ClientPartition, Dataset, DatasetPreset, PartitionStats};
+    pub use fl_netsim::{CommModel, Link, LinkGenerator, RoundBreakdown, RoundTiming, TimeAccumulator};
+    pub use fl_nn::{flatten_params, mlp, small_cnn, unflatten_params, Layer, Sequential, Sgd, SoftmaxCrossEntropy};
+    pub use fl_tensor::{Rng, Shape, SplitMix64, Tensor, Xoshiro256};
+}
