@@ -14,7 +14,11 @@ fn cohort(n_params: usize, cohort: usize, ratio: f64) -> Vec<SparseUpdate> {
     (0..cohort)
         .map(|_| {
             let dense: Vec<f32> = (0..n_params).map(|_| rng.next_f32() - 0.5).collect();
-            TopK::new().compress(&dense, ratio).as_sparse().unwrap().clone()
+            TopK::new()
+                .compress(&dense, ratio)
+                .as_sparse()
+                .unwrap()
+                .clone()
         })
         .collect()
 }
@@ -52,7 +56,6 @@ fn bench_aggregation(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 fn fast_criterion() -> Criterion {
     Criterion::default()

@@ -38,7 +38,6 @@ fn bench_link_generation(c: &mut Criterion) {
     });
 }
 
-
 fn fast_criterion() -> Criterion {
     Criterion::default()
         .sample_size(20)

@@ -68,7 +68,6 @@ fn bench_wire_format(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn fast_criterion() -> Criterion {
     Criterion::default()
         .sample_size(20)

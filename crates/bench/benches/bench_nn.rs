@@ -12,7 +12,12 @@ fn bench_training_step(c: &mut Criterion) {
     let spec = DatasetPreset::Cifar10Like.spec(0.1);
     let (train, _) = spec.generate(1);
     let mut rng = Xoshiro256::new(1);
-    let mut model = mlp(train.feature_dim(), &[128, 64], train.num_classes(), &mut rng);
+    let mut model = mlp(
+        train.feature_dim(),
+        &[128, 64],
+        train.num_classes(),
+        &mut rng,
+    );
     let loader = BatchLoader::new(64, false);
     let batches = loader.epoch_batches(&train, &mut rng);
     let (x, y) = &batches[0];
@@ -52,7 +57,6 @@ fn bench_evaluation(c: &mut Criterion) {
         b.iter(|| black_box(fl_core::eval::evaluate(&mut model, black_box(&test), 64)))
     });
 }
-
 
 fn fast_criterion() -> Criterion {
     Criterion::default()

@@ -32,7 +32,10 @@ fn main() {
                 "{n},{gamma},{:.4},{:.4}",
                 result.final_accuracy, result.best_accuracy
             );
-            if best.map(|(_, acc)| result.best_accuracy > acc).unwrap_or(true) {
+            if best
+                .map(|(_, acc)| result.best_accuracy > acc)
+                .unwrap_or(true)
+            {
                 best = Some((gamma, result.best_accuracy));
             }
         }

@@ -28,7 +28,10 @@ fn main() {
     let schemes: Vec<(&str, Vec<f64>)> = vec![
         (
             "uncompressed",
-            links.iter().map(|l| comm.dense_uplink_time(l, model_bytes)).collect(),
+            links
+                .iter()
+                .map(|l| comm.dense_uplink_time(l, model_bytes))
+                .collect(),
         ),
         (
             "uniform-compression",
@@ -54,18 +57,29 @@ fn main() {
             for c in tl.clients() {
                 println!(
                     "{name},{},{:.3},{:.3},{:.3},{:.3},{:.3}",
-                    c.client_id, c.download_s, c.training_s, c.upload_s, c.waiting_s,
+                    c.client_id,
+                    c.download_s,
+                    c.training_s,
+                    c.upload_s,
+                    c.waiting_s,
                     tl.duration_s()
                 );
             }
         } else {
             println!("== {name} ==");
-            println!("  round duration: {:.2} s, total waiting: {:.2} s ({:.0}% of client time)",
-                tl.duration_s(), tl.total_waiting_s(), tl.waiting_fraction() * 100.0);
+            println!(
+                "  round duration: {:.2} s, total waiting: {:.2} s ({:.0}% of client time)",
+                tl.duration_s(),
+                tl.total_waiting_s(),
+                tl.waiting_fraction() * 100.0
+            );
             for c in tl.clients() {
                 println!(
                     "  C{}: train {:.1}s | upload {:>6.2}s | wait {:>6.2}s",
-                    c.client_id + 1, c.training_s, c.upload_s, c.waiting_s
+                    c.client_id + 1,
+                    c.training_s,
+                    c.upload_s,
+                    c.waiting_s
                 );
             }
             println!();

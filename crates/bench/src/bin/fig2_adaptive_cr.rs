@@ -20,7 +20,9 @@ fn main() {
     let mut sorted = links.clone();
     sorted.sort_by(|a, b| b.bandwidth_bps.partial_cmp(&a.bandwidth_bps).unwrap());
 
-    println!("base_ratio,client,bandwidth_mbps,latency_ms,scheduled_ratio,scheduled_time_s,t_bench_s");
+    println!(
+        "base_ratio,client,bandwidth_mbps,latency_ms,scheduled_ratio,scheduled_time_s,t_bench_s"
+    );
     for &base_ratio in &[0.01, 0.1] {
         let schedule = BcrsScheduler::new(comm).schedule(&sorted, model_bytes, base_ratio);
         for (i, link) in sorted.iter().enumerate() {
@@ -41,11 +43,7 @@ fn main() {
         println!("benchmark,base_ratio,mean_ratio,makespan_s,straggler_uniform_s");
         for &base_ratio in &[0.01, 0.1] {
             let paper = BcrsScheduler::new(comm).schedule(&sorted, model_bytes, base_ratio);
-            let uniform_straggler = paper
-                .uniform_times
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max);
+            let uniform_straggler = paper.uniform_times.iter().cloned().fold(0.0f64, f64::max);
             println!(
                 "slowest,{base_ratio},{:.4},{:.3},{:.3}",
                 paper.mean_ratio(),
@@ -57,7 +55,10 @@ fn main() {
                 paper.uniform_times.iter().sum::<f64>() / paper.uniform_times.len() as f64;
             let ratios: Vec<f64> = sorted
                 .iter()
-                .map(|l| comm.ratio_for_budget(l, model_bytes, mean_budget).clamp(0.0, 1.0))
+                .map(|l| {
+                    comm.ratio_for_budget(l, model_bytes, mean_budget)
+                        .clamp(0.0, 1.0)
+                })
                 .collect();
             let times: Vec<f64> = sorted
                 .iter()

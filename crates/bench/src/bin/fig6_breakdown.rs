@@ -12,8 +12,7 @@ fn main() {
     let args = BenchArgs::parse();
     println!("cr,compress_s,training_s,uncompressed_comm_s,bcrs_comm_s");
     for &cr in &[0.01, 0.1] {
-        let mut config =
-            bench_config(Algorithm::Bcrs, DatasetPreset::Cifar10Like, 0.1, cr, &args);
+        let mut config = bench_config(Algorithm::Bcrs, DatasetPreset::Cifar10Like, 0.1, cr, &args);
         config.rounds = args.effective_rounds(10);
         let result = run_experiment(&config);
         let b = result.breakdown;

@@ -53,11 +53,11 @@ impl Default for BenchArgs {
 impl BenchArgs {
     /// Parse from `std::env::args()` (skipping the program name).
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (used by tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = Self::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -129,7 +129,10 @@ pub fn bench_config(
     let mut config = ExperimentConfig::paper_setting(algorithm, dataset, beta, compression_ratio);
     config.rounds = args.effective_rounds(40);
     config.dataset_scale = args.effective_scale(0.3);
-    config.model = ModelPreset::Mlp { hidden1: 128, hidden2: 64 };
+    config.model = ModelPreset::Mlp {
+        hidden1: 128,
+        hidden2: 64,
+    };
     config.seed = args.seed;
     config
 }
@@ -164,7 +167,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> BenchArgs {
-        BenchArgs::from_iter(args.iter().map(|s| s.to_string()))
+        BenchArgs::from_args(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -203,7 +206,13 @@ mod tests {
     #[test]
     fn bench_config_is_valid() {
         let args = parse(&["--quick"]);
-        let c = bench_config(Algorithm::Bcrs, DatasetPreset::Cifar10Like, 0.1, 0.01, &args);
+        let c = bench_config(
+            Algorithm::Bcrs,
+            DatasetPreset::Cifar10Like,
+            0.1,
+            0.01,
+            &args,
+        );
         assert!(c.validate().is_ok());
         assert_eq!(c.beta, 0.1);
         assert_eq!(c.compression_ratio, 0.01);

@@ -78,7 +78,10 @@ mod tests {
     fn wire_size_dispatch() {
         let s = CompressedUpdate::Sparse(SparseUpdate::new(vec![0, 1], vec![1.0, 2.0], 4));
         assert_eq!(s.wire_size_bytes(), 16);
-        let q = CompressedUpdate::Quantized { values: vec![0.0; 4], wire_bytes: 6 };
+        let q = CompressedUpdate::Quantized {
+            values: vec![0.0; 4],
+            wire_bytes: 6,
+        };
         assert_eq!(q.wire_size_bytes(), 6);
         assert_eq!(q.dense_len(), 4);
         assert!(s.as_sparse().is_some());
@@ -89,7 +92,10 @@ mod tests {
     fn to_dense_dispatch() {
         let s = CompressedUpdate::Sparse(SparseUpdate::new(vec![1], vec![5.0], 3));
         assert_eq!(s.to_dense(), vec![0.0, 5.0, 0.0]);
-        let q = CompressedUpdate::Quantized { values: vec![1.0, 2.0], wire_bytes: 2 };
+        let q = CompressedUpdate::Quantized {
+            values: vec![1.0, 2.0],
+            wire_bytes: 2,
+        };
         assert_eq!(q.to_dense(), vec![1.0, 2.0]);
     }
 }

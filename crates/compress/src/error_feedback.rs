@@ -23,7 +23,10 @@ pub struct ErrorFeedback<C: Compressor> {
 impl<C: Compressor> ErrorFeedback<C> {
     /// Wrap a compressor for updates of length `dense_len`.
     pub fn new(inner: C, dense_len: usize) -> Self {
-        Self { inner, residual: vec![0.0; dense_len] }
+        Self {
+            inner,
+            residual: vec![0.0; dense_len],
+        }
     }
 
     /// Current residual vector (what has been dropped so far and not yet sent).
@@ -33,7 +36,11 @@ impl<C: Compressor> ErrorFeedback<C> {
 
     /// L2 norm of the residual — a measure of accumulated compression error.
     pub fn residual_norm(&self) -> f64 {
-        self.residual.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt()
+        self.residual
+            .iter()
+            .map(|&v| (v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Reset the residual to zero (e.g. when the client re-joins training).
@@ -101,7 +108,10 @@ mod tests {
                 break;
             }
         }
-        assert!(coord1_sent, "error feedback never flushed the small coordinate");
+        assert!(
+            coord1_sent,
+            "error feedback never flushed the small coordinate"
+        );
     }
 
     #[test]

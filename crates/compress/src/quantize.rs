@@ -40,7 +40,11 @@ impl Compressor for Qsgd {
     /// by the level count); it is part of the trait signature so quantizers
     /// can be swapped into the same pipeline as sparsifiers.
     fn compress(&self, dense: &[f32], _ratio: f64) -> CompressedUpdate {
-        let norm = dense.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt() as f32;
+        let norm = dense
+            .iter()
+            .map(|v| (*v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32;
         if norm == 0.0 || dense.is_empty() {
             return CompressedUpdate::Quantized {
                 values: vec![0.0; dense.len()],
@@ -56,7 +60,11 @@ impl Compressor for Qsgd {
                 let scaled = ratio * s;
                 let floor = scaled.floor();
                 let frac = scaled - floor;
-                let level = if rng.next_f32() < frac { floor + 1.0 } else { floor };
+                let level = if rng.next_f32() < frac {
+                    floor + 1.0
+                } else {
+                    floor
+                };
                 v.signum() * norm * level / s
             })
             .collect();
@@ -115,7 +123,10 @@ mod tests {
     fn deterministic_per_input() {
         let dense: Vec<f32> = (0..64).map(|i| (i as f32).cos()).collect();
         let q = Qsgd::new(8, 9);
-        assert_eq!(q.compress(&dense, 1.0).to_dense(), q.compress(&dense, 1.0).to_dense());
+        assert_eq!(
+            q.compress(&dense, 1.0).to_dense(),
+            q.compress(&dense, 1.0).to_dense()
+        );
     }
 
     #[test]

@@ -24,12 +24,18 @@ pub struct RandK {
 impl RandK {
     /// New Rand-K compressor with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { seed, unbiased: true }
+        Self {
+            seed,
+            unbiased: true,
+        }
     }
 
     /// Rand-K without the unbiasedness rescaling.
     pub fn biased(seed: u64) -> Self {
-        Self { seed, unbiased: false }
+        Self {
+            seed,
+            unbiased: false,
+        }
     }
 
     fn input_fingerprint(dense: &[f32]) -> u64 {
@@ -85,7 +91,10 @@ mod tests {
         let dense: Vec<f32> = (0..50).map(|i| (i as f32).sin()).collect();
         let a = RandK::new(7).compress(&dense, 0.2);
         let b = RandK::new(7).compress(&dense, 0.2);
-        assert_eq!(a.as_sparse().unwrap().indices(), b.as_sparse().unwrap().indices());
+        assert_eq!(
+            a.as_sparse().unwrap().indices(),
+            b.as_sparse().unwrap().indices()
+        );
     }
 
     #[test]
@@ -94,7 +103,10 @@ mod tests {
         let d2: Vec<f32> = (0..200).map(|i| (i as f32).cos()).collect();
         let a = RandK::new(7).compress(&d1, 0.1);
         let b = RandK::new(7).compress(&d2, 0.1);
-        assert_ne!(a.as_sparse().unwrap().indices(), b.as_sparse().unwrap().indices());
+        assert_ne!(
+            a.as_sparse().unwrap().indices(),
+            b.as_sparse().unwrap().indices()
+        );
     }
 
     #[test]

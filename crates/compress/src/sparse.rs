@@ -22,7 +22,11 @@ impl SparseUpdate {
     /// Build from parallel arrays. Indices must be strictly increasing and in
     /// range (this keeps overlap computation and aggregation linear-time).
     pub fn new(indices: Vec<u32>, values: Vec<f32>, dense_len: usize) -> Self {
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
         assert!(
             indices.windows(2).all(|w| w[0] < w[1]),
             "indices must be strictly increasing"
@@ -30,12 +34,20 @@ impl SparseUpdate {
         if let Some(&last) = indices.last() {
             assert!((last as usize) < dense_len, "index {last} out of range");
         }
-        Self { indices, values, dense_len }
+        Self {
+            indices,
+            values,
+            dense_len,
+        }
     }
 
     /// An empty update of a given dense length.
     pub fn empty(dense_len: usize) -> Self {
-        Self { indices: Vec::new(), values: Vec::new(), dense_len }
+        Self {
+            indices: Vec::new(),
+            values: Vec::new(),
+            dense_len,
+        }
     }
 
     /// Build from a dense vector, retaining the coordinates where `keep` is true.
@@ -48,7 +60,11 @@ impl SparseUpdate {
                 values.push(v);
             }
         }
-        Self { indices, values, dense_len: dense.len() }
+        Self {
+            indices,
+            values,
+            dense_len: dense.len(),
+        }
     }
 
     /// Retained coordinate indices (strictly increasing).
@@ -156,7 +172,11 @@ impl SparseUpdate {
         if indices.last().is_some_and(|&l| l as usize >= dense_len) {
             return Err("index out of range".into());
         }
-        Ok(Self { indices, values, dense_len })
+        Ok(Self {
+            indices,
+            values,
+            dense_len,
+        })
     }
 }
 

@@ -65,7 +65,9 @@ mod tests {
 
     #[test]
     fn achieved_ratio_close_to_target() {
-        let dense: Vec<f32> = (0..1000).map(|i| ((i * 37) % 997) as f32 / 997.0 - 0.5).collect();
+        let dense: Vec<f32> = (0..1000)
+            .map(|i| ((i * 37) % 997) as f32 / 997.0 - 0.5)
+            .collect();
         let c = Threshold::new().compress(&dense, 0.1);
         let achieved = c.as_sparse().unwrap().compression_ratio();
         assert!((achieved - 0.1).abs() < 0.02, "achieved {achieved}");

@@ -121,7 +121,10 @@ mod tests {
         let dense = vec![1.0, 1.0, 1.0, 1.0];
         let a = TopK::new().compress(&dense, 0.5);
         let b = TopK::new().compress(&dense, 0.5);
-        assert_eq!(a.as_sparse().unwrap().indices(), b.as_sparse().unwrap().indices());
+        assert_eq!(
+            a.as_sparse().unwrap().indices(),
+            b.as_sparse().unwrap().indices()
+        );
         assert_eq!(a.as_sparse().unwrap().nnz(), 2);
     }
 

@@ -49,7 +49,11 @@ pub fn aggregate_compressed(
     mask: Option<&OpwaMask>,
 ) -> Vec<f32> {
     assert!(!updates.is_empty(), "nothing to aggregate");
-    assert_eq!(updates.len(), coefficients.len(), "coefficient count mismatch");
+    assert_eq!(
+        updates.len(),
+        coefficients.len(),
+        "coefficient count mismatch"
+    );
     // Fast path: all sparse.
     if updates.iter().all(|u| u.as_sparse().is_some()) {
         let sparse: Vec<&SparseUpdate> = updates.iter().map(|u| u.as_sparse().unwrap()).collect();
@@ -72,7 +76,11 @@ pub fn aggregate_compressed(
 /// Apply the aggregated delta to the global parameters:
 /// `w_{t+1} = w_t − η_server · Σ_i coeff_i Δw_i`.
 pub fn apply_update(global: &mut [f32], aggregated_delta: &[f32], server_lr: f32) {
-    assert_eq!(global.len(), aggregated_delta.len(), "parameter length mismatch");
+    assert_eq!(
+        global.len(),
+        aggregated_delta.len(),
+        "parameter length mismatch"
+    );
     for (w, d) in global.iter_mut().zip(aggregated_delta.iter()) {
         *w -= server_lr * d;
     }
@@ -133,7 +141,10 @@ mod tests {
     #[test]
     fn compressed_aggregation_mixes_sparse_and_quantized() {
         let s = CompressedUpdate::Sparse(sparse(vec![0], vec![2.0], 2));
-        let q = CompressedUpdate::Quantized { values: vec![1.0, 1.0], wire_bytes: 4 };
+        let q = CompressedUpdate::Quantized {
+            values: vec![1.0, 1.0],
+            wire_bytes: 4,
+        };
         let agg = aggregate_compressed(&[&s, &q], &[0.5, 0.5], None);
         assert_eq!(agg, vec![1.5, 0.5]);
     }

@@ -111,7 +111,10 @@ pub struct BcrsScheduler {
 impl BcrsScheduler {
     /// Scheduler using the paper's communication model.
     pub fn new(comm: CommModel) -> Self {
-        Self { comm, clamp_ratios: true }
+        Self {
+            comm,
+            clamp_ratios: true,
+        }
     }
 
     /// Compute the schedule for one round.
@@ -218,7 +221,10 @@ mod tests {
     #[test]
     fn ratios_clamped_to_one() {
         // A very fast client with a huge budget cannot exceed CR = 1.
-        let links = vec![Link::from_mbps_ms(100.0, 1.0), Link::from_mbps_ms(0.1, 500.0)];
+        let links = vec![
+            Link::from_mbps_ms(100.0, 1.0),
+            Link::from_mbps_ms(0.1, 500.0),
+        ];
         let sched = BcrsScheduler::new(CommModel::paper_default());
         let s = sched.schedule(&links, 10_000.0, 0.5);
         assert!(s.ratios.iter().all(|&r| r <= 1.0));

@@ -41,7 +41,12 @@ impl ClientState {
     /// Create a client from the experiment configuration and its local shard.
     pub fn new(id: usize, dataset: Dataset, config: &ExperimentConfig, rng: Xoshiro256) -> Self {
         let mut model_rng = Xoshiro256::new(config.seed); // same init as the server
-        let model = build_model(&config.model, dataset.feature_dim(), dataset.num_classes(), &mut model_rng);
+        let model = build_model(
+            &config.model,
+            dataset.feature_dim(),
+            dataset.num_classes(),
+            &mut model_rng,
+        );
         let num_params = model.num_params();
         let error_feedback = if config.algorithm.uses_error_feedback() {
             Some(ErrorFeedback::new(TopK::new(), num_params))
@@ -102,7 +107,11 @@ impl ClientState {
         LocalTrainOutput {
             client_id: self.id,
             delta,
-            train_loss: if loss_count == 0 { 0.0 } else { loss_acc / loss_count as f64 },
+            train_loss: if loss_count == 0 {
+                0.0
+            } else {
+                loss_acc / loss_count as f64
+            },
             num_samples: self.dataset.len(),
             train_time_s: start.elapsed().as_secs_f64(),
         }
@@ -110,12 +119,7 @@ impl ClientState {
 
     /// Compress a delta at the given ratio using this client's configured
     /// compressor (Top-K, EF-Top-K residual state, or Rand-K).
-    pub fn compress(
-        &mut self,
-        delta: &[f32],
-        ratio: f64,
-        use_randk: bool,
-    ) -> CompressedUpdate {
+    pub fn compress(&mut self, delta: &[f32], ratio: f64, use_randk: bool) -> CompressedUpdate {
         if let Some(ef) = self.error_feedback.as_mut() {
             ef.compress_with_feedback(delta, ratio)
         } else if use_randk {
@@ -147,7 +151,9 @@ pub fn build_model(
     rng: &mut Xoshiro256,
 ) -> Sequential {
     match preset {
-        ModelPreset::Mlp { hidden1, hidden2 } => mlp(input_dim, &[*hidden1, *hidden2], classes, rng),
+        ModelPreset::Mlp { hidden1, hidden2 } => {
+            mlp(input_dim, &[*hidden1, *hidden2], classes, rng)
+        }
         ModelPreset::Linear => fl_nn::model::logistic_regression(input_dim, classes, rng),
     }
 }
@@ -159,10 +165,18 @@ mod tests {
 
     fn quick_client(algorithm: Algorithm) -> (ClientState, Vec<f32>, ExperimentConfig) {
         let config = ExperimentConfig::quick(algorithm);
-        let (train, _) = config.dataset.spec(config.dataset_scale).generate(config.seed);
+        let (train, _) = config
+            .dataset
+            .spec(config.dataset_scale)
+            .generate(config.seed);
         let local = train.subset(&(0..64).collect::<Vec<_>>());
         let mut rng = Xoshiro256::new(config.seed);
-        let global_model = build_model(&config.model, local.feature_dim(), local.num_classes(), &mut rng);
+        let global_model = build_model(
+            &config.model,
+            local.feature_dim(),
+            local.num_classes(),
+            &mut rng,
+        );
         let global = flatten_params(&global_model);
         let client = ClientState::new(0, local, &config, Xoshiro256::new(7));
         (client, global, config)
@@ -175,7 +189,10 @@ mod tests {
         assert_eq!(out.delta.len(), global.len());
         assert_eq!(out.num_samples, 64);
         assert!(out.train_loss > 0.0);
-        assert!(out.delta.iter().any(|&d| d != 0.0), "training should move the model");
+        assert!(
+            out.delta.iter().any(|&d| d != 0.0),
+            "training should move the model"
+        );
     }
 
     #[test]
@@ -214,7 +231,10 @@ mod tests {
         let out = client.local_update(&global);
         assert_eq!(client.residual_norm(), 0.0);
         let _ = client.compress(&out.delta, 0.05, false);
-        assert!(client.residual_norm() > 0.0, "EF residual should be non-empty");
+        assert!(
+            client.residual_norm() > 0.0,
+            "EF residual should be non-empty"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub enum ModelPreset {
 impl ModelPreset {
     /// The default MLP used by the experiment suite.
     pub fn default_mlp() -> Self {
-        ModelPreset::Mlp { hidden1: 128, hidden2: 64 }
+        ModelPreset::Mlp {
+            hidden1: 128,
+            hidden2: 64,
+        }
     }
 }
 
@@ -137,7 +140,13 @@ impl ExperimentConfig {
         beta: f64,
         compression_ratio: f64,
     ) -> Self {
-        Self { algorithm, dataset, beta, compression_ratio, ..Default::default() }
+        Self {
+            algorithm,
+            dataset,
+            beta,
+            compression_ratio,
+            ..Default::default()
+        }
     }
 
     /// A small, fast configuration used by tests and `--quick` benches:
@@ -146,7 +155,10 @@ impl ExperimentConfig {
         Self {
             algorithm,
             dataset_scale: 0.1,
-            model: ModelPreset::Mlp { hidden1: 32, hidden2: 16 },
+            model: ModelPreset::Mlp {
+                hidden1: 32,
+                hidden2: 16,
+            },
             rounds: 10,
             batch_size: 32,
             // The quick dataset is tiny, so a slightly larger local learning
@@ -158,8 +170,7 @@ impl ExperimentConfig {
 
     /// Number of clients selected each round (`max(1, round(N · C))`).
     pub fn clients_per_round(&self) -> usize {
-        ((self.num_clients as f64 * self.participation).round() as usize)
-            .clamp(1, self.num_clients)
+        ((self.num_clients as f64 * self.participation).round() as usize).clamp(1, self.num_clients)
     }
 
     /// Validate parameter ranges, returning a description of the first problem.
@@ -223,9 +234,11 @@ mod tests {
 
     #[test]
     fn clients_per_round_bounds() {
-        let mut c = ExperimentConfig::default();
-        c.num_clients = 20;
-        c.participation = 0.5;
+        let mut c = ExperimentConfig {
+            num_clients: 20,
+            participation: 0.5,
+            ..Default::default()
+        };
         assert_eq!(c.clients_per_round(), 10);
         c.participation = 0.01;
         assert_eq!(c.clients_per_round(), 1);
@@ -235,28 +248,32 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = ExperimentConfig::default();
-        c.compression_ratio = 0.0;
+        let c = ExperimentConfig {
+            compression_ratio: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ExperimentConfig::default();
-        c.gamma = 0.5;
+        let c = ExperimentConfig {
+            gamma: 0.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ExperimentConfig::default();
-        c.participation = 0.0;
+        let c = ExperimentConfig {
+            participation: 0.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ExperimentConfig::default();
-        c.rounds = 0;
+        let c = ExperimentConfig {
+            rounds: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn paper_setting_overrides() {
-        let c = ExperimentConfig::paper_setting(
-            Algorithm::TopK,
-            DatasetPreset::SvhnLike,
-            0.1,
-            0.01,
-        );
+        let c =
+            ExperimentConfig::paper_setting(Algorithm::TopK, DatasetPreset::SvhnLike, 0.1, 0.01);
         assert_eq!(c.algorithm, Algorithm::TopK);
         assert_eq!(c.beta, 0.1);
         assert_eq!(c.compression_ratio, 0.01);

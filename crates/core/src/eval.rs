@@ -17,7 +17,10 @@ pub struct Evaluation {
 pub fn evaluate(model: &mut Sequential, dataset: &Dataset, batch_size: usize) -> Evaluation {
     assert!(batch_size > 0, "batch size must be positive");
     if dataset.is_empty() {
-        return Evaluation { loss: 0.0, accuracy: 0.0 };
+        return Evaluation {
+            loss: 0.0,
+            accuracy: 0.0,
+        };
     }
     let mut loss_fn = SoftmaxCrossEntropy::new();
     let mut total_loss = 0.0f64;
@@ -76,7 +79,9 @@ mod tests {
         let mut model = logistic_regression(2, 2, &mut rng);
         // Set weights so class 1 wins when x0 > 0.
         let mut params = model.params_mut();
-        params[0].data_mut().copy_from_slice(&[-10.0, 10.0, 0.0, 0.0]);
+        params[0]
+            .data_mut()
+            .copy_from_slice(&[-10.0, 10.0, 0.0, 0.0]);
         params[1].data_mut().copy_from_slice(&[0.0, 0.0]);
         let e = evaluate(&mut model, &toy_dataset(), 7);
         assert_eq!(e.accuracy, 1.0);

@@ -53,12 +53,20 @@ impl OpwaMask {
                 }
             })
             .collect();
-        Self { weights, gamma, threshold }
+        Self {
+            weights,
+            gamma,
+            threshold,
+        }
     }
 
     /// A mask of all ones (no-op), used when OPWA is disabled.
     pub fn identity(len: usize) -> Self {
-        Self { weights: vec![1.0; len], gamma: 1.0, threshold: 1 }
+        Self {
+            weights: vec![1.0; len],
+            gamma: 1.0,
+            threshold: 1,
+        }
     }
 
     /// The enlarge rate this mask was built with.

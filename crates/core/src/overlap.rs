@@ -34,7 +34,10 @@ impl OverlapCounts {
                 counts[i as usize] += 1;
             }
         }
-        Self { counts, cohort_size: updates.len() }
+        Self {
+            counts,
+            cohort_size: updates.len(),
+        }
     }
 
     /// Number of clients in the cohort.
@@ -193,7 +196,9 @@ mod tests {
                 .map(|d| topk.compress(d, cr).as_sparse().unwrap().clone())
                 .collect();
             let refs: Vec<&SparseUpdate> = updates.iter().collect();
-            OverlapCounts::from_updates(&refs).stats().singleton_fraction()
+            OverlapCounts::from_updates(&refs)
+                .stats()
+                .singleton_fraction()
         };
         let high_compression = singleton_at(0.01);
         let low_compression = singleton_at(0.5);

@@ -153,8 +153,7 @@ pub fn run_experiment_with<F: FnMut(&RoundRecord)>(
     // --- Data -----------------------------------------------------------------
     let spec = config.dataset.spec(config.dataset_scale);
     let (train, test) = spec.generate(config.seed);
-    let min_samples = (config.batch_size / 4)
-        .clamp(2, (train.len() / config.num_clients).max(1));
+    let min_samples = (config.batch_size / 4).clamp(2, (train.len() / config.num_clients).max(1));
     let partitions = dirichlet_partition(
         &train,
         config.num_clients,
@@ -186,7 +185,9 @@ pub fn run_experiment_with<F: FnMut(&RoundRecord)>(
             Mutex::new(ClientState::new(p.client_id, local, config, client_rng))
         })
         .collect();
-    let links: Vec<Link> = config.links.generate(config.num_clients, config.seed ^ 0x11C5);
+    let links: Vec<Link> = config
+        .links
+        .generate(config.num_clients, config.seed ^ 0x11C5);
     let comm = CommModel::paper_default();
     let scheduler = BcrsScheduler::new(comm);
 
@@ -251,8 +252,8 @@ pub fn run_experiment_with<F: FnMut(&RoundRecord)>(
             .collect();
         let sparse_refs: Vec<&SparseUpdate> = sparse_updates.iter().collect();
         let sample_counts: Vec<usize> = outputs.iter().map(|(t, _, _)| t.num_samples).collect();
-        let train_loss = outputs.iter().map(|(t, _, _)| t.train_loss).sum::<f64>()
-            / outputs.len() as f64;
+        let train_loss =
+            outputs.iter().map(|(t, _, _)| t.train_loss).sum::<f64>() / outputs.len() as f64;
         let max_train_time = outputs
             .iter()
             .map(|(t, _, _)| t.train_time_s)
@@ -376,11 +377,7 @@ pub fn stream_experiment(
 
 /// Evaluate an externally trained flat parameter vector on a dataset
 /// (convenience for tests and examples that manipulate parameters directly).
-pub fn evaluate_params(
-    config: &ExperimentConfig,
-    params: &[f32],
-    dataset: &Dataset,
-) -> f64 {
+pub fn evaluate_params(config: &ExperimentConfig, params: &[f32], dataset: &Dataset) -> f64 {
     let mut rng = Xoshiro256::new(config.seed);
     let mut model: Sequential = build_model(
         &config.model,

@@ -16,7 +16,12 @@ pub struct Dataset {
 impl Dataset {
     /// Build a dataset; `features.len()` must equal `labels.len() * feature_dim`
     /// and every label must be `< num_classes`.
-    pub fn new(features: Vec<f32>, labels: Vec<usize>, feature_dim: usize, num_classes: usize) -> Self {
+    pub fn new(
+        features: Vec<f32>,
+        labels: Vec<usize>,
+        feature_dim: usize,
+        num_classes: usize,
+    ) -> Self {
         assert!(feature_dim > 0, "feature_dim must be positive");
         assert_eq!(
             features.len(),
@@ -27,7 +32,12 @@ impl Dataset {
             labels.iter().all(|&y| y < num_classes),
             "label out of range for {num_classes} classes"
         );
-        Self { features, labels, feature_dim, num_classes }
+        Self {
+            features,
+            labels,
+            feature_dim,
+            num_classes,
+        }
     }
 
     /// Empty dataset with the given dimensions.
@@ -118,12 +128,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        Dataset::new(
-            vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1],
-            vec![0, 1, 1],
-            2,
-            3,
-        )
+        Dataset::new(vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1], vec![0, 1, 1], 2, 3)
     }
 
     #[test]

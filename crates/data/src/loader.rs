@@ -18,7 +18,10 @@ impl BatchLoader {
     /// Create a loader. `drop_last` discards a trailing partial batch.
     pub fn new(batch_size: usize, drop_last: bool) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        Self { batch_size, drop_last }
+        Self {
+            batch_size,
+            drop_last,
+        }
     }
 
     /// Configured batch size.

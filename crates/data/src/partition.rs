@@ -199,7 +199,10 @@ pub fn iid_partition(dataset: &Dataset, num_clients: usize, seed: u64) -> Vec<Cl
     let mut indices: Vec<usize> = (0..dataset.len()).collect();
     rng.shuffle(&mut indices);
     let mut parts: Vec<ClientPartition> = (0..num_clients)
-        .map(|client_id| ClientPartition { client_id, indices: Vec::new() })
+        .map(|client_id| ClientPartition {
+            client_id,
+            indices: Vec::new(),
+        })
         .collect();
     for (i, idx) in indices.into_iter().enumerate() {
         parts[i % num_clients].indices.push(idx);
@@ -279,7 +282,10 @@ mod tests {
         let max = *sizes.iter().max().unwrap();
         assert!(max - min <= 1);
         let skew = PartitionStats::from_partition(&parts, &ds).label_skew();
-        assert!(skew < 0.25, "IID skew should be near 1/num_classes, got {skew}");
+        assert!(
+            skew < 0.25,
+            "IID skew should be near 1/num_classes, got {skew}"
+        );
     }
 
     #[test]

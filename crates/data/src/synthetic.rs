@@ -109,7 +109,10 @@ impl SyntheticSpec {
     /// Generate the (train, test) dataset pair from a seed.
     pub fn generate(&self, seed: u64) -> (Dataset, Dataset) {
         assert!(self.num_classes >= 2, "need at least two classes");
-        assert!(self.feature_dim >= 2, "need at least two feature dimensions");
+        assert!(
+            self.feature_dim >= 2,
+            "need at least two feature dimensions"
+        );
         assert!(
             (0.0..=1.0).contains(&self.informative_fraction),
             "informative_fraction must be in [0, 1]"
@@ -131,10 +134,10 @@ impl SyntheticSpec {
         let gen_split = |per_class: usize, rng: &mut Xoshiro256| {
             let mut ds = Dataset::empty(self.feature_dim, self.num_classes);
             let mut buf = vec![0.0f32; self.feature_dim];
-            for class in 0..self.num_classes {
+            for (class, proto) in prototypes.iter().enumerate() {
                 for _ in 0..per_class {
                     for (j, slot) in buf.iter_mut().enumerate() {
-                        *slot = prototypes[class][j] + noise.sample(rng) as f32;
+                        *slot = proto[j] + noise.sample(rng) as f32;
                     }
                     ds.push(&buf, class);
                 }

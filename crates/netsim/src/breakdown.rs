@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn average_over_zero_is_identity() {
-        let b = RoundBreakdown { compress_s: 1.0, ..Default::default() };
+        let b = RoundBreakdown {
+            compress_s: 1.0,
+            ..Default::default()
+        };
         assert_eq!(b.averaged_over(0), b);
     }
 

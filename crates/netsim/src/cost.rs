@@ -19,7 +19,9 @@ pub struct CommModel {
 impl CommModel {
     /// Model with the paper's 2× index+value accounting.
     pub fn paper_default() -> Self {
-        Self { index_overhead: true }
+        Self {
+            index_overhead: true,
+        }
     }
 
     /// Time in seconds to transmit `payload_bytes` over `link`.
@@ -81,7 +83,9 @@ mod tests {
 
     #[test]
     fn no_overhead_variant() {
-        let m = CommModel { index_overhead: false };
+        let m = CommModel {
+            index_overhead: false,
+        };
         let link = link_1mbps_100ms();
         let t1 = m.sparse_uplink_time(&link, 125_000.0, 1.0);
         let t2 = m.dense_uplink_time(&link, 125_000.0);

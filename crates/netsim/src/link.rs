@@ -19,7 +19,10 @@ impl Link {
     pub fn new(bandwidth_bps: f64, latency_s: f64) -> Self {
         assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
         assert!(latency_s >= 0.0, "latency must be non-negative");
-        Self { bandwidth_bps, latency_s }
+        Self {
+            bandwidth_bps,
+            latency_s,
+        }
     }
 
     /// Convenience constructor from Mbit/s and milliseconds.
@@ -72,8 +75,14 @@ impl LinkGenerator {
 
     /// Generate `n` client links deterministically from a seed.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<Link> {
-        assert!(self.bandwidth_mean_mbps > 0.0, "mean bandwidth must be positive");
-        assert!(self.bandwidth_std_mbps >= 0.0, "bandwidth std must be non-negative");
+        assert!(
+            self.bandwidth_mean_mbps > 0.0,
+            "mean bandwidth must be positive"
+        );
+        assert!(
+            self.bandwidth_std_mbps >= 0.0,
+            "bandwidth std must be non-negative"
+        );
         assert!(
             self.latency_hi_ms > self.latency_lo_ms,
             "latency range must be non-empty"
@@ -139,7 +148,10 @@ mod tests {
     fn heterogeneity_exists() {
         let gen = LinkGenerator::paper_default();
         let links = gen.generate(20, 3);
-        let min = links.iter().map(|l| l.bandwidth_bps).fold(f64::INFINITY, f64::min);
+        let min = links
+            .iter()
+            .map(|l| l.bandwidth_bps)
+            .fold(f64::INFINITY, f64::min);
         let max = links.iter().map(|l| l.bandwidth_bps).fold(0.0, f64::max);
         assert!(max > min * 1.1, "links should be heterogeneous");
     }

@@ -41,7 +41,10 @@ impl RoundTiming {
         );
         let actual = algorithm_times.iter().cloned().fold(0.0f64, f64::max);
         let max = dense_times.iter().cloned().fold(0.0f64, f64::max);
-        let min = algorithm_times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = algorithm_times
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         Self { actual, max, min }
     }
 }
@@ -149,8 +152,16 @@ mod tests {
     #[test]
     fn accumulation_is_prefix_sum() {
         let mut acc = TimeAccumulator::new();
-        acc.push(RoundTiming { actual: 1.0, max: 2.0, min: 0.5 });
-        acc.push(RoundTiming { actual: 1.5, max: 3.0, min: 0.25 });
+        acc.push(RoundTiming {
+            actual: 1.0,
+            max: 2.0,
+            min: 0.5,
+        });
+        acc.push(RoundTiming {
+            actual: 1.5,
+            max: 3.0,
+            min: 0.25,
+        });
         assert_eq!(acc.len(), 2);
         assert_eq!(acc.cumulative_actual(), &[1.0, 2.5]);
         assert_eq!(acc.cumulative_max(), &[2.0, 5.0]);
@@ -164,7 +175,11 @@ mod tests {
     fn time_to_predicate() {
         let mut acc = TimeAccumulator::new();
         for i in 0..5 {
-            acc.push(RoundTiming { actual: 1.0 + i as f64, max: 0.0, min: 0.0 });
+            acc.push(RoundTiming {
+                actual: 1.0 + i as f64,
+                max: 0.0,
+                min: 0.0,
+            });
         }
         // Accuracy reaches the target at round index 2.
         let t = acc.time_to(|r| r >= 2);

@@ -44,11 +44,7 @@ impl RoundTimeline {
     /// Build the round timeline from per-client busy phases; waiting times are
     /// derived so every client finishes together with the straggler
     /// (synchronous FL).
-    pub fn synchronous(
-        download_s: &[f64],
-        training_s: &[f64],
-        upload_s: &[f64],
-    ) -> Self {
+    pub fn synchronous(download_s: &[f64], training_s: &[f64], upload_s: &[f64]) -> Self {
         assert!(!download_s.is_empty(), "at least one client required");
         assert_eq!(download_s.len(), training_s.len());
         assert_eq!(download_s.len(), upload_s.len());
@@ -116,11 +112,7 @@ mod tests {
 
     #[test]
     fn synchronous_waiting_derivation() {
-        let tl = RoundTimeline::synchronous(
-            &[0.1, 0.1, 0.1],
-            &[1.0, 1.0, 1.0],
-            &[0.5, 1.5, 2.5],
-        );
+        let tl = RoundTimeline::synchronous(&[0.1, 0.1, 0.1], &[1.0, 1.0, 1.0], &[0.5, 1.5, 2.5]);
         assert_eq!(tl.duration_s(), 3.6);
         let waits: Vec<f64> = tl.clients().iter().map(|c| c.waiting_s).collect();
         assert!((waits[0] - 2.0).abs() < 1e-9);

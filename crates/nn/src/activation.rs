@@ -30,7 +30,11 @@ impl Layer for Relu {
             .mask
             .as_ref()
             .expect("Relu backward called before forward");
-        assert_eq!(mask.len(), grad_output.numel(), "Relu backward size mismatch");
+        assert_eq!(
+            mask.len(),
+            grad_output.numel(),
+            "Relu backward size mismatch"
+        );
         let mut grad = grad_output.clone();
         for (g, &m) in grad.data_mut().iter_mut().zip(mask.iter()) {
             if !m {

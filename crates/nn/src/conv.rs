@@ -28,7 +28,13 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Create a convolution layer with Kaiming-initialised weights.
-    pub fn new<R: Rng>(in_ch: usize, out_ch: usize, kernel: usize, padding: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
         let fan_in = in_ch * kernel * kernel;
         Self {
             weight: Tensor::kaiming(Shape::matrix(out_ch, fan_in), fan_in, rng),
@@ -45,7 +51,10 @@ impl Conv2d {
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        (h + 2 * self.padding + 1 - self.kernel, w + 2 * self.padding + 1 - self.kernel)
+        (
+            h + 2 * self.padding + 1 - self.kernel,
+            w + 2 * self.padding + 1 - self.kernel,
+        )
     }
 
     /// im2col: unfold the padded input into a `[batch*h_out*w_out, in_ch*k*k]` matrix.
@@ -69,8 +78,8 @@ impl Conv2d {
                                 let ix = ox as isize + kx as isize - pad;
                                 let col_idx = patch_base + (ci * k + ky) * k + kx;
                                 if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                    cols[col_idx] = data
-                                        [((bi * c + ci) * h + iy as usize) * w + ix as usize];
+                                    cols[col_idx] =
+                                        data[((bi * c + ci) * h + iy as usize) * w + ix as usize];
                                 }
                             }
                         }
@@ -119,8 +128,8 @@ impl Layer for Conv2d {
         assert_eq!(dims[1], self.in_ch, "Conv2d: channel mismatch");
         let (b, h, w) = (dims[0], dims[2], dims[3]);
         let (ho, wo) = self.out_hw(h, w);
-        let cols = self.im2col(input); // [b*ho*wo, c*k*k]
-        // out_patches = cols @ W^T : [b*ho*wo, out_ch]
+        // cols: [b*ho*wo, c*k*k]; out_patches = cols @ W^T: [b*ho*wo, out_ch]
+        let cols = self.im2col(input);
         let out_patches = matmul_a_bt(&cols, &self.weight);
         self.cached_cols = Some(cols);
         self.cached_input_shape = Some((b, self.in_ch, h, w));
@@ -334,7 +343,11 @@ impl Unflatten {
     /// Create an unflatten layer producing `[batch, channels, height, width]`.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
         assert!(channels * height * width > 0, "dimensions must be positive");
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 }
 
@@ -348,14 +361,22 @@ impl Layer for Unflatten {
             "feature count does not match target shape"
         );
         let mut out = input.clone();
-        out.reshape(Shape::new(&[dims[0], self.channels, self.height, self.width]));
+        out.reshape(Shape::new(&[
+            dims[0],
+            self.channels,
+            self.height,
+            self.width,
+        ]));
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let dims = grad_output.shape().dims();
         let mut out = grad_output.clone();
-        out.reshape(Shape::matrix(dims[0], self.channels * self.height * self.width));
+        out.reshape(Shape::matrix(
+            dims[0],
+            self.channels * self.height * self.width,
+        ));
         out
     }
 
@@ -425,10 +446,7 @@ mod tests {
         let mut conv = Conv2d::new(1, 1, 1, 0, &mut rng);
         conv.params_mut()[0].data_mut()[0] = 1.0;
         conv.params_mut()[1].data_mut()[0] = 0.0;
-        let x = Tensor::from_vec(
-            Shape::new(&[1, 1, 2, 2]),
-            vec![1.0, 2.0, 3.0, 4.0],
-        );
+        let x = Tensor::from_vec(Shape::new(&[1, 1, 2, 2]), vec![1.0, 2.0, 3.0, 4.0]);
         let y = conv.forward(&x);
         assert_eq!(y.data(), x.data());
     }

@@ -183,7 +183,10 @@ mod tests {
     #[test]
     fn gradient_rows_sum_to_zero() {
         let mut loss = SoftmaxCrossEntropy::new();
-        let logits = Tensor::from_vec(Shape::matrix(2, 4), vec![1.0, 2.0, 0.5, -1.0, 0.0, 0.0, 3.0, 1.0]);
+        let logits = Tensor::from_vec(
+            Shape::matrix(2, 4),
+            vec![1.0, 2.0, 0.5, -1.0, 0.0, 0.0, 3.0, 1.0],
+        );
         loss.forward(&logits, &[0, 2]);
         let g = loss.backward();
         for i in 0..2 {
@@ -194,10 +197,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let logits = Tensor::from_vec(
-            Shape::matrix(3, 2),
-            vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0],
-        );
+        let logits = Tensor::from_vec(Shape::matrix(3, 2), vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]);
         let acc = SoftmaxCrossEntropy::accuracy(&logits, &[0, 1, 1]);
         assert!((acc - 2.0 / 3.0).abs() < 1e-12);
     }

@@ -66,7 +66,10 @@ impl Sequential {
 
     /// All trainable parameters, mutable.
     pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// All gradients, aligned with `params`.
@@ -121,7 +124,13 @@ pub fn small_cnn<R: Rng>(
     Sequential::new()
         .push(Box::new(Conv2d::new(channels, conv_channels, 3, 1, rng)))
         .push(Box::new(Relu::new()))
-        .push(Box::new(Conv2d::new(conv_channels, conv_channels, 3, 1, rng)))
+        .push(Box::new(Conv2d::new(
+            conv_channels,
+            conv_channels,
+            3,
+            1,
+            rng,
+        )))
         .push(Box::new(Relu::new()))
         .push(Box::new(GlobalAvgPool::new()))
         .push(Box::new(Linear::new(conv_channels, classes, rng)))
@@ -142,7 +151,13 @@ pub fn small_cnn_flat<R: Rng>(
         .push(Box::new(Unflatten::new(channels, size, size)))
         .push(Box::new(Conv2d::new(channels, conv_channels, 3, 1, rng)))
         .push(Box::new(Relu::new()))
-        .push(Box::new(Conv2d::new(conv_channels, conv_channels, 3, 1, rng)))
+        .push(Box::new(Conv2d::new(
+            conv_channels,
+            conv_channels,
+            3,
+            1,
+            rng,
+        )))
         .push(Box::new(Relu::new()))
         .push(Box::new(GlobalAvgPool::new()))
         .push(Box::new(Linear::new(conv_channels, classes, rng)))

@@ -17,7 +17,12 @@ impl Sgd {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         assert!(weight_decay >= 0.0, "weight decay must be non-negative");
-        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -130,7 +135,10 @@ mod tests {
 
         let step1 = -after_one;
         let step2 = after_one - after_two;
-        assert!(step2 > step1 * 1.5, "momentum should grow the step: {step1} vs {step2}");
+        assert!(
+            step2 > step1 * 1.5,
+            "momentum should grow the step: {step1} vs {step2}"
+        );
     }
 
     #[test]

@@ -145,7 +145,10 @@ pub struct Categorical {
 impl Categorical {
     /// Create from (unnormalised) non-negative weights; at least one must be positive.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "Categorical requires at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "Categorical requires at least one weight"
+        );
         assert!(
             weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
             "Categorical weights must be finite and non-negative"

@@ -36,7 +36,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = as_matrix_dims(a, "matmul_at_b lhs");
     let (k2, n) = as_matrix_dims(b, "matmul_at_b rhs");
-    assert_eq!(k, k2, "matmul_at_b: leading dimensions differ ({k} vs {k2})");
+    assert_eq!(
+        k, k2,
+        "matmul_at_b: leading dimensions differ ({k} vs {k2})"
+    );
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
@@ -122,7 +125,12 @@ pub fn sum_rows(a: &Tensor) -> Tensor {
 
 fn as_matrix_dims(t: &Tensor, what: &str) -> (usize, usize) {
     let dims = t.shape().dims();
-    assert_eq!(dims.len(), 2, "{what}: expected a rank-2 tensor, got {:?}", dims);
+    assert_eq!(
+        dims.len(),
+        2,
+        "{what}: expected a rank-2 tensor, got {:?}",
+        dims
+    );
     (dims[0], dims[1])
 }
 
@@ -163,7 +171,11 @@ mod tests {
     #[test]
     fn a_bt_matches_explicit_transpose() {
         let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let b = mat(4, 3, &[1.0, 0.0, 2.0, 3.0, 1.0, 1.0, 0.0, 2.0, 2.0, 1.0, 1.0, 0.0]);
+        let b = mat(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, 3.0, 1.0, 1.0, 0.0, 2.0, 2.0, 1.0, 1.0, 0.0],
+        );
         let via_helper = matmul_a_bt(&a, &b);
         let via_transpose = matmul(&a, &transpose(&b));
         assert_eq!(via_helper.data(), via_transpose.data());

@@ -116,10 +116,7 @@ impl Xoshiro256 {
 
 impl Rng for Xoshiro256 {
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -177,7 +174,10 @@ mod tests {
             counts[r.next_below(10)] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 

@@ -14,7 +14,9 @@ pub struct Shape {
 impl Shape {
     /// Create a shape from its dimensions. Empty shapes (scalars) are allowed.
     pub fn new(dims: &[usize]) -> Self {
-        Self { dims: dims.to_vec() }
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// A 1-D shape of length `n`.

@@ -99,7 +99,9 @@ pub struct Histogram {
 impl Histogram {
     /// Histogram with buckets for values `1..=max_value`.
     pub fn new(max_value: usize) -> Self {
-        Self { counts: vec![0; max_value] }
+        Self {
+            counts: vec![0; max_value],
+        }
     }
 
     /// Record one observation of `value` (1-based). Values outside the range

@@ -26,13 +26,19 @@ impl Tensor {
     /// Tensor of zeros with the given shape.
     pub fn zeros(shape: Shape) -> Self {
         let n = shape.numel();
-        Self { shape, data: vec![0.0; n] }
+        Self {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Tensor filled with a constant value.
     pub fn full(shape: Shape, value: f32) -> Self {
         let n = shape.numel();
-        Self { shape, data: vec![value; n] }
+        Self {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Build a tensor from raw data; the data length must match the shape.
@@ -55,9 +61,7 @@ impl Tensor {
     /// Tensor with entries drawn i.i.d. from `U(lo, hi)`.
     pub fn rand_uniform<R: Rng>(shape: Shape, lo: f32, hi: f32, rng: &mut R) -> Self {
         let n = shape.numel();
-        let data = (0..n)
-            .map(|_| lo + (hi - lo) * rng.next_f32())
-            .collect();
+        let data = (0..n).map(|_| lo + (hi - lo) * rng.next_f32()).collect();
         Self { shape, data }
     }
 
@@ -167,7 +171,10 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(a, b)| a - b)
             .collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Element-wise sum `self + other` as a new tensor.
@@ -179,7 +186,10 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(a, b)| a + b)
             .collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Element-wise (Hadamard) product as a new tensor.
@@ -191,7 +201,10 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(a, b)| a * b)
             .collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Apply a function to every element in place.

@@ -19,7 +19,10 @@ fn main() {
     let comm = CommModel::paper_default();
     let base_ratio = 0.05;
 
-    println!("model size: {:.0} bytes, base compression ratio CR* = {base_ratio}", model_bytes);
+    println!(
+        "model size: {:.0} bytes, base compression ratio CR* = {base_ratio}",
+        model_bytes
+    );
     println!();
 
     // Uniform compression: every client uses CR*, the round ends when the
@@ -52,8 +55,14 @@ fn main() {
 
     println!();
     println!("uniform-compression round time (straggler): {uniform_straggler:.3} s");
-    println!("BCRS round time (makespan):                 {:.3} s", schedule.makespan());
-    println!("BCRS benchmark T_bench:                     {:.3} s", schedule.t_bench);
+    println!(
+        "BCRS round time (makespan):                 {:.3} s",
+        schedule.makespan()
+    );
+    println!(
+        "BCRS benchmark T_bench:                     {:.3} s",
+        schedule.t_bench
+    );
     println!(
         "mean compression ratio: uniform {:.4} vs BCRS {:.4} ({:.1}x more parameters shipped per round)",
         base_ratio,
@@ -68,6 +77,11 @@ fn main() {
     let fractions = vec![1.0 / links.len() as f64; links.len()];
     let coeffs = schedule.adjusted_coefficients(&fractions, 0.3);
     println!();
-    println!("adjusted averaging coefficients (alpha = 0.3): {:?}",
-        coeffs.iter().map(|c| (c * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "adjusted averaging coefficients (alpha = 0.3): {:?}",
+        coeffs
+            .iter()
+            .map(|c| (c * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
 }

@@ -23,7 +23,10 @@ fn main() {
             let cells: Vec<String> = row.iter().map(|c| format!("{c:>5}")).collect();
             println!("  client {client}: {}", cells.join(" "));
         }
-        println!("  label skew (mean max-class share): {:.3}", stats.label_skew());
+        println!(
+            "  label skew (mean max-class share): {:.3}",
+            stats.label_skew()
+        );
     }
 
     println!("\n== Degree of overlap after Top-K (Fig. 4) ==");

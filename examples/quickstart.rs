@@ -21,8 +21,8 @@ fn main() {
         let mut config = ExperimentConfig::paper_setting(
             algorithm,
             DatasetPreset::Cifar10Like,
-            0.1,  // beta: severe heterogeneity
-            0.1,  // compression ratio
+            0.1, // beta: severe heterogeneity
+            0.1, // compression ratio
         );
         config.rounds = rounds;
         config.dataset_scale = scale;

@@ -1,0 +1,246 @@
+//! Offline functional shim for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], `Bencher::iter`, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — as a simple
+//! wall-clock harness: each benchmark is warmed up briefly, then timed over
+//! `sample_size` samples whose per-sample iteration count is calibrated to
+//! the measurement budget. Median and min/max per-iteration times are
+//! printed. No statistical analysis, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one parameterised benchmark: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Run `f` `iters` times, recording the total elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness. Mirrors criterion's builder-style configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, &name.into(), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(self.criterion, &full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full);
+        run_benchmark(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn time_one_sample<F: FnMut(&mut Bencher)>(iters: u64, f: &mut F) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+        _marker: std::marker::PhantomData,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, name: &str, mut f: F) {
+    // Warm-up: also yields a per-iteration estimate for calibration.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < config.warm_up_time {
+        time_one_sample(1, &mut f);
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+    // Calibrate so that sample_size samples roughly fill measurement_time.
+    let budget = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+    let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let mut samples: Vec<f64> = (0..config.sample_size)
+        .map(|_| time_one_sample(iters_per_sample, &mut f).as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!(
+        "{name:<60} median {} (min {}, max {}) [{} samples x {} iters]",
+        format_time(median),
+        format_time(lo),
+        format_time(hi),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:8.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:8.2} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:8.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:8.2} s ")
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_payload() {
+        let mut count = 0u64;
+        fast().bench_function("counting", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = fast();
+        let mut group = c.benchmark_group("g");
+        let input = 21u64;
+        group.bench_with_input(BenchmarkId::new("double", input), &input, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(format_time(2e-9).contains("ns"));
+        assert!(format_time(2e-6).contains("us"));
+        assert!(format_time(2e-3).contains("ms"));
+        assert!(format_time(2.0).contains("s"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline shim for the `serde` crate.
+//!
+//! This container has no crates.io access, so the workspace vendors a minimal
+//! stand-in: the `Serialize` / `Deserialize` traits exist (with blanket
+//! implementations, so derive bounds and generic bounds always hold) and the
+//! derive macros expand to nothing. No actual serialization is performed —
+//! nothing in the workspace serializes yet; the derives only annotate the
+//! result types for forward compatibility. Swap this for real serde by
+//! pointing `[workspace.dependencies] serde` back at the registry.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -35,14 +35,23 @@ pub use fl_tensor as tensor;
 
 /// The types most users need, in one import.
 pub mod prelude {
-    pub use fl_compress::{CompressedUpdate, Compressor, ErrorFeedback, Qsgd, RandK, SparseUpdate, Threshold, TopK};
-    pub use fl_core::{
-        run_experiment, Algorithm, BcrsSchedule, BcrsScheduler, ExperimentConfig,
-        ExperimentResult, ModelPreset, OpwaMask, OverlapCounts, OverlapStats, RoundRecord,
+    pub use fl_compress::{
+        CompressedUpdate, Compressor, ErrorFeedback, Qsgd, RandK, SparseUpdate, Threshold, TopK,
     };
     pub use fl_core::runner::{evaluate_params, run_experiment_with, stream_experiment};
-    pub use fl_data::{dirichlet_partition, BatchLoader, ClientPartition, Dataset, DatasetPreset, PartitionStats};
-    pub use fl_netsim::{CommModel, Link, LinkGenerator, RoundBreakdown, RoundTiming, TimeAccumulator};
-    pub use fl_nn::{flatten_params, mlp, small_cnn, unflatten_params, Layer, Sequential, Sgd, SoftmaxCrossEntropy};
+    pub use fl_core::{
+        run_experiment, Algorithm, BcrsSchedule, BcrsScheduler, ExperimentConfig, ExperimentResult,
+        ModelPreset, OpwaMask, OverlapCounts, OverlapStats, RoundRecord,
+    };
+    pub use fl_data::{
+        dirichlet_partition, BatchLoader, ClientPartition, Dataset, DatasetPreset, PartitionStats,
+    };
+    pub use fl_netsim::{
+        CommModel, Link, LinkGenerator, RoundBreakdown, RoundTiming, TimeAccumulator,
+    };
+    pub use fl_nn::{
+        flatten_params, mlp, small_cnn, unflatten_params, Layer, Sequential, Sgd,
+        SoftmaxCrossEntropy,
+    };
     pub use fl_tensor::{Rng, Shape, SplitMix64, Tensor, Xoshiro256};
 }

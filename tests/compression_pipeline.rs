@@ -10,7 +10,12 @@ fn realistic_delta(seed: u64) -> Vec<f32> {
     let spec = DatasetPreset::Cifar10Like.spec(0.05);
     let (train, _) = spec.generate(seed);
     let mut rng = Xoshiro256::new(seed);
-    let mut model = mlp(train.feature_dim(), &[32, 16], train.num_classes(), &mut rng);
+    let mut model = mlp(
+        train.feature_dim(),
+        &[32, 16],
+        train.num_classes(),
+        &mut rng,
+    );
     let before = flatten_params(&model);
     let mut loss = SoftmaxCrossEntropy::new();
     let mut opt = Sgd::new(0.05, 0.9, 0.0);
@@ -24,7 +29,11 @@ fn realistic_delta(seed: u64) -> Vec<f32> {
         opt.step(&mut model);
     }
     let after = flatten_params(&model);
-    before.iter().zip(after.iter()).map(|(b, a)| b - a).collect()
+    before
+        .iter()
+        .zip(after.iter())
+        .map(|(b, a)| b - a)
+        .collect()
 }
 
 #[test]
@@ -82,7 +91,11 @@ fn error_feedback_recovers_information_across_rounds() {
         .map(|(t, g)| ((t - g) as f64).powi(2))
         .sum::<f64>()
         .sqrt();
-    let norm: f64 = target.iter().map(|g| (*g as f64).powi(2)).sum::<f64>().sqrt();
+    let norm: f64 = target
+        .iter()
+        .map(|g| (*g as f64).powi(2))
+        .sum::<f64>()
+        .sqrt();
     assert!(
         err / norm < 0.25,
         "EF should transmit most of the repeated signal (relative error {})",
@@ -152,7 +165,10 @@ fn opwa_mask_amplifies_rare_coordinates_in_aggregation() {
             _ => {}
         }
     }
-    assert!(checked > 0, "no singleton coordinates found — test is vacuous");
+    assert!(
+        checked > 0,
+        "no singleton coordinates found — test is vacuous"
+    );
 }
 
 #[test]
