@@ -2,14 +2,21 @@
 //! higher-bandwidth clients retain more information while nobody exceeds the
 //! uniform-compression round time.
 //!
+//! `--measured` additionally runs short BCRS experiments at both base ratios
+//! through the parallel sweep driver (`fl_core::sweep`) and reports the mean
+//! compression ratio the scheduler actually achieved in every round (the
+//! static schedule table stays instant without it).
+//!
 //! `--ablation` additionally compares the paper's benchmark choice (slowest
 //! client's compressed time) against a mean-time benchmark, the design-choice
 //! ablation called out in DESIGN.md §5.
 //!
-//! `cargo run --release -p fl-bench --bin fig2_adaptive_cr [-- --ablation]`
+//! `cargo run --release -p fl-bench --bin fig2_adaptive_cr [-- --ablation --measured]`
 
-use fl_bench::BenchArgs;
-use fl_core::BcrsScheduler;
+use fl_bench::{bench_config, BenchArgs};
+use fl_core::sweep::run_sweep_threaded;
+use fl_core::{Algorithm, BcrsScheduler};
+use fl_data::DatasetPreset;
 use fl_netsim::{CommModel, LinkGenerator};
 
 fn main() {
@@ -34,6 +41,40 @@ fn main() {
                 schedule.scheduled_times[i],
                 schedule.t_bench
             );
+        }
+    }
+
+    // Measured counterpart (opt-in): actual BCRS experiments at both base
+    // ratios, run concurrently by the sweep driver. The per-round mean CR
+    // shows the scheduler adapting to whichever cohort was selected.
+    if args.has_flag("--measured") {
+        let configs: Vec<_> = [0.01, 0.1]
+            .iter()
+            .map(|&base_ratio| {
+                let mut c = bench_config(
+                    Algorithm::Bcrs,
+                    DatasetPreset::Cifar10Like,
+                    0.1,
+                    base_ratio,
+                    &args,
+                );
+                c.rounds = args.effective_rounds(8);
+                c
+            })
+            .collect();
+        let results = run_sweep_threaded(&configs, args.sweep_threads);
+        if !args.csv {
+            eprintln!("# measured per-round mean CR from BCRS experiments (sweep driver)");
+        }
+        println!();
+        println!("base_ratio,round,measured_mean_cr");
+        for result in &results {
+            for record in &result.records {
+                println!(
+                    "{},{},{:.4}",
+                    result.config.compression_ratio, record.round, record.mean_compression_ratio
+                );
+            }
         }
     }
 

@@ -1,6 +1,10 @@
 //! Table 2 — final test accuracy of FedAvg, Top-K, EF-Top-K, BCRS and
 //! BCRS+OPWA across datasets × heterogeneity (β) × compression ratio (CR).
 //!
+//! The whole grid is built with `fl_core::sweep::SweepGrid` and executed in
+//! parallel by the sweep driver (shared dataset generation, worker count set
+//! by `--sweep-threads`, results in table order).
+//!
 //! Defaults to a reduced grid (CIFAR-10-like only, shortened runs); pass
 //! `--all-datasets` for all three datasets and `--full` for the paper's
 //! 200-round, full-scale settings. `--with-ef-bcrs` adds the
@@ -9,7 +13,8 @@
 //! `cargo run --release -p fl-bench --bin table2_main [-- --all-datasets --full]`
 
 use fl_bench::{bench_config, summarize, BenchArgs};
-use fl_core::{run_experiment, Algorithm};
+use fl_core::sweep::{run_sweep_threaded, SweepGrid};
+use fl_core::Algorithm;
 use fl_data::DatasetPreset;
 
 fn main() {
@@ -27,44 +32,73 @@ fn main() {
     let ratios = [0.1, 0.01];
     let algorithms = Algorithm::paper_lineup();
 
+    // Grid nesting (dataset → β → CR → algorithm) matches the table order.
+    let grid = SweepGrid::new(bench_config(
+        algorithms[0],
+        datasets[0],
+        betas[0],
+        ratios[0],
+        &args,
+    ))
+    .datasets(datasets)
+    .betas(betas)
+    .compression_ratios(ratios)
+    .algorithms(algorithms);
+    let configs = grid.configs();
+    let results = run_sweep_threaded(&configs, args.sweep_threads);
+
+    // The ablation reruns EF-Top-K at each BCRS run's achieved mean CR, so it
+    // depends on the main grid; collect its configs and sweep them too.
+    let ablation_results = if args.has_flag("--with-ef-bcrs") {
+        let ef_configs: Vec<_> = results
+            .iter()
+            .filter(|r| r.config.algorithm == Algorithm::Bcrs)
+            .map(|bcrs_probe| {
+                // Ablation: BCRS scheduling with error-feedback residuals is
+                // approximated by running EF-Top-K at the BCRS mean CR.
+                let mean_cr = bcrs_probe.records[0].mean_compression_ratio.min(1.0);
+                let mut ef = bcrs_probe.config.clone();
+                ef.algorithm = Algorithm::EfTopK;
+                ef.compression_ratio = mean_cr;
+                ef
+            })
+            .collect();
+        run_sweep_threaded(&ef_configs, args.sweep_threads)
+    } else {
+        Vec::new()
+    };
+    let mut ablation_iter = ablation_results.iter();
+
     println!("dataset,beta,cr,algorithm,final_accuracy,best_accuracy,cum_comm_s");
-    for &dataset in &datasets {
-        for &beta in &betas {
-            for &cr in &ratios {
-                for &alg in &algorithms {
-                    let config = bench_config(alg, dataset, beta, cr, &args);
-                    let result = run_experiment(&config);
-                    let last = result.records.last().unwrap();
-                    println!(
-                        "{},{beta},{cr},{},{:.4},{:.4},{:.1}",
-                        dataset.name(),
-                        alg.name(),
-                        result.final_accuracy,
-                        result.best_accuracy,
-                        last.cumulative_actual_s
-                    );
-                    if !args.csv {
-                        eprintln!("# {}", summarize(&result));
-                    }
-                }
-                if args.has_flag("--with-ef-bcrs") {
-                    // Ablation: BCRS scheduling with error-feedback residuals
-                    // is approximated by running EF-Top-K at the BCRS mean CR.
-                    let probe = bench_config(Algorithm::Bcrs, dataset, beta, cr, &args);
-                    let bcrs_probe = run_experiment(&probe);
-                    let mean_cr = bcrs_probe.records[0].mean_compression_ratio.min(1.0);
-                    let mut ef = bench_config(Algorithm::EfTopK, dataset, beta, mean_cr, &args);
-                    ef.compression_ratio = mean_cr;
-                    let result = run_experiment(&ef);
-                    println!(
-                        "{},{beta},{cr},eftopk@bcrs-cr,{:.4},{:.4},{:.1}",
-                        dataset.name(),
-                        result.final_accuracy,
-                        result.best_accuracy,
-                        result.records.last().unwrap().cumulative_actual_s
-                    );
-                }
+    // One (dataset, beta, cr) block per `algorithms.len()` results.
+    for block in results.chunks(algorithms.len()) {
+        let (dataset, beta, cr) = (
+            block[0].config.dataset,
+            block[0].config.beta,
+            block[0].config.compression_ratio,
+        );
+        for result in block {
+            let last = result.records.last().unwrap();
+            println!(
+                "{},{beta},{cr},{},{:.4},{:.4},{:.1}",
+                dataset.name(),
+                result.config.algorithm.name(),
+                result.final_accuracy,
+                result.best_accuracy,
+                last.cumulative_actual_s
+            );
+            if !args.csv {
+                eprintln!("# {}", summarize(result));
             }
+        }
+        if let Some(result) = ablation_iter.next() {
+            println!(
+                "{},{beta},{cr},eftopk@bcrs-cr,{:.4},{:.4},{:.1}",
+                dataset.name(),
+                result.final_accuracy,
+                result.best_accuracy,
+                result.records.last().unwrap().cumulative_actual_s
+            );
         }
     }
 }

@@ -2,13 +2,17 @@
 //! CIFAR-10-like benchmark under β = 0.1: Actual / Max / Min accumulated
 //! times for FedAvg, Top-K, EF-Top-K and BCRS at CR ∈ {0.1, 0.01}.
 //!
+//! All eight runs execute concurrently through the parallel sweep driver
+//! (`fl_core::sweep::run_sweep_threaded`) with shared dataset generation.
+//!
 //! The target accuracy defaults to 40% (the paper's choice) and can be set
 //! with `--target 0.35`.
 //!
 //! `cargo run --release -p fl-bench --bin table3_time_to_acc [-- --target 0.4]`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::{run_experiment, Algorithm};
+use fl_core::sweep::run_sweep_threaded;
+use fl_core::Algorithm;
 use fl_data::DatasetPreset;
 
 fn main() {
@@ -21,7 +25,7 @@ fn main() {
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(0.40);
 
-    println!("algorithm,cr,target_acc,reached,rounds,actual_s,max_s,min_s");
+    let mut configs = Vec::new();
     for &alg in &[
         Algorithm::FedAvg,
         Algorithm::TopK,
@@ -29,35 +33,47 @@ fn main() {
         Algorithm::Bcrs,
     ] {
         for &cr in &[0.1, 0.01] {
-            let config = bench_config(alg, DatasetPreset::Cifar10Like, 0.1, cr, &args);
-            let result = run_experiment(&config);
-            match result.time_to_accuracy(target) {
-                Some((round, actual, max, min)) => {
-                    // The paper leaves Max/Min blank for BCRS because its whole
-                    // point is that clients finish together; we print them as
-                    // "-" for parity with Table 3.
-                    let (max_s, min_s) = if alg.uses_bcrs() {
-                        ("-".to_string(), "-".to_string())
-                    } else {
-                        (format!("{max:.1}"), format!("{min:.1}"))
-                    };
-                    println!(
-                        "{},{cr},{target},yes,{},{:.1},{},{}",
-                        alg.name(),
-                        round + 1,
-                        actual,
-                        max_s,
-                        min_s
-                    );
-                }
-                None => {
-                    println!(
-                        "{},{cr},{target},no,-,-,-,- (best acc {:.3} in {} rounds)",
-                        alg.name(),
-                        result.best_accuracy,
-                        result.records.len()
-                    );
-                }
+            configs.push(bench_config(
+                alg,
+                DatasetPreset::Cifar10Like,
+                0.1,
+                cr,
+                &args,
+            ));
+        }
+    }
+    let results = run_sweep_threaded(&configs, args.sweep_threads);
+
+    println!("algorithm,cr,target_acc,reached,rounds,actual_s,max_s,min_s");
+    for result in &results {
+        let alg = result.config.algorithm;
+        let cr = result.config.compression_ratio;
+        match result.time_to_accuracy(target) {
+            Some((round, actual, max, min)) => {
+                // The paper leaves Max/Min blank for BCRS because its whole
+                // point is that clients finish together; we print them as
+                // "-" for parity with Table 3.
+                let (max_s, min_s) = if alg.uses_bcrs() {
+                    ("-".to_string(), "-".to_string())
+                } else {
+                    (format!("{max:.1}"), format!("{min:.1}"))
+                };
+                println!(
+                    "{},{cr},{target},yes,{},{:.1},{},{}",
+                    alg.name(),
+                    round + 1,
+                    actual,
+                    max_s,
+                    min_s
+                );
+            }
+            None => {
+                println!(
+                    "{},{cr},{target},no,-,-,-,- (best acc {:.3} in {} rounds)",
+                    alg.name(),
+                    result.best_accuracy,
+                    result.records.len()
+                );
             }
         }
     }

@@ -4,12 +4,17 @@
 //! Each binary in `src/bin/` reproduces one artifact (see DESIGN.md §3 for
 //! the full index). They all accept the same flags, parsed by [`BenchArgs`]:
 //!
-//! * `--rounds N`   — communication rounds per run (default: per-binary);
-//! * `--scale F`    — synthetic dataset scale factor (default: per-binary);
-//! * `--seed N`     — master seed (default 42);
-//! * `--quick`      — very small settings for smoke runs;
-//! * `--full`       — the paper's full settings (200 rounds, scale 1.0);
-//! * `--csv`        — print machine-readable CSV only (no prose).
+//! * `--rounds N`        — communication rounds per run (default: per-binary);
+//! * `--scale F`         — synthetic dataset scale factor (default: per-binary);
+//! * `--seed N`          — master seed (default 42);
+//! * `--quick`           — very small settings for smoke runs;
+//! * `--full`            — the paper's full settings (200 rounds, scale 1.0);
+//! * `--csv`             — print machine-readable CSV only (no prose);
+//! * `--eval-every N`    — evaluate the global model every N rounds;
+//! * `--sweep-threads N` — worker threads for the parallel sweep driver
+//!   (0 = auto). Grid binaries run their experiments through
+//!   `fl_core::sweep::run_sweep_threaded`, which also shares dataset
+//!   generation across the grid.
 //!
 //! The Criterion benches under `benches/` cover the micro-performance of the
 //! building blocks (compression, aggregation, scheduling, training step).
@@ -32,6 +37,10 @@ pub struct BenchArgs {
     pub full: bool,
     /// Emit CSV only.
     pub csv: bool,
+    /// Evaluate the global model every N rounds (None = config default).
+    pub eval_every: Option<usize>,
+    /// Worker threads for the parallel sweep driver (0 = auto).
+    pub sweep_threads: usize,
     /// Extra flags not recognised by the common parser (binary-specific).
     pub extra: Vec<String>,
 }
@@ -45,6 +54,8 @@ impl Default for BenchArgs {
             quick: false,
             full: false,
             csv: false,
+            eval_every: None,
+            sweep_threads: 0,
             extra: Vec::new(),
         }
     }
@@ -76,6 +87,14 @@ impl BenchArgs {
                 "--quick" => out.quick = true,
                 "--full" => out.full = true,
                 "--csv" => out.csv = true,
+                "--eval-every" => {
+                    out.eval_every = it.next().and_then(|v| v.parse().ok());
+                }
+                "--sweep-threads" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        out.sweep_threads = v;
+                    }
+                }
                 other => out.extra.push(other.to_string()),
             }
         }
@@ -134,6 +153,9 @@ pub fn bench_config(
         hidden2: 64,
     };
     config.seed = args.seed;
+    if let Some(eval_every) = args.eval_every {
+        config.eval_every = eval_every.max(1);
+    }
     config
 }
 
@@ -201,6 +223,18 @@ mod tests {
         assert_eq!(parse(&["--scale", "0.9"]).effective_scale(0.3), 0.9);
         assert_eq!(parse(&["--full"]).effective_scale(0.3), 1.0);
         assert_eq!(parse(&[]).effective_scale(0.3), 0.3);
+    }
+
+    #[test]
+    fn parses_sweep_and_eval_flags() {
+        let a = parse(&["--eval-every", "5", "--sweep-threads", "3"]);
+        assert_eq!(a.eval_every, Some(5));
+        assert_eq!(a.sweep_threads, 3);
+        let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &a);
+        assert_eq!(c.eval_every, 5);
+        let d = parse(&[]);
+        assert_eq!(d.eval_every, None);
+        assert_eq!(d.sweep_threads, 0);
     }
 
     #[test]

@@ -54,6 +54,17 @@ impl CompressedUpdate {
             CompressedUpdate::Quantized { .. } => None,
         }
     }
+
+    /// Consume the update and return the sparse payload, if this is a
+    /// sparsified update. Lets aggregation take ownership of the indices and
+    /// values instead of cloning them (the federated round loop moves every
+    /// cohort update this way).
+    pub fn into_sparse(self) -> Option<SparseUpdate> {
+        match self {
+            CompressedUpdate::Sparse(s) => Some(s),
+            CompressedUpdate::Quantized { .. } => None,
+        }
+    }
 }
 
 /// A (possibly stateless) lossy compressor of dense update vectors.
@@ -86,6 +97,18 @@ mod tests {
         assert_eq!(q.dense_len(), 4);
         assert!(s.as_sparse().is_some());
         assert!(q.as_sparse().is_none());
+    }
+
+    #[test]
+    fn into_sparse_moves_the_payload() {
+        let s = CompressedUpdate::Sparse(SparseUpdate::new(vec![0, 1], vec![1.0, 2.0], 4));
+        let expected = s.as_sparse().unwrap().clone();
+        assert_eq!(s.into_sparse(), Some(expected));
+        let q = CompressedUpdate::Quantized {
+            values: vec![0.0; 4],
+            wire_bytes: 6,
+        };
+        assert!(q.into_sparse().is_none());
     }
 
     #[test]

@@ -121,6 +121,22 @@ mod tests {
     }
 
     #[test]
+    fn nan_entries_do_not_poison_selection() {
+        // Rand-K never compares values (coordinates are drawn by index and
+        // the fingerprint folds raw bit patterns), so NaN gradients must pass
+        // through untouched: same count, deterministic coordinate choice.
+        let mut dense: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        dense[17] = f32::NAN;
+        let a = RandK::new(7).compress(&dense, 0.1);
+        let b = RandK::new(7).compress(&dense, 0.1);
+        assert_eq!(a.as_sparse().unwrap().nnz(), 10);
+        assert_eq!(
+            a.as_sparse().unwrap().indices(),
+            b.as_sparse().unwrap().indices()
+        );
+    }
+
+    #[test]
     fn biased_variant_keeps_raw_values() {
         let dense = vec![2.0f32; 10];
         let c = RandK::biased(3).compress(&dense, 0.5);

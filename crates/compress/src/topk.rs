@@ -41,6 +41,15 @@ impl TopK {
 
     /// Select the indices of the `k` largest-magnitude entries, returned in
     /// increasing index order.
+    ///
+    /// The comparator is a **total order** (`f32::total_cmp` over absolute
+    /// values, ties broken towards lower indices), so NaN gradients cannot
+    /// poison `select_nth_unstable_by`: an inconsistent comparator (the old
+    /// `partial_cmp → Equal` fallback) breaks the transitivity that partial
+    /// selection relies on. Under `total_cmp`, `|NaN|` orders above every
+    /// finite magnitude and `+∞`, so NaN entries are deterministically
+    /// retained first — they stay visible to the server instead of being
+    /// silently dropped or scrambling the selection.
     pub fn select_indices(dense: &[f32], k: usize) -> Vec<u32> {
         let k = k.min(dense.len());
         if k == 0 {
@@ -55,9 +64,7 @@ impl TopK {
         idx.select_nth_unstable_by(k - 1, |&a, &b| {
             let va = dense[a as usize].abs();
             let vb = dense[b as usize].abs();
-            vb.partial_cmp(&va)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            vb.total_cmp(&va).then(a.cmp(&b))
         });
         let mut selected = idx[..k].to_vec();
         selected.sort_unstable();
@@ -114,6 +121,37 @@ mod tests {
         let dense = vec![1.0, 2.0];
         let c = TopK::new().compress(&dense, 0.0);
         assert_eq!(c.as_sparse().unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn nan_entries_are_retained_deterministically() {
+        // A NaN gradient must not scramble the selection: total_cmp ranks
+        // |NaN| above every finite magnitude, so the NaN coordinate is
+        // retained first and the rest of the selection is the usual Top-K.
+        let dense = vec![0.1, f32::NAN, 0.3, -4.0, 0.2];
+        let a = TopK::select_indices(&dense, 2);
+        let b = TopK::select_indices(&dense, 2);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 3], "NaN first, then the largest finite entry");
+        // Full compression round-trips without panicking.
+        let c = TopK::new().compress(&dense, 0.4);
+        assert_eq!(c.as_sparse().unwrap().nnz(), 2);
+    }
+
+    #[test]
+    fn all_nan_input_selects_lowest_indices() {
+        let dense = vec![f32::NAN; 6];
+        let sel = TopK::select_indices(&dense, 3);
+        assert_eq!(sel, vec![0, 1, 2], "index tie-break orders equal NaNs");
+    }
+
+    #[test]
+    fn negative_nan_is_ordered_like_positive_nan() {
+        // abs() clears the sign bit, so -NaN and NaN compare identically and
+        // the index tie-break decides.
+        let dense = vec![f32::from_bits(0xFFC0_0000), 1.0, f32::NAN];
+        let sel = TopK::select_indices(&dense, 2);
+        assert_eq!(sel, vec![0, 2]);
     }
 
     #[test]

@@ -59,6 +59,11 @@ impl Algorithm {
         matches!(self, Algorithm::EfTopK)
     }
 
+    /// True if this algorithm sparsifies with Rand-K instead of Top-K.
+    pub fn uses_randk(&self) -> bool {
+        matches!(self, Algorithm::RandK)
+    }
+
     /// All algorithms evaluated in the paper's main table, in table order.
     pub fn paper_lineup() -> [Algorithm; 5] {
         [
@@ -117,6 +122,8 @@ mod tests {
         assert!(!Algorithm::Bcrs.uses_opwa());
         assert!(Algorithm::EfTopK.uses_error_feedback());
         assert!(!Algorithm::BcrsOpwa.uses_error_feedback());
+        assert!(Algorithm::RandK.uses_randk());
+        assert!(!Algorithm::TopK.uses_randk());
     }
 
     #[test]

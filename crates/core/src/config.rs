@@ -99,6 +99,18 @@ pub struct ExperimentConfig {
     /// Record the overlap-degree histogram every round (costs a little time;
     /// needed only by the Fig. 4 experiment).
     pub record_overlap: bool,
+    /// Evaluate the global model every this many rounds (1 = every round,
+    /// the paper's setting). The final round is always evaluated; skipped
+    /// rounds repeat the most recent evaluation in their records (NaN before
+    /// the first evaluation point). Larger values speed up long sweeps.
+    pub eval_every: usize,
+    /// Per-round, per-client dropout probability in `[0, 1)`. When positive
+    /// the session uses the availability-aware selector (cohorts shrink when
+    /// clients are down); `0.0` is the paper's always-available setting.
+    pub dropout_rate: f64,
+    /// Server momentum `β` in `[0, 1)` (FedAvgM-style heavy ball applied to
+    /// the aggregated update); `0.0` is the paper's plain server update.
+    pub server_momentum: f32,
 }
 
 impl Default for ExperimentConfig {
@@ -127,6 +139,9 @@ impl Default for ExperimentConfig {
             seed: 42,
             max_threads: 0,
             record_overlap: false,
+            eval_every: 1,
+            dropout_rate: 0.0,
+            server_momentum: 0.0,
         }
     }
 }
@@ -208,6 +223,15 @@ impl ExperimentConfig {
         if self.dataset_scale <= 0.0 {
             return Err("dataset_scale must be positive".into());
         }
+        if self.eval_every == 0 {
+            return Err("eval_every must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout_rate) {
+            return Err("dropout_rate must be in [0, 1)".into());
+        }
+        if !(0.0..1.0).contains(&self.server_momentum) {
+            return Err("server_momentum must be in [0, 1)".into());
+        }
         Ok(())
     }
 }
@@ -268,6 +292,36 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        let c = ExperimentConfig {
+            eval_every: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ExperimentConfig {
+            dropout_rate: 1.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ExperimentConfig {
+            server_momentum: -0.1,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scenario_knobs_default_to_paper_behaviour() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.eval_every, 1);
+        assert_eq!(c.dropout_rate, 0.0);
+        assert_eq!(c.server_momentum, 0.0);
+        let c = ExperimentConfig {
+            eval_every: 5,
+            dropout_rate: 0.3,
+            server_momentum: 0.9,
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

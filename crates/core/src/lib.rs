@@ -25,6 +25,23 @@
 //! …); [`runner::run_experiment`] executes it and returns per-round records
 //! (accuracy, loss, communication times) from which every table and figure of
 //! the paper is regenerated (see the `fl-bench` crate).
+//!
+//! # The round engine
+//!
+//! Under the hood every experiment is a [`session::FederatedSession`]: the
+//! long-lived state (clients, links, global parameters, RNG streams, time
+//! accumulators) built by [`session::SessionBuilder`], advanced one round at
+//! a time through the explicit stages of [`round`]
+//! (`select → local → aggregate → timing → eval`). Three policy seams make
+//! the engine pluggable without touching the loop ([`policy`]):
+//!
+//! * [`policy::ClientSelector`] — uniform sampling (paper) or
+//!   availability/dropout-aware selection;
+//! * [`policy::RatioPolicy`] — a uniform ratio or the BCRS scheduler;
+//! * [`policy::ServerOpt`] — plain SGD update (paper) or server momentum.
+//!
+//! Whole experiment grids run in parallel with shared dataset generation via
+//! [`sweep::run_sweep`] / [`sweep::SweepGrid`].
 
 pub mod aggregate;
 pub mod algorithm;
@@ -34,11 +51,22 @@ pub mod config;
 pub mod eval;
 pub mod opwa;
 pub mod overlap;
+pub mod policy;
+pub mod round;
 pub mod runner;
+pub mod session;
+pub mod sweep;
 
 pub use algorithm::Algorithm;
 pub use bcrs::{BcrsSchedule, BcrsScheduler};
 pub use config::{ExperimentConfig, ModelPreset};
 pub use opwa::OpwaMask;
 pub use overlap::{OverlapCounts, OverlapStats};
+pub use policy::{
+    AvailabilitySelector, BcrsRatioPolicy, ClientSelector, MomentumServer, RatioCtx, RatioDecision,
+    RatioPolicy, SelectionCtx, ServerOpt, SgdServer, UniformRatio, UniformSelector,
+};
+pub use round::RoundOutput;
 pub use runner::{run_experiment, ExperimentResult, RoundRecord};
+pub use session::{FederatedSession, SessionBuilder};
+pub use sweep::{run_sweep, run_sweep_threaded, SweepGrid};

@@ -79,7 +79,7 @@ impl OverlapCounts {
 
 /// The degree-of-overlap distribution of one round (Fig. 4): how many
 /// retained coordinates were kept by exactly 1, 2, …, |S_t| clients.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OverlapStats {
     /// Number of clients in the cohort (|S_t|).
     pub cohort_size: usize,

@@ -1,0 +1,494 @@
+//! Pluggable per-round policies of the [`crate::session::FederatedSession`]
+//! round engine.
+//!
+//! The experiment loop is decomposed into three policy seams, each a trait
+//! with the paper's behaviour as the default implementation:
+//!
+//! * [`ClientSelector`] — which clients participate this round. The paper
+//!   samples uniformly without replacement ([`UniformSelector`]); the
+//!   [`AvailabilitySelector`] models client dropout, where each client is
+//!   independently unavailable with a configured probability.
+//! * [`RatioPolicy`] — which compression ratio each selected client gets.
+//!   [`UniformRatio`] covers FedAvg (dense) and the uniform sparsifiers;
+//!   [`BcrsRatioPolicy`] wraps the paper's bandwidth-aware scheduler (Alg. 2).
+//! * [`ServerOpt`] — how the aggregated delta is applied to the global model.
+//!   [`SgdServer`] is the paper's plain update `w ← w − η·Δ`;
+//!   [`MomentumServer`] adds heavy-ball server momentum (FedAvgM-style).
+//!
+//! Custom policies plug in through
+//! [`crate::session::SessionBuilder`]; the defaults are derived from the
+//! [`ExperimentConfig`] so that `run_experiment` reproduces the paper's
+//! Algorithm 1 exactly.
+
+use crate::aggregate::apply_update;
+use crate::algorithm::Algorithm;
+use crate::bcrs::{BcrsSchedule, BcrsScheduler};
+use crate::config::ExperimentConfig;
+use fl_netsim::{CommModel, Link};
+use fl_tensor::rng::{Rng, Xoshiro256};
+
+/// Everything a [`ClientSelector`] may consult when picking a cohort.
+pub struct SelectionCtx<'a> {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Total number of clients `N`.
+    pub num_clients: usize,
+    /// Target cohort size `max(1, round(N · C))`.
+    pub cohort_size: usize,
+    /// Network link of every client (indexed by client id).
+    pub links: &'a [Link],
+}
+
+/// Picks the cohort of participating clients each round.
+///
+/// Implementations draw all randomness from the passed `rng` (the session's
+/// dedicated selection stream) so runs stay reproducible.
+pub trait ClientSelector: Send {
+    /// Return the ids of the clients participating this round. The result
+    /// must be non-empty, contain no duplicates, and every id must be in
+    /// `[0, num_clients)`. It may be smaller than `cohort_size` (e.g. under
+    /// dropout).
+    fn select(&mut self, ctx: &SelectionCtx<'_>, rng: &mut Xoshiro256) -> Vec<usize>;
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's selector: `cohort_size` clients uniformly at random without
+/// replacement (Alg. 1 line 3).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformSelector;
+
+impl ClientSelector for UniformSelector {
+    fn select(&mut self, ctx: &SelectionCtx<'_>, rng: &mut Xoshiro256) -> Vec<usize> {
+        rng.sample_without_replacement(ctx.num_clients, ctx.cohort_size)
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Dropout-aware selector: every client is independently unavailable with
+/// probability `dropout_rate` each round, and the cohort is drawn uniformly
+/// from the available clients (shrinking below the target size when too few
+/// are up). If no client is available at all, the round falls back to uniform
+/// selection over everyone so training can proceed.
+#[derive(Clone, Copy, Debug)]
+pub struct AvailabilitySelector {
+    /// Per-round, per-client probability of being unavailable, in `[0, 1)`.
+    pub dropout_rate: f64,
+}
+
+impl AvailabilitySelector {
+    /// New availability selector. Panics unless `dropout_rate ∈ [0, 1)`.
+    pub fn new(dropout_rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&dropout_rate),
+            "dropout_rate must be in [0, 1), got {dropout_rate}"
+        );
+        Self { dropout_rate }
+    }
+}
+
+impl ClientSelector for AvailabilitySelector {
+    fn select(&mut self, ctx: &SelectionCtx<'_>, rng: &mut Xoshiro256) -> Vec<usize> {
+        let available: Vec<usize> = (0..ctx.num_clients)
+            .filter(|_| !rng.next_bool(self.dropout_rate))
+            .collect();
+        if available.is_empty() {
+            return rng.sample_without_replacement(ctx.num_clients, ctx.cohort_size);
+        }
+        let k = ctx.cohort_size.min(available.len());
+        rng.sample_without_replacement(available.len(), k)
+            .into_iter()
+            .map(|i| available[i])
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "availability"
+    }
+}
+
+/// Everything a [`RatioPolicy`] may consult when assigning ratios.
+pub struct RatioCtx<'a> {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Links of the *selected* clients, in cohort order.
+    pub links: &'a [Link],
+    /// Dense model size in bytes (`V` of the communication model).
+    pub model_bytes: f64,
+}
+
+/// The per-round outcome of a [`RatioPolicy`].
+pub struct RatioDecision {
+    /// Compression ratio per selected client, in cohort order.
+    pub ratios: Vec<f64>,
+    /// The BCRS schedule, when the policy ran the bandwidth-aware scheduler
+    /// (used for Eq. 6 coefficient adjustment and exact uplink timing).
+    pub schedule: Option<BcrsSchedule>,
+    /// True when updates travel uncompressed (dense wire format without the
+    /// 2× index overhead of sparse transmission) — FedAvg's case.
+    pub dense_uplink: bool,
+}
+
+/// Assigns each selected client its compression ratio for the round.
+pub trait RatioPolicy: Send {
+    /// Decide the cohort's ratios (one per entry of `ctx.links`).
+    fn decide(&self, ctx: &RatioCtx<'_>) -> RatioDecision;
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The same ratio for every client: `1.0` dense for FedAvg, or the base
+/// compression ratio for the uniform sparsifiers (Top-K, EF-Top-K, Rand-K).
+#[derive(Clone, Copy, Debug)]
+pub struct UniformRatio {
+    /// The ratio given to every selected client.
+    pub ratio: f64,
+    /// Whether updates are transmitted dense (no sparse index overhead).
+    pub dense_uplink: bool,
+}
+
+impl UniformRatio {
+    /// Uniform sparsification at `ratio`.
+    pub fn sparse(ratio: f64) -> Self {
+        Self {
+            ratio,
+            dense_uplink: false,
+        }
+    }
+
+    /// Uncompressed (FedAvg) transmission.
+    pub fn dense() -> Self {
+        Self {
+            ratio: 1.0,
+            dense_uplink: true,
+        }
+    }
+}
+
+impl RatioPolicy for UniformRatio {
+    fn decide(&self, ctx: &RatioCtx<'_>) -> RatioDecision {
+        RatioDecision {
+            ratios: vec![self.ratio; ctx.links.len()],
+            schedule: None,
+            dense_uplink: self.dense_uplink,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.dense_uplink {
+            "dense"
+        } else {
+            "uniform"
+        }
+    }
+}
+
+/// The paper's bandwidth-aware compression-ratio scheduling (Alg. 2): every
+/// client gets the largest ratio that still finishes within the slowest
+/// client's compressed upload time.
+#[derive(Clone, Debug)]
+pub struct BcrsRatioPolicy {
+    scheduler: BcrsScheduler,
+    base_ratio: f64,
+}
+
+impl BcrsRatioPolicy {
+    /// BCRS over the given communication model at the given base ratio `CR*`.
+    pub fn new(comm: CommModel, base_ratio: f64) -> Self {
+        Self {
+            scheduler: BcrsScheduler::new(comm),
+            base_ratio,
+        }
+    }
+}
+
+impl RatioPolicy for BcrsRatioPolicy {
+    fn decide(&self, ctx: &RatioCtx<'_>) -> RatioDecision {
+        let schedule = self
+            .scheduler
+            .schedule(ctx.links, ctx.model_bytes, self.base_ratio);
+        RatioDecision {
+            ratios: schedule.ratios.clone(),
+            schedule: Some(schedule),
+            dense_uplink: false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bcrs"
+    }
+}
+
+/// Applies the aggregated cohort delta to the global parameters.
+///
+/// Implementations may keep state across rounds (momentum buffers, adaptive
+/// moments, …); the session calls `apply` exactly once per round.
+pub trait ServerOpt: Send {
+    /// Update `global` in place from the aggregated descent direction
+    /// `aggregated_delta` at server learning rate `server_lr`.
+    fn apply(&mut self, global: &mut [f32], aggregated_delta: &[f32], server_lr: f32);
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's plain server update `w ← w − η_server · Δ` (Alg. 1 line 18).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SgdServer;
+
+impl ServerOpt for SgdServer {
+    fn apply(&mut self, global: &mut [f32], aggregated_delta: &[f32], server_lr: f32) {
+        apply_update(global, aggregated_delta, server_lr);
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// Heavy-ball server momentum (FedAvgM): `v ← β·v + Δ`, `w ← w − η_server·v`.
+/// With `β = 0` this degrades to [`SgdServer`].
+#[derive(Clone, Debug)]
+pub struct MomentumServer {
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl MomentumServer {
+    /// New momentum server optimizer. Panics unless `momentum ∈ [0, 1)`.
+    pub fn new(momentum: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "server momentum must be in [0, 1), got {momentum}"
+        );
+        Self {
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current L2 norm of the velocity buffer (0 before the first round).
+    pub fn velocity_norm(&self) -> f64 {
+        self.velocity
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl ServerOpt for MomentumServer {
+    fn apply(&mut self, global: &mut [f32], aggregated_delta: &[f32], server_lr: f32) {
+        assert_eq!(
+            global.len(),
+            aggregated_delta.len(),
+            "parameter length mismatch"
+        );
+        if self.velocity.len() != aggregated_delta.len() {
+            self.velocity = vec![0.0; aggregated_delta.len()];
+        }
+        for ((w, v), &d) in global
+            .iter_mut()
+            .zip(self.velocity.iter_mut())
+            .zip(aggregated_delta.iter())
+        {
+            *v = self.momentum * *v + d;
+            *w -= server_lr * *v;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "momentum"
+    }
+}
+
+/// The selector implied by a configuration: [`AvailabilitySelector`] when
+/// `dropout_rate > 0`, the paper's [`UniformSelector`] otherwise.
+pub fn default_selector(config: &ExperimentConfig) -> Box<dyn ClientSelector> {
+    if config.dropout_rate > 0.0 {
+        Box::new(AvailabilitySelector::new(config.dropout_rate))
+    } else {
+        Box::new(UniformSelector)
+    }
+}
+
+/// The ratio policy implied by a configuration's algorithm (the former
+/// `match config.algorithm` block of the monolithic runner).
+pub fn default_ratio_policy(config: &ExperimentConfig, comm: CommModel) -> Box<dyn RatioPolicy> {
+    match config.algorithm {
+        Algorithm::FedAvg => Box::new(UniformRatio::dense()),
+        Algorithm::TopK | Algorithm::EfTopK | Algorithm::RandK | Algorithm::TopKOpwa => {
+            Box::new(UniformRatio::sparse(config.compression_ratio))
+        }
+        Algorithm::Bcrs | Algorithm::BcrsOpwa => {
+            Box::new(BcrsRatioPolicy::new(comm, config.compression_ratio))
+        }
+    }
+}
+
+/// The server optimizer implied by a configuration: [`MomentumServer`] when
+/// `server_momentum > 0`, the paper's plain [`SgdServer`] otherwise.
+pub fn default_server_opt(config: &ExperimentConfig) -> Box<dyn ServerOpt> {
+    if config.server_momentum > 0.0 {
+        Box::new(MomentumServer::new(config.server_momentum))
+    } else {
+        Box::new(SgdServer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(links: &[Link]) -> SelectionCtx<'_> {
+        SelectionCtx {
+            round: 0,
+            num_clients: links.len(),
+            cohort_size: links.len() / 2,
+            links,
+        }
+    }
+
+    fn links(n: usize) -> Vec<Link> {
+        (0..n)
+            .map(|i| Link::from_mbps_ms(1.0 + i as f64, 50.0))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_selector_matches_raw_sampling() {
+        let links = links(10);
+        let mut a = Xoshiro256::new(99);
+        let mut b = Xoshiro256::new(99);
+        let picked = UniformSelector.select(&ctx(&links), &mut a);
+        assert_eq!(picked, b.sample_without_replacement(10, 5));
+    }
+
+    #[test]
+    fn availability_selector_is_deterministic_and_valid() {
+        let links = links(10);
+        let mut sel = AvailabilitySelector::new(0.4);
+        let mut a = Xoshiro256::new(3);
+        let mut b = Xoshiro256::new(3);
+        let pa = sel.select(&ctx(&links), &mut a);
+        let pb = sel.select(&ctx(&links), &mut b);
+        assert_eq!(pa, pb);
+        assert!(!pa.is_empty() && pa.len() <= 5);
+        let mut dedup = pa.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), pa.len());
+        assert!(pa.iter().all(|&c| c < 10));
+    }
+
+    #[test]
+    fn availability_selector_shrinks_cohort_under_heavy_dropout() {
+        let links = links(10);
+        let mut sel = AvailabilitySelector::new(0.9);
+        let mut rng = Xoshiro256::new(5);
+        let mut shrunk = false;
+        for _ in 0..50 {
+            let picked = sel.select(&ctx(&links), &mut rng);
+            assert!(!picked.is_empty());
+            if picked.len() < 5 {
+                shrunk = true;
+            }
+        }
+        assert!(shrunk, "90% dropout should shrink the cohort at least once");
+    }
+
+    #[test]
+    #[should_panic]
+    fn availability_selector_rejects_certain_dropout() {
+        AvailabilitySelector::new(1.0);
+    }
+
+    #[test]
+    fn uniform_ratio_decision() {
+        let links = links(4);
+        let rctx = RatioCtx {
+            round: 0,
+            links: &links,
+            model_bytes: 1e5,
+        };
+        let d = UniformRatio::sparse(0.1).decide(&rctx);
+        assert_eq!(d.ratios, vec![0.1; 4]);
+        assert!(d.schedule.is_none());
+        assert!(!d.dense_uplink);
+        let d = UniformRatio::dense().decide(&rctx);
+        assert_eq!(d.ratios, vec![1.0; 4]);
+        assert!(d.dense_uplink);
+    }
+
+    #[test]
+    fn bcrs_policy_produces_schedule() {
+        let links = vec![
+            Link::from_mbps_ms(4.0, 40.0),
+            Link::from_mbps_ms(0.5, 150.0),
+        ];
+        let rctx = RatioCtx {
+            round: 0,
+            links: &links,
+            model_bytes: 1e5,
+        };
+        let d = BcrsRatioPolicy::new(CommModel::paper_default(), 0.05).decide(&rctx);
+        let s = d.schedule.expect("BCRS must emit a schedule");
+        assert_eq!(d.ratios, s.ratios);
+        assert!(d.ratios[0] > d.ratios[1], "fast client gets a larger ratio");
+    }
+
+    #[test]
+    fn sgd_server_matches_apply_update() {
+        let mut a = vec![1.0f32, 2.0, 3.0];
+        let mut b = a.clone();
+        SgdServer.apply(&mut a, &[0.5, 0.5, 0.5], 0.2);
+        apply_update(&mut b, &[0.5, 0.5, 0.5], 0.2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn momentum_server_accumulates_velocity() {
+        let mut opt = MomentumServer::new(0.5);
+        let mut w = vec![0.0f32; 2];
+        opt.apply(&mut w, &[1.0, 2.0], 1.0); // v = [1, 2], w = [-1, -2]
+        assert_eq!(w, vec![-1.0, -2.0]);
+        opt.apply(&mut w, &[1.0, 2.0], 1.0); // v = [1.5, 3], w = [-2.5, -5]
+        assert_eq!(w, vec![-2.5, -5.0]);
+        assert!(opt.velocity_norm() > 0.0);
+    }
+
+    #[test]
+    fn momentum_zero_equals_sgd() {
+        let delta = [0.25f32, -0.75, 0.5];
+        let mut a = vec![1.0f32; 3];
+        let mut b = a.clone();
+        MomentumServer::new(0.0).apply(&mut a, &delta, 0.7);
+        SgdServer.apply(&mut b, &delta, 0.7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn defaults_follow_config() {
+        let mut c = ExperimentConfig::quick(Algorithm::FedAvg);
+        assert_eq!(default_selector(&c).name(), "uniform");
+        assert_eq!(default_server_opt(&c).name(), "sgd");
+        assert_eq!(
+            default_ratio_policy(&c, CommModel::paper_default()).name(),
+            "dense"
+        );
+        c.dropout_rate = 0.2;
+        c.server_momentum = 0.9;
+        c.algorithm = Algorithm::Bcrs;
+        assert_eq!(default_selector(&c).name(), "availability");
+        assert_eq!(default_server_opt(&c).name(), "momentum");
+        assert_eq!(
+            default_ratio_policy(&c, CommModel::paper_default()).name(),
+            "bcrs"
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! One communication round of the [`FederatedSession`] engine, decomposed
+//! into explicit stages (Alg. 1 lines 3–19):
+//!
+//! 1. **select** — the [`crate::policy::ClientSelector`] picks the cohort;
+//! 2. **local phase** — the [`crate::policy::RatioPolicy`] assigns ratios,
+//!    then every selected client trains and compresses in parallel;
+//! 3. **aggregate phase** — overlap analysis, optional OPWA mask, weighted
+//!    aggregation and the [`crate::policy::ServerOpt`] global update;
+//! 4. **timing phase** — the network simulator prices the round's uploads;
+//! 5. **eval phase** — the global model is evaluated on the held-out test set
+//!    (every `eval_every` rounds) and the [`RoundRecord`] is assembled.
+//!
+//! [`FederatedSession::run_round`] threads the stage outputs through in
+//! order and returns a [`RoundOutput`].
+
+use crate::aggregate::{aggregate_sparse, data_fractions};
+use crate::bcrs::BcrsSchedule;
+use crate::eval::{evaluate, Evaluation};
+use crate::opwa::OpwaMask;
+use crate::overlap::OverlapCounts;
+use crate::policy::{RatioCtx, SelectionCtx};
+use crate::runner::RoundRecord;
+use crate::session::FederatedSession;
+use fl_compress::SparseUpdate;
+use fl_netsim::{Link, RoundBreakdown, RoundTiming};
+use fl_nn::unflatten_params;
+use fl_tensor::parallel::parallel_map;
+
+/// Everything produced by one round beyond the global-state mutation.
+#[derive(Clone, Debug)]
+pub struct RoundOutput {
+    /// The round's record (also appended to the session's history).
+    pub record: RoundRecord,
+    /// The BCRS schedule, when the ratio policy produced one.
+    pub schedule: Option<BcrsSchedule>,
+    /// Slowest selected client's local training wall time (seconds).
+    pub train_time_s: f64,
+    /// Total compression wall time across the cohort (seconds).
+    pub compress_time_s: f64,
+}
+
+/// Stage 1 output: the cohort and its links.
+struct Selection {
+    selected: Vec<usize>,
+    links: Vec<Link>,
+}
+
+/// Stage 2 output: the cohort's compressed updates plus training metrics.
+struct LocalPhase {
+    updates: Vec<SparseUpdate>,
+    sample_counts: Vec<usize>,
+    train_loss: f64,
+    max_train_time: f64,
+    total_compress_time: f64,
+    ratios: Vec<f64>,
+    schedule: Option<BcrsSchedule>,
+    dense_uplink: bool,
+}
+
+/// Stage 3 output: the overlap analysis retained for the record.
+struct AggregatePhase {
+    overlap: Option<OverlapCounts>,
+}
+
+impl FederatedSession {
+    /// Execute the next communication round and return its output (a copy of
+    /// the record is appended to the session's history). The round counter
+    /// advances even past `config.rounds`, so callers may run longer horizons
+    /// than the configuration by stepping manually.
+    pub fn run_round(&mut self) -> RoundOutput {
+        let output = self.step();
+        self.records.push(output.record.clone());
+        output
+    }
+
+    /// Run the round stages without touching the history — the internal
+    /// driver for both [`run_round`](Self::run_round) (which clones the
+    /// record into the history) and the session's `run_with` loop (which
+    /// moves it there after the callback, avoiding a per-round clone).
+    pub(crate) fn step(&mut self) -> RoundOutput {
+        let round = self.next_round;
+        let selection = self.select(round);
+        let local = self.local_phase(round, &selection);
+        let aggregate = self.aggregate_phase(&local);
+        let timing = self.timing_phase(&selection, &local);
+        let output = self.eval_phase(round, selection, local, aggregate, timing);
+        self.next_round += 1;
+        output
+    }
+
+    /// Stage 1: pick this round's cohort via the selection policy.
+    fn select(&mut self, round: usize) -> Selection {
+        let ctx = SelectionCtx {
+            round,
+            num_clients: self.config.num_clients,
+            cohort_size: self.cohort,
+            links: &self.links,
+        };
+        let selected = self.selector.select(&ctx, &mut self.selection_rng);
+        assert!(!selected.is_empty(), "selector produced an empty cohort");
+        let links = selected.iter().map(|&i| self.links[i]).collect();
+        Selection { selected, links }
+    }
+
+    /// Stage 2: assign per-client ratios, then train and compress the cohort
+    /// in parallel. Updates are moved out of the client outputs (no cloning).
+    fn local_phase(&mut self, round: usize, selection: &Selection) -> LocalPhase {
+        let decision = self.ratio_policy.decide(&RatioCtx {
+            round,
+            links: &selection.links,
+            model_bytes: self.model_bytes as f64,
+        });
+        assert_eq!(
+            decision.ratios.len(),
+            selection.selected.len(),
+            "ratio policy must produce one ratio per selected client"
+        );
+
+        let use_randk = self.config.algorithm.uses_randk();
+        let work: Vec<(usize, f64)> = selection
+            .selected
+            .iter()
+            .cloned()
+            .zip(decision.ratios.iter().cloned())
+            .collect();
+        let global_ref = &self.global_params;
+        let clients_ref = &self.clients;
+        let outputs = parallel_map(work, self.threads, move |(client_idx, ratio)| {
+            let mut client = clients_ref[client_idx].lock();
+            let train_out = client.local_update(global_ref);
+            let c_start = std::time::Instant::now();
+            let compressed = client.compress(&train_out.delta, ratio, use_randk);
+            let compress_time = c_start.elapsed().as_secs_f64();
+            (train_out, compressed, compress_time)
+        });
+
+        let cohort_len = outputs.len();
+        let mut updates = Vec::with_capacity(cohort_len);
+        let mut sample_counts = Vec::with_capacity(cohort_len);
+        let mut loss_sum = 0.0f64;
+        let mut max_train_time = 0.0f64;
+        let mut total_compress_time = 0.0f64;
+        for (train_out, compressed, compress_time) in outputs {
+            sample_counts.push(train_out.num_samples);
+            loss_sum += train_out.train_loss;
+            max_train_time = max_train_time.max(train_out.train_time_s);
+            total_compress_time += compress_time;
+            updates.push(
+                compressed
+                    .into_sparse()
+                    .expect("sparsifying compressors always produce sparse updates"),
+            );
+        }
+
+        LocalPhase {
+            updates,
+            sample_counts,
+            train_loss: loss_sum / cohort_len as f64,
+            max_train_time,
+            total_compress_time,
+            ratios: decision.ratios,
+            schedule: decision.schedule,
+            dense_uplink: decision.dense_uplink,
+        }
+    }
+
+    /// Stage 3: compute averaging coefficients (Eq. 6 under BCRS), apply the
+    /// OPWA mask when active, aggregate, and let the server optimizer update
+    /// the global parameters.
+    fn aggregate_phase(&mut self, local: &LocalPhase) -> AggregatePhase {
+        let sparse_refs: Vec<&SparseUpdate> = local.updates.iter().collect();
+        let fractions = data_fractions(&local.sample_counts);
+        let coefficients: Vec<f64> =
+            match (&local.schedule, self.config.disable_coefficient_adjustment) {
+                (Some(s), false) => s.adjusted_coefficients(&fractions, self.config.alpha),
+                _ => fractions,
+            };
+
+        let need_overlap = self.config.algorithm.uses_opwa() || self.config.record_overlap;
+        let overlap = if need_overlap {
+            Some(OverlapCounts::from_updates(&sparse_refs))
+        } else {
+            None
+        };
+        let mask = if self.config.algorithm.uses_opwa() {
+            overlap.as_ref().map(|c| {
+                OpwaMask::from_overlap(c, self.config.gamma, self.config.overlap_threshold)
+            })
+        } else {
+            None
+        };
+
+        let aggregated = aggregate_sparse(&sparse_refs, &coefficients, mask.as_ref());
+        self.server_opt
+            .apply(&mut self.global_params, &aggregated, self.config.server_lr);
+        AggregatePhase { overlap }
+    }
+
+    /// Stage 4: price the round's uploads under the evaluated algorithm and
+    /// under uncompressed transmission, and accumulate the running totals.
+    fn timing_phase(&mut self, selection: &Selection, local: &LocalPhase) -> RoundTiming {
+        let model_bytes = self.model_bytes as f64;
+        let dense_times: Vec<f64> = selection
+            .links
+            .iter()
+            .map(|l| self.comm.dense_uplink_time(l, model_bytes))
+            .collect();
+        let algorithm_times: Vec<f64> = match &local.schedule {
+            Some(s) => s.scheduled_times.clone(),
+            None if local.dense_uplink => dense_times.clone(),
+            None => selection
+                .links
+                .iter()
+                .zip(local.ratios.iter())
+                .map(|(l, &r)| self.comm.sparse_uplink_time(l, model_bytes, r))
+                .collect(),
+        };
+        let timing = RoundTiming::from_client_times(&algorithm_times, &dense_times);
+        self.time_acc.push(timing);
+        self.breakdown_total.accumulate(&RoundBreakdown {
+            compress_s: local.total_compress_time,
+            training_s: local.max_train_time,
+            uncompressed_comm_s: timing.max,
+            scheduled_comm_s: timing.actual,
+        });
+        timing
+    }
+
+    /// Stage 5: evaluate the new global model (every `eval_every` rounds and
+    /// always on the final configured round; skipped rounds repeat the most
+    /// recent evaluation, NaN before the first) and assemble the record.
+    fn eval_phase(
+        &mut self,
+        round: usize,
+        selection: Selection,
+        local: LocalPhase,
+        aggregate: AggregatePhase,
+        timing: RoundTiming,
+    ) -> RoundOutput {
+        let eval_every = self.config.eval_every.max(1);
+        let should_eval = (round + 1).is_multiple_of(eval_every) || round + 1 == self.config.rounds;
+        if should_eval {
+            unflatten_params(&mut self.global_model, &self.global_params);
+            self.last_eval = Some(evaluate(
+                &mut self.global_model,
+                &self.test,
+                self.config.batch_size.max(64),
+            ));
+        }
+        let eval = self.last_eval.unwrap_or(Evaluation {
+            loss: f64::NAN,
+            accuracy: f64::NAN,
+        });
+
+        let record = RoundRecord {
+            round,
+            test_accuracy: eval.accuracy,
+            test_loss: eval.loss,
+            train_loss: local.train_loss,
+            mean_compression_ratio: local.ratios.iter().sum::<f64>() / local.ratios.len() as f64,
+            comm_actual_s: timing.actual,
+            comm_max_s: timing.max,
+            comm_min_s: timing.min,
+            cumulative_actual_s: self.time_acc.total_actual(),
+            cumulative_max_s: self.time_acc.total_max(),
+            cumulative_min_s: self.time_acc.total_min(),
+            selected_clients: selection.selected,
+            overlap: aggregate.overlap.map(|c| c.stats()),
+        };
+        RoundOutput {
+            record,
+            schedule: local.schedule,
+            train_time_s: local.max_train_time,
+            compress_time_s: local.total_compress_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::algorithm::Algorithm;
+    use crate::config::ExperimentConfig;
+    use crate::session::FederatedSession;
+
+    #[test]
+    fn round_output_carries_schedule_for_bcrs_only() {
+        let mut config = ExperimentConfig::quick(Algorithm::Bcrs);
+        config.rounds = 1;
+        config.max_threads = 1;
+        let out = FederatedSession::from_config(&config).run_round();
+        assert!(out.schedule.is_some());
+        assert!(out.train_time_s >= 0.0);
+        assert!(out.compress_time_s >= 0.0);
+
+        config.algorithm = Algorithm::TopK;
+        let out = FederatedSession::from_config(&config).run_round();
+        assert!(out.schedule.is_none());
+    }
+
+    #[test]
+    fn stepping_past_the_configured_horizon_keeps_going() {
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.rounds = 1;
+        config.max_threads = 1;
+        let mut session = FederatedSession::from_config(&config);
+        let a = session.run_round();
+        assert!(session.is_finished());
+        let b = session.run_round(); // beyond config.rounds — allowed
+        assert_eq!(a.record.round, 0);
+        assert_eq!(b.record.round, 1);
+        assert_eq!(session.records().len(), 2);
+    }
+}

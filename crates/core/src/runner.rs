@@ -1,22 +1,20 @@
-//! The experiment runner: executes one federated-learning experiment
-//! (Algorithm 1 with the configured variant) and records everything the
-//! paper's tables and figures need.
+//! Experiment entry points and result types.
+//!
+//! The round-by-round mechanics live in the [`crate::session`] /
+//! [`crate::round`] engine; this module keeps the stable public surface —
+//! [`run_experiment`], the per-round [`RoundRecord`] and the aggregate
+//! [`ExperimentResult`] — as thin wrappers over a [`FederatedSession`] built
+//! with the configuration's default policies.
 
-use crate::aggregate::{aggregate_sparse, apply_update, data_fractions};
-use crate::algorithm::Algorithm;
-use crate::bcrs::BcrsScheduler;
-use crate::client::{build_model, ClientState};
+use crate::client::build_model;
 use crate::config::ExperimentConfig;
 use crate::eval::evaluate;
-use crate::opwa::OpwaMask;
-use crate::overlap::{OverlapCounts, OverlapStats};
-use fl_compress::SparseUpdate;
-use fl_data::{dirichlet_partition, Dataset, PartitionStats};
-use fl_netsim::{CommModel, Link, RoundBreakdown, RoundTiming, TimeAccumulator};
-use fl_nn::{flatten_params, unflatten_params, Sequential};
-use fl_tensor::parallel::{default_threads, parallel_map};
-use fl_tensor::rng::{Rng, Xoshiro256};
-use parking_lot::Mutex;
+use crate::overlap::OverlapStats;
+use crate::session::SessionBuilder;
+use fl_data::{Dataset, PartitionStats};
+use fl_netsim::RoundBreakdown;
+use fl_nn::{unflatten_params, Sequential};
+use fl_tensor::rng::Xoshiro256;
 use serde::{Deserialize, Serialize};
 
 /// Everything recorded about one communication round.
@@ -24,7 +22,9 @@ use serde::{Deserialize, Serialize};
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: usize,
-    /// Global-model accuracy on the held-out test set after this round.
+    /// Global-model accuracy on the held-out test set after this round
+    /// (the most recent evaluation when `eval_every > 1`; NaN before the
+    /// first evaluation point).
     pub test_accuracy: f64,
     /// Global-model loss on the test set after this round.
     pub test_loss: f64,
@@ -49,6 +49,49 @@ pub struct RoundRecord {
     /// Degree-of-overlap distribution of this round's sparse updates (present
     /// when OPWA is active or `record_overlap` is set).
     pub overlap: Option<OverlapStats>,
+}
+
+impl PartialEq for RoundRecord {
+    /// Bitwise equality: floating-point fields compare by their bit pattern,
+    /// so NaN placeholders from `eval_every`-skipped rounds compare equal
+    /// between two identical runs (the determinism regression tests rely on
+    /// `records == records` meaning "bit-identical trajectories"). Both sides
+    /// are destructured without a rest pattern so adding a field to
+    /// `RoundRecord` is a compile error here instead of a silently untested
+    /// field.
+    fn eq(&self, other: &Self) -> bool {
+        fn bits(x: f64) -> u64 {
+            x.to_bits()
+        }
+        let RoundRecord {
+            round,
+            test_accuracy,
+            test_loss,
+            train_loss,
+            mean_compression_ratio,
+            comm_actual_s,
+            comm_max_s,
+            comm_min_s,
+            cumulative_actual_s,
+            cumulative_max_s,
+            cumulative_min_s,
+            selected_clients,
+            overlap,
+        } = other;
+        self.round == *round
+            && bits(self.test_accuracy) == bits(*test_accuracy)
+            && bits(self.test_loss) == bits(*test_loss)
+            && bits(self.train_loss) == bits(*train_loss)
+            && bits(self.mean_compression_ratio) == bits(*mean_compression_ratio)
+            && bits(self.comm_actual_s) == bits(*comm_actual_s)
+            && bits(self.comm_max_s) == bits(*comm_max_s)
+            && bits(self.comm_min_s) == bits(*comm_min_s)
+            && bits(self.cumulative_actual_s) == bits(*cumulative_actual_s)
+            && bits(self.cumulative_max_s) == bits(*cumulative_max_s)
+            && bits(self.cumulative_min_s) == bits(*cumulative_min_s)
+            && self.selected_clients == *selected_clients
+            && self.overlap == *overlap
+    }
 }
 
 /// The outcome of a full experiment.
@@ -117,7 +160,7 @@ impl ExperimentResult {
     }
 
     /// CSV dump of the round records
-    /// (`round,test_accuracy,train_loss,mean_cr,comm_actual,cum_actual,cum_max,cum_min`).
+    /// (`round,test_accuracy,test_loss,train_loss,mean_cr,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "round,test_accuracy,test_loss,train_loss,mean_cr,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s\n",
@@ -141,214 +184,17 @@ impl ExperimentResult {
 }
 
 /// Run an experiment, invoking `on_round` after every communication round.
+///
+/// This is a thin loop over a [`crate::session::FederatedSession`] built with
+/// the configuration's default policies; use [`SessionBuilder`] directly to
+/// plug in custom selection, ratio or server-optimizer policies.
 pub fn run_experiment_with<F: FnMut(&RoundRecord)>(
     config: &ExperimentConfig,
-    mut on_round: F,
+    on_round: F,
 ) -> ExperimentResult {
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid experiment config: {e}"));
-    let wall_start = std::time::Instant::now();
-
-    // --- Data -----------------------------------------------------------------
-    let spec = config.dataset.spec(config.dataset_scale);
-    let (train, test) = spec.generate(config.seed);
-    let min_samples = (config.batch_size / 4).clamp(2, (train.len() / config.num_clients).max(1));
-    let partitions = dirichlet_partition(
-        &train,
-        config.num_clients,
-        config.beta,
-        min_samples,
-        config.seed ^ 0xD1A1,
-    );
-    let partition_stats = PartitionStats::from_partition(&partitions, &train);
-
-    // --- Model ----------------------------------------------------------------
-    let mut model_rng = Xoshiro256::new(config.seed);
-    let mut global_model = build_model(
-        &config.model,
-        train.feature_dim(),
-        train.num_classes(),
-        &mut model_rng,
-    );
-    let mut global_params = flatten_params(&global_model);
-    let model_params = global_params.len();
-    let model_bytes = model_params * 4;
-
-    // --- Clients and network ---------------------------------------------------
-    let mut root_rng = Xoshiro256::new(config.seed ^ 0xC11E);
-    let clients: Vec<Mutex<ClientState>> = partitions
-        .iter()
-        .map(|p| {
-            let local = p.dataset(&train);
-            let client_rng = root_rng.fork(p.client_id as u64);
-            Mutex::new(ClientState::new(p.client_id, local, config, client_rng))
-        })
-        .collect();
-    let links: Vec<Link> = config
-        .links
-        .generate(config.num_clients, config.seed ^ 0x11C5);
-    let comm = CommModel::paper_default();
-    let scheduler = BcrsScheduler::new(comm);
-
-    let mut selection_rng = Xoshiro256::new(config.seed ^ 0x5E1E);
-    let mut time_acc = TimeAccumulator::new();
-    let mut breakdown_total = RoundBreakdown::default();
-    let mut records = Vec::with_capacity(config.rounds);
-    let threads = if config.max_threads == 0 {
-        default_threads()
-    } else {
-        config.max_threads
-    };
-    let cohort = config.clients_per_round();
-
-    // --- Rounds ------------------------------------------------------------------
-    for round in 0..config.rounds {
-        let selected = selection_rng.sample_without_replacement(config.num_clients, cohort);
-        let selected_links: Vec<Link> = selected.iter().map(|&i| links[i]).collect();
-
-        // Per-client compression ratios for this round.
-        let (ratios, schedule) = match config.algorithm {
-            Algorithm::FedAvg => (vec![1.0; cohort], None),
-            Algorithm::TopK | Algorithm::EfTopK | Algorithm::RandK | Algorithm::TopKOpwa => {
-                (vec![config.compression_ratio; cohort], None)
-            }
-            Algorithm::Bcrs | Algorithm::BcrsOpwa => {
-                let s = scheduler.schedule(
-                    &selected_links,
-                    model_bytes as f64,
-                    config.compression_ratio,
-                );
-                (s.ratios.clone(), Some(s))
-            }
-        };
-
-        // Local training + compression, in parallel over the cohort.
-        let use_randk = config.algorithm == Algorithm::RandK;
-        let work: Vec<(usize, f64)> = selected
-            .iter()
-            .cloned()
-            .zip(ratios.iter().cloned())
-            .collect();
-        let global_ref = &global_params;
-        let clients_ref = &clients;
-        let outputs = parallel_map(work, threads, move |(client_idx, ratio)| {
-            let mut client = clients_ref[client_idx].lock();
-            let train_out = client.local_update(global_ref);
-            let c_start = std::time::Instant::now();
-            let compressed = client.compress(&train_out.delta, ratio, use_randk);
-            let compress_time = c_start.elapsed().as_secs_f64();
-            (train_out, compressed, compress_time)
-        });
-
-        // Gather sparse updates, losses and timings.
-        let sparse_updates: Vec<SparseUpdate> = outputs
-            .iter()
-            .map(|(_, c, _)| {
-                c.as_sparse()
-                    .expect("sparsifying compressors always produce sparse updates")
-                    .clone()
-            })
-            .collect();
-        let sparse_refs: Vec<&SparseUpdate> = sparse_updates.iter().collect();
-        let sample_counts: Vec<usize> = outputs.iter().map(|(t, _, _)| t.num_samples).collect();
-        let train_loss =
-            outputs.iter().map(|(t, _, _)| t.train_loss).sum::<f64>() / outputs.len() as f64;
-        let max_train_time = outputs
-            .iter()
-            .map(|(t, _, _)| t.train_time_s)
-            .fold(0.0f64, f64::max);
-        let total_compress_time: f64 = outputs.iter().map(|(_, _, c)| *c).sum();
-
-        // Averaging coefficients.
-        let fractions = data_fractions(&sample_counts);
-        let coefficients: Vec<f64> = match (&schedule, config.disable_coefficient_adjustment) {
-            (Some(s), false) => s.adjusted_coefficients(&fractions, config.alpha),
-            (Some(_), true) => fractions.clone(),
-            (None, _) => fractions.clone(),
-        };
-
-        // Overlap analysis and OPWA mask.
-        let need_overlap = config.algorithm.uses_opwa() || config.record_overlap;
-        let overlap_stats = if need_overlap {
-            Some(OverlapCounts::from_updates(&sparse_refs))
-        } else {
-            None
-        };
-        let mask = if config.algorithm.uses_opwa() {
-            overlap_stats
-                .as_ref()
-                .map(|c| OpwaMask::from_overlap(c, config.gamma, config.overlap_threshold))
-        } else {
-            None
-        };
-
-        // Aggregate and update the global model.
-        let aggregated = aggregate_sparse(&sparse_refs, &coefficients, mask.as_ref());
-        apply_update(&mut global_params, &aggregated, config.server_lr);
-
-        // Communication timing.
-        let dense_times: Vec<f64> = selected_links
-            .iter()
-            .map(|l| comm.dense_uplink_time(l, model_bytes as f64))
-            .collect();
-        let algorithm_times: Vec<f64> = match (&schedule, config.algorithm) {
-            (Some(s), _) => s.scheduled_times.clone(),
-            (None, Algorithm::FedAvg) => dense_times.clone(),
-            (None, _) => selected_links
-                .iter()
-                .map(|l| comm.sparse_uplink_time(l, model_bytes as f64, config.compression_ratio))
-                .collect(),
-        };
-        let timing = RoundTiming::from_client_times(&algorithm_times, &dense_times);
-        time_acc.push(timing);
-
-        breakdown_total.accumulate(&RoundBreakdown {
-            compress_s: total_compress_time,
-            training_s: max_train_time,
-            uncompressed_comm_s: timing.max,
-            scheduled_comm_s: timing.actual,
-        });
-
-        // Evaluate the new global model.
-        unflatten_params(&mut global_model, &global_params);
-        let eval = evaluate(&mut global_model, &test, config.batch_size.max(64));
-
-        let record = RoundRecord {
-            round,
-            test_accuracy: eval.accuracy,
-            test_loss: eval.loss,
-            train_loss,
-            mean_compression_ratio: ratios.iter().sum::<f64>() / ratios.len() as f64,
-            comm_actual_s: timing.actual,
-            comm_max_s: timing.max,
-            comm_min_s: timing.min,
-            cumulative_actual_s: time_acc.total_actual(),
-            cumulative_max_s: time_acc.total_max(),
-            cumulative_min_s: time_acc.total_min(),
-            selected_clients: selected,
-            overlap: overlap_stats.map(|c| c.stats()),
-        };
-        on_round(&record);
-        records.push(record);
-    }
-
-    let final_accuracy = records.last().map(|r| r.test_accuracy).unwrap_or(0.0);
-    let best_accuracy = records
-        .iter()
-        .map(|r| r.test_accuracy)
-        .fold(0.0f64, f64::max);
-    ExperimentResult {
-        config: config.clone(),
-        breakdown: breakdown_total.averaged_over(records.len()),
-        final_accuracy,
-        best_accuracy,
-        model_params,
-        model_bytes,
-        partition: partition_stats,
-        records,
-        wall_time_s: wall_start.elapsed().as_secs_f64(),
-    }
+    SessionBuilder::from_config(config)
+        .build()
+        .run_with(on_round)
 }
 
 /// Run an experiment to completion and return its result.
@@ -392,6 +238,7 @@ pub fn evaluate_params(config: &ExperimentConfig, params: &[f32], dataset: &Data
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algorithm::Algorithm;
 
     fn quick(algorithm: Algorithm) -> ExperimentConfig {
         let mut c = ExperimentConfig::quick(algorithm);
@@ -448,6 +295,32 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_round_records() {
+        // Determinism regression gate: every field of every record must be
+        // identical between a sequential and a parallel run of the same seed.
+        let mut c = quick(Algorithm::BcrsOpwa);
+        c.rounds = 4;
+        c.max_threads = 1;
+        let sequential = run_experiment(&c);
+        c.max_threads = 4;
+        let parallel = run_experiment(&c);
+        assert_eq!(sequential.records, parallel.records);
+    }
+
+    #[test]
+    fn records_with_nan_placeholders_still_compare_equal() {
+        // eval_every = 2 leaves round 0 unevaluated (NaN); bitwise record
+        // equality must still hold between two identical runs.
+        let mut c = quick(Algorithm::TopK);
+        c.rounds = 4;
+        c.eval_every = 2;
+        let a = run_experiment(&c);
+        let b = run_experiment(&c);
+        assert!(a.records[0].test_accuracy.is_nan());
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
     fn bcrs_round_time_not_worse_than_uniform_topk() {
         // The core BCRS claim: its per-round communication time never exceeds
         // the uniform-compression straggler time at the same base ratio.
@@ -498,6 +371,22 @@ mod tests {
     fn csv_has_one_row_per_round_plus_header() {
         let r = run_experiment(&quick(Algorithm::TopK));
         assert_eq!(r.to_csv().lines().count(), r.records.len() + 1);
+    }
+
+    #[test]
+    fn csv_header_names_every_column() {
+        let r = run_experiment(&quick(Algorithm::TopK));
+        let csv = r.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "round,test_accuracy,test_loss,train_loss,mean_cr,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s"
+        );
+        // Every row has exactly as many cells as the header.
+        let columns = header.split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), columns, "malformed row: {line}");
+        }
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! The [`FederatedSession`] round engine: long-lived experiment state plus a
+//! builder that wires in the pluggable policies.
+//!
+//! A session owns everything that persists across communication rounds —
+//! client states, network links, the global model, RNG streams and the time
+//! accumulators — and advances one round at a time via
+//! [`FederatedSession::run_round`] (the staged loop lives in
+//! [`crate::round`]). [`crate::runner::run_experiment`] is now a thin wrapper
+//! that builds a session and drives it to the configured horizon.
+//!
+//! ```
+//! use fl_core::session::SessionBuilder;
+//! use fl_core::{Algorithm, ExperimentConfig};
+//!
+//! let mut config = ExperimentConfig::quick(Algorithm::TopK);
+//! config.rounds = 2;
+//! let mut session = SessionBuilder::from_config(&config).build();
+//! let first = session.run_round();
+//! assert_eq!(first.record.round, 0);
+//! let result = session.run(); // finishes the remaining rounds
+//! assert_eq!(result.records.len(), 2);
+//! ```
+
+use crate::client::{build_model, ClientState};
+use crate::config::ExperimentConfig;
+use crate::eval::Evaluation;
+use crate::policy::{
+    default_ratio_policy, default_selector, default_server_opt, ClientSelector, RatioPolicy,
+    ServerOpt,
+};
+use crate::runner::{ExperimentResult, RoundRecord};
+use fl_data::{dirichlet_partition, Dataset, PartitionStats};
+use fl_netsim::{CommModel, Link, RoundBreakdown, TimeAccumulator};
+use fl_nn::{flatten_params, Sequential};
+use fl_tensor::parallel::default_threads;
+use fl_tensor::rng::Xoshiro256;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Builds a [`FederatedSession`] from a configuration, optionally overriding
+/// the datasets (shared generation in sweeps) and the round policies.
+pub struct SessionBuilder {
+    config: ExperimentConfig,
+    data: Option<(Arc<Dataset>, Arc<Dataset>)>,
+    selector: Option<Box<dyn ClientSelector>>,
+    ratio_policy: Option<Box<dyn RatioPolicy>>,
+    server_opt: Option<Box<dyn ServerOpt>>,
+    threads: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// Start from a configuration; policies default to the configuration's
+    /// implied choices (see [`crate::policy`]).
+    pub fn from_config(config: &ExperimentConfig) -> Self {
+        Self {
+            config: config.clone(),
+            data: None,
+            selector: None,
+            ratio_policy: None,
+            server_opt: None,
+            threads: None,
+        }
+    }
+
+    /// Use pre-generated train/test datasets instead of generating them from
+    /// the config's seed. The datasets must match the config's preset shape
+    /// (feature dimension and class count).
+    pub fn with_data(self, train: Dataset, test: Dataset) -> Self {
+        self.with_shared_data(Arc::new(train), Arc::new(test))
+    }
+
+    /// Like [`with_data`](Self::with_data) but borrowing shared datasets —
+    /// sweeps generate each distinct dataset once and hand the same `Arc`s to
+    /// every session in the grid instead of deep-cloning per run.
+    pub fn with_shared_data(mut self, train: Arc<Dataset>, test: Arc<Dataset>) -> Self {
+        self.data = Some((train, test));
+        self
+    }
+
+    /// Override the client-selection policy.
+    pub fn selector(mut self, selector: Box<dyn ClientSelector>) -> Self {
+        self.selector = Some(selector);
+        self
+    }
+
+    /// Override the compression-ratio policy.
+    pub fn ratio_policy(mut self, policy: Box<dyn RatioPolicy>) -> Self {
+        self.ratio_policy = Some(policy);
+        self
+    }
+
+    /// Override the server optimizer.
+    pub fn server_opt(mut self, opt: Box<dyn ServerOpt>) -> Self {
+        self.server_opt = Some(opt);
+        self
+    }
+
+    /// Override the client-training worker-thread count without touching the
+    /// configuration (`0` = auto). The sweep driver uses this to split the
+    /// machine's parallelism between concurrent sessions while leaving
+    /// `config.max_threads` — and thus the reported result config — intact.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Materialise the session: generate (or adopt) the data, partition it,
+    /// initialise the global model, the per-client states, the network links
+    /// and the RNG streams. Panics on an invalid configuration, matching the
+    /// historical `run_experiment` behaviour.
+    pub fn build(self) -> FederatedSession {
+        let config = self.config;
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid experiment config: {e}"));
+        let wall_start = std::time::Instant::now();
+
+        // --- Data -------------------------------------------------------------
+        let (train, test) = match self.data {
+            Some(d) => d,
+            None => {
+                let spec = config.dataset.spec(config.dataset_scale);
+                let (train, test) = spec.generate(config.seed);
+                (Arc::new(train), Arc::new(test))
+            }
+        };
+        let min_samples =
+            (config.batch_size / 4).clamp(2, (train.len() / config.num_clients).max(1));
+        let partitions = dirichlet_partition(
+            &train,
+            config.num_clients,
+            config.beta,
+            min_samples,
+            config.seed ^ 0xD1A1,
+        );
+        let partition_stats = PartitionStats::from_partition(&partitions, &train);
+
+        // --- Model ------------------------------------------------------------
+        let mut model_rng = Xoshiro256::new(config.seed);
+        let global_model = build_model(
+            &config.model,
+            train.feature_dim(),
+            train.num_classes(),
+            &mut model_rng,
+        );
+        let global_params = flatten_params(&global_model);
+        let model_params = global_params.len();
+        let model_bytes = model_params * 4;
+
+        // --- Clients and network ----------------------------------------------
+        let mut root_rng = Xoshiro256::new(config.seed ^ 0xC11E);
+        let clients: Vec<Mutex<ClientState>> = partitions
+            .iter()
+            .map(|p| {
+                let local = p.dataset(&train);
+                let client_rng = root_rng.fork(p.client_id as u64);
+                Mutex::new(ClientState::new(p.client_id, local, &config, client_rng))
+            })
+            .collect();
+        let links: Vec<Link> = config
+            .links
+            .generate(config.num_clients, config.seed ^ 0x11C5);
+        let comm = CommModel::paper_default();
+
+        let selection_rng = Xoshiro256::new(config.seed ^ 0x5E1E);
+        let threads = match self.threads.unwrap_or(config.max_threads) {
+            0 => default_threads(),
+            n => n,
+        };
+        let cohort = config.clients_per_round();
+
+        let selector = self.selector.unwrap_or_else(|| default_selector(&config));
+        let ratio_policy = self
+            .ratio_policy
+            .unwrap_or_else(|| default_ratio_policy(&config, comm));
+        let server_opt = self
+            .server_opt
+            .unwrap_or_else(|| default_server_opt(&config));
+        let records = Vec::with_capacity(config.rounds);
+
+        FederatedSession {
+            config,
+            test,
+            partition_stats,
+            clients,
+            links,
+            comm,
+            global_model,
+            global_params,
+            model_params,
+            model_bytes,
+            selector,
+            ratio_policy,
+            server_opt,
+            selection_rng,
+            time_acc: TimeAccumulator::new(),
+            breakdown_total: RoundBreakdown::default(),
+            threads,
+            cohort,
+            records,
+            last_eval: None,
+            next_round: 0,
+            wall_start,
+        }
+    }
+}
+
+/// The long-lived state of one federated-learning experiment: everything
+/// Algorithm 1 carries from round to round.
+///
+/// Construct via [`SessionBuilder`] (or [`FederatedSession::from_config`] for
+/// the config-implied defaults), then either call
+/// [`run`](FederatedSession::run) for the whole configured horizon or
+/// [`run_round`](FederatedSession::run_round) to step manually.
+pub struct FederatedSession {
+    pub(crate) config: ExperimentConfig,
+    pub(crate) test: Arc<Dataset>,
+    pub(crate) partition_stats: PartitionStats,
+    pub(crate) clients: Vec<Mutex<ClientState>>,
+    pub(crate) links: Vec<Link>,
+    pub(crate) comm: CommModel,
+    pub(crate) global_model: Sequential,
+    pub(crate) global_params: Vec<f32>,
+    pub(crate) model_params: usize,
+    pub(crate) model_bytes: usize,
+    pub(crate) selector: Box<dyn ClientSelector>,
+    pub(crate) ratio_policy: Box<dyn RatioPolicy>,
+    pub(crate) server_opt: Box<dyn ServerOpt>,
+    pub(crate) selection_rng: Xoshiro256,
+    pub(crate) time_acc: TimeAccumulator,
+    pub(crate) breakdown_total: RoundBreakdown,
+    pub(crate) threads: usize,
+    pub(crate) cohort: usize,
+    pub(crate) records: Vec<RoundRecord>,
+    pub(crate) last_eval: Option<Evaluation>,
+    pub(crate) next_round: usize,
+    pub(crate) wall_start: std::time::Instant,
+}
+
+impl FederatedSession {
+    /// Session with the configuration's default policies.
+    pub fn from_config(config: &ExperimentConfig) -> Self {
+        SessionBuilder::from_config(config).build()
+    }
+
+    /// The configuration this session runs.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Index of the next round to run (also the number of completed rounds).
+    pub fn next_round(&self) -> usize {
+        self.next_round
+    }
+
+    /// True once the configured number of rounds has completed.
+    pub fn is_finished(&self) -> bool {
+        self.next_round >= self.config.rounds
+    }
+
+    /// Current flat global parameters.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global_params
+    }
+
+    /// Number of trainable model parameters.
+    pub fn model_params(&self) -> usize {
+        self.model_params
+    }
+
+    /// Dense model size in bytes (`V` of the communication model).
+    pub fn model_bytes(&self) -> usize {
+        self.model_bytes
+    }
+
+    /// Records of the rounds completed so far.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// The held-out test dataset.
+    pub fn test_dataset(&self) -> &Dataset {
+        &self.test
+    }
+
+    /// Run all remaining rounds, invoking `on_round` after each one, and
+    /// return the final result.
+    pub fn run_with<F: FnMut(&RoundRecord)>(mut self, mut on_round: F) -> ExperimentResult {
+        while !self.is_finished() {
+            let output = self.step();
+            on_round(&output.record);
+            self.records.push(output.record);
+        }
+        self.into_result()
+    }
+
+    /// Run all remaining rounds and return the final result.
+    pub fn run(self) -> ExperimentResult {
+        self.run_with(|_| {})
+    }
+
+    /// Package the rounds completed so far into an [`ExperimentResult`].
+    pub fn into_result(self) -> ExperimentResult {
+        let final_accuracy = self.records.last().map(|r| r.test_accuracy).unwrap_or(0.0);
+        let best_accuracy = self
+            .records
+            .iter()
+            .map(|r| r.test_accuracy)
+            .fold(0.0f64, f64::max);
+        ExperimentResult {
+            config: self.config,
+            breakdown: self
+                .breakdown_total
+                .averaged_over(self.records.len().max(1)),
+            final_accuracy,
+            best_accuracy,
+            model_params: self.model_params,
+            model_bytes: self.model_bytes,
+            partition: self.partition_stats,
+            records: self.records,
+            wall_time_s: self.wall_start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+    use crate::policy::{AvailabilitySelector, MomentumServer, UniformRatio};
+    use crate::runner::run_experiment;
+
+    fn quick(algorithm: Algorithm) -> ExperimentConfig {
+        let mut c = ExperimentConfig::quick(algorithm);
+        c.rounds = 4;
+        c.max_threads = 1;
+        c
+    }
+
+    #[test]
+    fn session_run_matches_run_experiment() {
+        let config = quick(Algorithm::BcrsOpwa);
+        let via_session = FederatedSession::from_config(&config).run();
+        let via_runner = run_experiment(&config);
+        assert_eq!(via_session.records, via_runner.records);
+        assert_eq!(via_session.final_accuracy, via_runner.final_accuracy);
+    }
+
+    #[test]
+    fn stepping_rounds_matches_running_to_completion() {
+        let config = quick(Algorithm::TopK);
+        let mut stepped = FederatedSession::from_config(&config);
+        let mut seen = Vec::new();
+        while !stepped.is_finished() {
+            seen.push(stepped.run_round().record);
+        }
+        let whole = FederatedSession::from_config(&config).run();
+        assert_eq!(seen, whole.records);
+        assert_eq!(stepped.records(), whole.records.as_slice());
+    }
+
+    #[test]
+    fn builder_accepts_pregenerated_data() {
+        let config = quick(Algorithm::TopK);
+        let (train, test) = config
+            .dataset
+            .spec(config.dataset_scale)
+            .generate(config.seed);
+        let shared = SessionBuilder::from_config(&config)
+            .with_data(train, test)
+            .build()
+            .run();
+        let fresh = run_experiment(&config);
+        assert_eq!(shared.records, fresh.records);
+    }
+
+    #[test]
+    fn dropout_selector_shrinks_some_cohorts() {
+        let mut config = quick(Algorithm::TopK);
+        config.rounds = 8;
+        config.dropout_rate = 0.6;
+        let result = FederatedSession::from_config(&config).run();
+        assert_eq!(result.records.len(), 8);
+        let full = config.clients_per_round();
+        assert!(
+            result
+                .records
+                .iter()
+                .any(|r| r.selected_clients.len() < full),
+            "60% dropout over 8 rounds should shrink at least one cohort"
+        );
+        // Dropout runs are reproducible too.
+        let again = FederatedSession::from_config(&config).run();
+        assert_eq!(result.records, again.records);
+    }
+
+    #[test]
+    fn custom_selector_overrides_config() {
+        let config = quick(Algorithm::TopK);
+        let result = SessionBuilder::from_config(&config)
+            .selector(Box::new(AvailabilitySelector::new(0.5)))
+            .build()
+            .run();
+        assert_eq!(result.records.len(), config.rounds);
+    }
+
+    #[test]
+    fn server_momentum_changes_trajectory_but_stays_valid() {
+        let plain = quick(Algorithm::TopK);
+        let mut with_momentum = plain.clone();
+        with_momentum.server_momentum = 0.9;
+        let a = run_experiment(&plain);
+        let b = run_experiment(&with_momentum);
+        assert_ne!(
+            a.accuracy_series(),
+            b.accuracy_series(),
+            "momentum should alter the optimisation trajectory"
+        );
+        assert!(b.final_accuracy >= 0.0 && b.final_accuracy <= 1.0);
+    }
+
+    #[test]
+    fn momentum_server_opt_plugs_into_builder() {
+        let config = quick(Algorithm::FedAvg);
+        let result = SessionBuilder::from_config(&config)
+            .server_opt(Box::new(MomentumServer::new(0.5)))
+            .ratio_policy(Box::new(UniformRatio::dense()))
+            .build()
+            .run();
+        assert_eq!(result.records.len(), config.rounds);
+    }
+
+    #[test]
+    fn eval_every_skips_intermediate_evaluations() {
+        let mut every = quick(Algorithm::TopK);
+        every.rounds = 6;
+        let mut sparse_eval = every.clone();
+        sparse_eval.eval_every = 3;
+        let dense = run_experiment(&every);
+        let sparse = run_experiment(&sparse_eval);
+        // Training is unaffected: the final (always-evaluated) accuracy matches.
+        assert_eq!(dense.final_accuracy, sparse.final_accuracy);
+        // Skipped rounds repeat the previous evaluation (NaN before the first).
+        assert!(sparse.records[0].test_accuracy.is_nan());
+        assert_eq!(
+            sparse.records[2].test_accuracy, dense.records[2].test_accuracy,
+            "round 3 is an evaluation point"
+        );
+        assert_eq!(
+            sparse.records[3].test_accuracy, sparse.records[2].test_accuracy,
+            "round 4 repeats round 3's evaluation"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid experiment config")]
+    fn invalid_config_panics_at_build() {
+        let mut config = quick(Algorithm::TopK);
+        config.rounds = 0;
+        let _ = FederatedSession::from_config(&config);
+    }
+}

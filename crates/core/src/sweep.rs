@@ -1,0 +1,286 @@
+//! Parallel experiment sweeps: run a grid of [`ExperimentConfig`]s across
+//! threads with shared dataset generation.
+//!
+//! The paper's evaluation is dozens of experiment variants (Tables 2–4,
+//! Figs. 1–12); running them one at a time wastes both wall clock and the
+//! repeated synthetic-dataset generation. [`run_sweep`] executes any list of
+//! configurations concurrently, generating each distinct dataset
+//! (preset × scale × seed) exactly once and sharing it across the runs, and
+//! returns results in input order. [`SweepGrid`] builds the common
+//! cartesian-product grids.
+//!
+//! Results are bit-identical to running each configuration through
+//! [`crate::runner::run_experiment`] sequentially, regardless of the sweep's
+//! thread count.
+//!
+//! ```
+//! use fl_core::sweep::SweepGrid;
+//! use fl_core::{Algorithm, ExperimentConfig};
+//!
+//! let mut base = ExperimentConfig::quick(Algorithm::TopK);
+//! base.rounds = 2;
+//! let grid = SweepGrid::new(base)
+//!     .algorithms([Algorithm::FedAvg, Algorithm::TopK])
+//!     .compression_ratios([0.1, 0.01]);
+//! assert_eq!(grid.len(), 4);
+//! let results = grid.run();
+//! assert_eq!(results.len(), 4);
+//! ```
+
+use crate::algorithm::Algorithm;
+use crate::config::ExperimentConfig;
+use crate::runner::ExperimentResult;
+use crate::session::SessionBuilder;
+use fl_data::{Dataset, DatasetPreset};
+use fl_tensor::parallel::{default_threads, parallel_map};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Key identifying one generated dataset pair: preset name, scale bits, seed.
+type DataKey = (&'static str, u64, u64);
+
+/// A shared train/test dataset pair.
+type SharedData = (Arc<Dataset>, Arc<Dataset>);
+
+fn data_key(config: &ExperimentConfig) -> DataKey {
+    (
+        config.dataset.name(),
+        config.dataset_scale.to_bits(),
+        config.seed,
+    )
+}
+
+/// Run every configuration, in parallel across `sweep_threads` worker threads
+/// (`0` = the machine's available parallelism), sharing dataset generation
+/// between configurations that use the same preset, scale and seed. Results
+/// are returned in the same order as `configs`.
+pub fn run_sweep_threaded(
+    configs: &[ExperimentConfig],
+    sweep_threads: usize,
+) -> Vec<ExperimentResult> {
+    let threads = if sweep_threads == 0 {
+        default_threads()
+    } else {
+        sweep_threads
+    };
+    // With several experiments in flight the machine's parallelism budget is
+    // split between the sweep workers and each session's client-training
+    // pool: auto-threaded configs (`max_threads == 0`) get an explicit inner
+    // cap so outer × inner ≈ available cores instead of oversubscribing
+    // quadratically. Explicit `max_threads` values are respected as-is, and
+    // the inner pool is deterministic regardless of its size.
+    let concurrent = threads.min(configs.len()).max(1);
+    let inner_threads = (default_threads() / concurrent).max(1);
+
+    // Generate each distinct dataset once (in parallel), keyed by
+    // preset × scale × seed — the only inputs of `SyntheticSpec::generate` —
+    // and share it across the grid behind an `Arc` (no per-run deep clones).
+    let mut specs: Vec<(DataKey, DatasetPreset, f64, u64)> = Vec::new();
+    for c in configs {
+        let key = data_key(c);
+        if !specs.iter().any(|(k, _, _, _)| *k == key) {
+            specs.push((key, c.dataset, c.dataset_scale, c.seed));
+        }
+    }
+    let generated: Vec<(DataKey, SharedData)> =
+        parallel_map(specs, threads, |(key, preset, scale, seed)| {
+            let (train, test) = preset.spec(scale).generate(seed);
+            (key, (Arc::new(train), Arc::new(test)))
+        });
+    let cache: HashMap<DataKey, SharedData> = generated.into_iter().collect();
+
+    parallel_map(configs.to_vec(), threads, |config| {
+        let (train, test) = cache
+            .get(&data_key(&config))
+            .expect("every config's dataset was pre-generated")
+            .clone();
+        let mut builder = SessionBuilder::from_config(&config).with_shared_data(train, test);
+        if config.max_threads == 0 {
+            builder = builder.threads(inner_threads);
+        }
+        builder.build().run()
+    })
+}
+
+/// [`run_sweep_threaded`] with the default thread count.
+pub fn run_sweep(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
+    run_sweep_threaded(configs, 0)
+}
+
+/// A cartesian grid of experiment configurations over the axes the paper
+/// sweeps: dataset × heterogeneity `β` × compression ratio × algorithm ×
+/// seed. Unset axes stay at the base configuration's value.
+#[derive(Clone, Debug)]
+pub struct SweepGrid {
+    base: ExperimentConfig,
+    datasets: Vec<DatasetPreset>,
+    betas: Vec<f64>,
+    compression_ratios: Vec<f64>,
+    algorithms: Vec<Algorithm>,
+    seeds: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// A single-point grid at the base configuration.
+    pub fn new(base: ExperimentConfig) -> Self {
+        Self {
+            datasets: vec![base.dataset],
+            betas: vec![base.beta],
+            compression_ratios: vec![base.compression_ratio],
+            algorithms: vec![base.algorithm],
+            seeds: vec![base.seed],
+            base,
+        }
+    }
+
+    /// Sweep over these datasets.
+    pub fn datasets(mut self, datasets: impl IntoIterator<Item = DatasetPreset>) -> Self {
+        self.datasets = datasets.into_iter().collect();
+        self
+    }
+
+    /// Sweep over these Dirichlet heterogeneity levels.
+    pub fn betas(mut self, betas: impl IntoIterator<Item = f64>) -> Self {
+        self.betas = betas.into_iter().collect();
+        self
+    }
+
+    /// Sweep over these base compression ratios.
+    pub fn compression_ratios(mut self, ratios: impl IntoIterator<Item = f64>) -> Self {
+        self.compression_ratios = ratios.into_iter().collect();
+        self
+    }
+
+    /// Sweep over these algorithms.
+    pub fn algorithms(mut self, algorithms: impl IntoIterator<Item = Algorithm>) -> Self {
+        self.algorithms = algorithms.into_iter().collect();
+        self
+    }
+
+    /// Sweep over these master seeds (for repeated trials).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Number of configurations in the grid.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+            * self.betas.len()
+            * self.compression_ratios.len()
+            * self.algorithms.len()
+            * self.seeds.len()
+    }
+
+    /// True when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialise the grid, nested dataset → β → ratio → algorithm → seed
+    /// (the paper's table ordering).
+    pub fn configs(&self) -> Vec<ExperimentConfig> {
+        let mut out = Vec::with_capacity(self.len());
+        for &dataset in &self.datasets {
+            for &beta in &self.betas {
+                for &compression_ratio in &self.compression_ratios {
+                    for &algorithm in &self.algorithms {
+                        for &seed in &self.seeds {
+                            let mut c = self.base.clone();
+                            c.dataset = dataset;
+                            c.beta = beta;
+                            c.compression_ratio = compression_ratio;
+                            c.algorithm = algorithm;
+                            c.seed = seed;
+                            out.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the whole grid with the default thread count.
+    pub fn run(&self) -> Vec<ExperimentResult> {
+        run_sweep(&self.configs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_experiment;
+
+    fn quick_base() -> ExperimentConfig {
+        let mut c = ExperimentConfig::quick(Algorithm::TopK);
+        c.rounds = 3;
+        c.max_threads = 1;
+        c
+    }
+
+    #[test]
+    fn grid_covers_the_cartesian_product_in_order() {
+        let grid = SweepGrid::new(quick_base())
+            .algorithms([Algorithm::FedAvg, Algorithm::TopK])
+            .betas([0.1, 0.5])
+            .compression_ratios([0.1, 0.01]);
+        assert_eq!(grid.len(), 8);
+        let configs = grid.configs();
+        assert_eq!(configs.len(), 8);
+        // beta is the outer axis, then ratio, then algorithm.
+        assert_eq!(configs[0].beta, 0.1);
+        assert_eq!(configs[0].compression_ratio, 0.1);
+        assert_eq!(configs[0].algorithm, Algorithm::FedAvg);
+        assert_eq!(configs[1].algorithm, Algorithm::TopK);
+        assert_eq!(configs[2].compression_ratio, 0.01);
+        assert_eq!(configs[4].beta, 0.5);
+    }
+
+    #[test]
+    fn sweep_matches_sequential_runs() {
+        let grid = SweepGrid::new(quick_base()).algorithms([Algorithm::FedAvg, Algorithm::TopK]);
+        let configs = grid.configs();
+        let swept = run_sweep_threaded(&configs, 4);
+        for (config, result) in configs.iter().zip(swept.iter()) {
+            let sequential = run_experiment(config);
+            assert_eq!(result.records, sequential.records, "{:?}", config.algorithm);
+        }
+    }
+
+    #[test]
+    fn sweep_thread_count_does_not_change_results() {
+        let configs = SweepGrid::new(quick_base())
+            .compression_ratios([0.1, 0.05])
+            .configs();
+        let serial = run_sweep_threaded(&configs, 1);
+        let parallel = run_sweep_threaded(&configs, 4);
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.records, b.records);
+        }
+    }
+
+    #[test]
+    fn sweep_does_not_mutate_the_reported_config() {
+        // The inner thread cap is applied through the session builder, not by
+        // rewriting the config, so reported results match the input grid.
+        let mut base = quick_base();
+        base.max_threads = 0;
+        base.rounds = 2;
+        let results = run_sweep_threaded(std::slice::from_ref(&base), 2);
+        assert_eq!(results[0].config.max_threads, 0);
+    }
+
+    #[test]
+    fn shared_dataset_generation_deduplicates() {
+        // Two configs differing only in algorithm share one dataset key; a
+        // third with a different seed does not.
+        let base = quick_base();
+        let mut other_seed = base.clone();
+        other_seed.seed = base.seed + 1;
+        let mut other_alg = base.clone();
+        other_alg.algorithm = Algorithm::FedAvg;
+        assert_eq!(data_key(&base), data_key(&other_alg));
+        assert_ne!(data_key(&base), data_key(&other_seed));
+    }
+}

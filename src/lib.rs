@@ -25,6 +25,25 @@
 //! assert_eq!(result.records.len(), 3);
 //! println!("final accuracy: {:.3}", result.final_accuracy);
 //! ```
+//!
+//! ## The round engine and sweeps
+//!
+//! Experiments execute on a pluggable [`core::session::FederatedSession`]
+//! round engine: client selection, compression-ratio assignment and the
+//! server update are policy traits ([`core::policy`]) wired by
+//! [`core::session::SessionBuilder`], and whole experiment grids run in
+//! parallel with shared dataset generation via [`core::sweep`]:
+//!
+//! ```
+//! use bwfl::prelude::*;
+//!
+//! let mut base = ExperimentConfig::quick(Algorithm::TopK);
+//! base.rounds = 2;
+//! let results = SweepGrid::new(base)
+//!     .algorithms([Algorithm::FedAvg, Algorithm::TopK])
+//!     .run();
+//! assert_eq!(results.len(), 2);
+//! ```
 
 pub use fl_compress as compress;
 pub use fl_core as core;
@@ -40,8 +59,11 @@ pub mod prelude {
     };
     pub use fl_core::runner::{evaluate_params, run_experiment_with, stream_experiment};
     pub use fl_core::{
-        run_experiment, Algorithm, BcrsSchedule, BcrsScheduler, ExperimentConfig, ExperimentResult,
-        ModelPreset, OpwaMask, OverlapCounts, OverlapStats, RoundRecord,
+        run_experiment, run_sweep, run_sweep_threaded, Algorithm, AvailabilitySelector,
+        BcrsRatioPolicy, BcrsSchedule, BcrsScheduler, ClientSelector, ExperimentConfig,
+        ExperimentResult, FederatedSession, ModelPreset, MomentumServer, OpwaMask, OverlapCounts,
+        OverlapStats, RatioDecision, RatioPolicy, RoundOutput, RoundRecord, ServerOpt,
+        SessionBuilder, SgdServer, SweepGrid, UniformRatio, UniformSelector,
     };
     pub use fl_data::{
         dirichlet_partition, BatchLoader, ClientPartition, Dataset, DatasetPreset, PartitionStats,

@@ -195,6 +195,62 @@ fn all_three_dataset_presets_run() {
 }
 
 #[test]
+fn session_engine_reproduces_run_experiment_through_the_facade() {
+    // A hand-built session and the convenience wrapper must agree through
+    // the public bwfl API. (The 1-vs-4-thread full-record determinism gate
+    // lives in fl-core's runner tests.)
+    let mut config = quick(Algorithm::BcrsOpwa);
+    config.max_threads = 4;
+    let via_runner = run_experiment(&config);
+    let via_session = SessionBuilder::from_config(&config).build().run();
+    assert_eq!(via_session.records, via_runner.records);
+}
+
+#[test]
+fn sweep_driver_matches_individual_runs() {
+    let mut base = quick(Algorithm::TopK);
+    base.rounds = 3;
+    let grid = SweepGrid::new(base).algorithms([Algorithm::FedAvg, Algorithm::TopK]);
+    let configs = grid.configs();
+    let swept = run_sweep_threaded(&configs, 2);
+    assert_eq!(swept.len(), 2);
+    for (config, result) in configs.iter().zip(swept.iter()) {
+        assert_eq!(result.records, run_experiment(config).records);
+    }
+}
+
+#[test]
+fn dropout_and_server_momentum_scenarios_run_end_to_end() {
+    let mut config = quick(Algorithm::BcrsOpwa);
+    config.rounds = 6;
+    config.dropout_rate = 0.5;
+    config.server_momentum = 0.9;
+    let result = run_experiment(&config);
+    assert_eq!(result.records.len(), 6);
+    assert!(result.final_accuracy >= 0.0 && result.final_accuracy <= 1.0);
+    // Cohorts stay valid even when dropout shrinks them.
+    for r in &result.records {
+        assert!(!r.selected_clients.is_empty());
+        assert!(r.selected_clients.len() <= config.clients_per_round());
+    }
+    // Reproducible under the new policies too.
+    let again = run_experiment(&config);
+    assert_eq!(result.records, again.records);
+}
+
+#[test]
+fn manual_round_stepping_exposes_round_outputs() {
+    let mut config = quick(Algorithm::Bcrs);
+    config.rounds = 2;
+    let mut session = SessionBuilder::from_config(&config).build();
+    let out = session.run_round();
+    assert_eq!(out.record.round, 0);
+    assert!(out.schedule.is_some(), "BCRS rounds carry their schedule");
+    let result = session.run();
+    assert_eq!(result.records.len(), 2);
+}
+
+#[test]
 fn partition_stats_reflect_heterogeneity() {
     let mut severe = quick(Algorithm::TopK);
     severe.beta = 0.1;
