@@ -1,44 +1,55 @@
 //! Fig. 4 — distribution of the degree of overlap of retained parameters
 //! after Top-K compression, for β ∈ {0.1, 0.5} × CR ∈ {0.01, 0.1}.
 //!
-//! Runs a short training simulation with overlap recording enabled and prints
-//! the per-degree histogram (counts and percentages), the same quantities the
-//! paper plots as bar charts.
+//! The four (β, CR) cells form a `SweepGrid` executed in parallel by the
+//! sweep driver (shared dataset generation, worker count set by
+//! `--sweep-threads`, results in grid order: β outer, CR inner). Each run
+//! records the per-round overlap histogram; the merged per-degree counts and
+//! percentages are the quantities the paper plots as bar charts.
 //!
 //! `cargo run --release -p fl-bench --bin fig4_overlap`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::{run_experiment, Algorithm};
+use fl_core::sweep::{run_sweep_threaded, SweepGrid};
+use fl_core::Algorithm;
 use fl_data::DatasetPreset;
 
 fn main() {
     let args = BenchArgs::parse();
+    let mut base = bench_config(
+        Algorithm::TopK,
+        DatasetPreset::Cifar10Like,
+        0.1,
+        0.01,
+        &args,
+    );
+    base.rounds = args.effective_rounds(10);
+    base.record_overlap = true;
+    let grid = SweepGrid::new(base)
+        .betas([0.1, 0.5])
+        .compression_ratios([0.01, 0.1]);
+    let results = run_sweep_threaded(&grid.configs(), args.sweep_threads);
+
     println!("beta,cr,degree,count,fraction");
-    for &beta in &[0.1, 0.5] {
-        for &cr in &[0.01, 0.1] {
-            let mut config =
-                bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, beta, cr, &args);
-            config.rounds = args.effective_rounds(10);
-            config.record_overlap = true;
-            let result = run_experiment(&config);
-            let overlap = result
-                .merged_overlap()
-                .expect("overlap recording was enabled");
-            for (i, (&count, &frac)) in overlap
-                .histogram_counts
-                .iter()
-                .zip(overlap.fractions.iter())
-                .enumerate()
-            {
-                println!("{beta},{cr},{},{count},{frac:.4}", i + 1);
-            }
-            if !args.csv {
-                eprintln!(
-                    "# beta={beta} CR={cr}: {} retained coordinates, {:.1}% singletons",
-                    overlap.total_retained,
-                    overlap.singleton_fraction() * 100.0
-                );
-            }
+    for result in &results {
+        let (beta, cr) = (result.config.beta, result.config.compression_ratio);
+        let overlap = result
+            .merged_overlap()
+            .expect("overlap recording was enabled");
+        for (i, (&count, &frac)) in overlap
+            .histogram_counts
+            .iter()
+            .zip(overlap.fractions.iter())
+            .enumerate()
+        {
+            println!("{beta},{cr},{},{count},{frac:.4}", i + 1);
+        }
+        if !args.csv {
+            eprintln!(
+                "# beta={beta} CR={cr}: {} retained coordinates, {:.1}% singletons",
+                overlap.total_retained,
+                overlap.singleton_fraction() * 100.0
+            );
         }
     }
 }

@@ -2,19 +2,35 @@
 //! local training, uncompressed communication, and BCRS-scheduled
 //! communication, for CR = 0.01 and CR = 0.1.
 //!
+//! Both CR cells run through the parallel sweep driver (`SweepGrid` over the
+//! compression-ratio axis, shared dataset generation, worker count set by
+//! `--sweep-threads`). Communication times are simulated and deterministic;
+//! the compression and training bars are measured on this machine's CPU, so
+//! they vary slightly with sweep parallelism.
+//!
 //! `cargo run --release -p fl-bench --bin fig6_breakdown`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::{run_experiment, Algorithm};
+use fl_core::sweep::{run_sweep_threaded, SweepGrid};
+use fl_core::Algorithm;
 use fl_data::DatasetPreset;
 
 fn main() {
     let args = BenchArgs::parse();
+    let mut base = bench_config(
+        Algorithm::Bcrs,
+        DatasetPreset::Cifar10Like,
+        0.1,
+        0.01,
+        &args,
+    );
+    base.rounds = args.effective_rounds(10);
+    let grid = SweepGrid::new(base).compression_ratios([0.01, 0.1]);
+    let results = run_sweep_threaded(&grid.configs(), args.sweep_threads);
+
     println!("cr,compress_s,training_s,uncompressed_comm_s,bcrs_comm_s");
-    for &cr in &[0.01, 0.1] {
-        let mut config = bench_config(Algorithm::Bcrs, DatasetPreset::Cifar10Like, 0.1, cr, &args);
-        config.rounds = args.effective_rounds(10);
-        let result = run_experiment(&config);
+    for result in &results {
+        let cr = result.config.compression_ratio;
         let b = result.breakdown;
         println!(
             "{cr},{:.4},{:.4},{:.4},{:.4}",

@@ -10,12 +10,19 @@
 //! 200-round, full-scale settings. `--with-ef-bcrs` adds the
 //! error-feedback-under-BCRS ablation row.
 //!
+//! `--compressors spec1,spec2,…` appends extra scenario rows sweeping the
+//! listed codec specs (e.g. `qsgd:8,topk+qsgd:4,ef-topk`) through the same
+//! dataset × β × CR grid. These rows run under `CostBasis::Encoded`, so their
+//! communication times are priced from the bytes each codec actually encoded.
+//!
 //! `cargo run --release -p fl-bench --bin table2_main [-- --all-datasets --full]`
 
 use fl_bench::{bench_config, summarize, BenchArgs};
+use fl_compress::CompressorSpec;
 use fl_core::sweep::{run_sweep_threaded, SweepGrid};
 use fl_core::Algorithm;
 use fl_data::DatasetPreset;
+use fl_netsim::CostBasis;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -40,7 +47,7 @@ fn main() {
         ratios[0],
         &args,
     ))
-    .datasets(datasets)
+    .datasets(datasets.clone())
     .betas(betas)
     .compression_ratios(ratios)
     .algorithms(algorithms);
@@ -99,6 +106,81 @@ fn main() {
                 result.best_accuracy,
                 result.records.last().unwrap().cumulative_actual_s
             );
+        }
+    }
+
+    // Extra scenario rows: sweep the requested codec specs through the same
+    // grid as first-class rows, priced from the bytes each codec encoded.
+    // Pure quantizers (`qsgd:<bits>`) ignore the target ratio, so they run
+    // once per (dataset, β) instead of once per ratio, with `-` in the CR
+    // column.
+    if let Some(list) = args.flag_value("--compressors") {
+        let specs: Vec<CompressorSpec> = list
+            .split(',')
+            .map(|s| {
+                s.parse().unwrap_or_else(|e| {
+                    panic!("--compressors: cannot parse {s:?}: {e}");
+                })
+            })
+            .collect();
+        let (ratio_free, ratio_bound): (Vec<CompressorSpec>, Vec<CompressorSpec>) =
+            specs.into_iter().partition(|s| s.produces_dense());
+        let mut base = configs[0].clone();
+        base.algorithm = Algorithm::TopK;
+        base.cost_basis = CostBasis::Encoded;
+        let mut codec_configs = Vec::new();
+        if !ratio_bound.is_empty() {
+            codec_configs.extend(
+                SweepGrid::new(base.clone())
+                    .datasets(datasets.clone())
+                    .betas(betas)
+                    .compression_ratios(ratios)
+                    .compressors(ratio_bound)
+                    .configs(),
+            );
+        }
+        if !ratio_free.is_empty() {
+            codec_configs.extend(
+                SweepGrid::new(base)
+                    .datasets(datasets)
+                    .betas(betas)
+                    .compressors(ratio_free)
+                    .configs(),
+            );
+        }
+        let codec_results = run_sweep_threaded(&codec_configs, args.sweep_threads);
+        for result in &codec_results {
+            let last = result.records.last().unwrap();
+            let spec = result
+                .config
+                .compressor
+                .as_ref()
+                .expect("codec rows always carry a spec");
+            let cr_cell = if spec.produces_dense() {
+                "-".to_string()
+            } else {
+                result.config.compression_ratio.to_string()
+            };
+            println!(
+                "{},{},{cr_cell},{spec}@encoded,{:.4},{:.4},{:.1}",
+                result.config.dataset.name(),
+                result.config.beta,
+                result.final_accuracy,
+                result.best_accuracy,
+                last.cumulative_actual_s
+            );
+            if !args.csv {
+                let total_mb = result
+                    .records
+                    .iter()
+                    .map(|r| r.uplink_bytes as f64)
+                    .sum::<f64>()
+                    / 1e6;
+                eprintln!(
+                    "# codec {spec}: {} | {total_mb:.2} MB total encoded uplink",
+                    summarize(result)
+                );
+            }
         }
     }
 }

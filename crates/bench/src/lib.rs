@@ -106,6 +106,15 @@ impl BenchArgs {
         self.extra.iter().any(|f| f == flag)
     }
 
+    /// The value following a binary-specific `--flag value` pair, if present.
+    pub fn flag_value(&self, flag: &str) -> Option<&str> {
+        self.extra
+            .iter()
+            .position(|f| f == flag)
+            .and_then(|i| self.extra.get(i + 1))
+            .map(String::as_str)
+    }
+
     /// Resolve the effective number of rounds given the binary's default.
     pub fn effective_rounds(&self, default_rounds: usize) -> usize {
         if let Some(r) = self.rounds {
@@ -208,6 +217,15 @@ mod tests {
         assert!(a.has_flag("--ablation"));
         assert!(!a.has_flag("--other"));
         assert!(a.quick);
+    }
+
+    #[test]
+    fn flag_values_read_from_extra() {
+        let a = parse(&["--compressors", "qsgd:8,topk+qsgd:4", "--quick"]);
+        assert_eq!(a.flag_value("--compressors"), Some("qsgd:8,topk+qsgd:4"));
+        assert_eq!(a.flag_value("--missing"), None);
+        let b = parse(&["--compressors"]);
+        assert_eq!(b.flag_value("--compressors"), None);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Encode/decode throughput of the codec pipeline at the update sizes the
+//! experiments use: sparse f32, bit-packed QSGD and the composed
+//! sparsify+quantize wire formats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fl_compress::{CodecCtx, CodecRegistry, CompressorSpec, UpdateCodec};
+use fl_tensor::rng::{Rng, Xoshiro256};
+use std::hint::black_box;
+
+fn dense_update(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256::new(seed);
+    (0..n).map(|_| rng.next_f32() - 0.5).collect()
+}
+
+fn build(spec: &str, n: usize) -> Box<dyn UpdateCodec> {
+    let spec: CompressorSpec = spec.parse().expect("bench spec parses");
+    CodecRegistry::with_builtins()
+        .build(&spec, &CodecCtx::new(n, 1))
+        .expect("bench spec resolves")
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_encode");
+    let n = 100_000usize;
+    let dense = dense_update(n, 1);
+    for spec in ["topk", "randk", "qsgd:8", "topk+qsgd:6", "ef-topk"] {
+        group.bench_with_input(BenchmarkId::new("encode", spec), &spec, |b, &spec| {
+            let mut codec = build(spec, n);
+            let mut rng = Xoshiro256::new(2);
+            b.iter(|| black_box(codec.encode(black_box(&dense), 0.1, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_decode");
+    let n = 100_000usize;
+    let dense = dense_update(n, 3);
+    for spec in ["topk", "qsgd:8", "topk+qsgd:6"] {
+        group.bench_with_input(BenchmarkId::new("decode", spec), &spec, |b, &spec| {
+            let mut codec = build(spec, n);
+            let mut rng = Xoshiro256::new(4);
+            let wire = codec.encode(&dense, 0.1, &mut rng);
+            b.iter(|| black_box(codec.decode(black_box(&wire)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_encode, bench_decode
+}
+criterion_main!(benches);

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Sparsifiers produce [`CompressedUpdate::Sparse`]; quantizers keep every
 /// coordinate but at reduced precision, so they produce
 /// [`CompressedUpdate::Quantized`] with an explicit wire size.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum CompressedUpdate {
     /// A sparsified update (Top-K, Rand-K, Threshold, …).
     Sparse(SparseUpdate),
@@ -36,6 +36,17 @@ impl CompressedUpdate {
         match self {
             CompressedUpdate::Sparse(s) => s.to_dense(),
             CompressedUpdate::Quantized { values, .. } => values.clone(),
+        }
+    }
+
+    /// Consume the update and return the (lossy) dense vector. The quantized
+    /// path moves its value buffer instead of cloning it (the decode side of
+    /// the codec pipeline and error feedback both take ownership this way,
+    /// mirroring [`CompressedUpdate::into_sparse`]).
+    pub fn into_dense(self) -> Vec<f32> {
+        match self {
+            CompressedUpdate::Sparse(s) => s.to_dense(),
+            CompressedUpdate::Quantized { values, .. } => values,
         }
     }
 
@@ -109,6 +120,17 @@ mod tests {
             wire_bytes: 6,
         };
         assert!(q.into_sparse().is_none());
+    }
+
+    #[test]
+    fn into_dense_moves_the_quantized_buffer() {
+        let q = CompressedUpdate::Quantized {
+            values: vec![1.0, -2.0],
+            wire_bytes: 3,
+        };
+        assert_eq!(q.into_dense(), vec![1.0, -2.0]);
+        let s = CompressedUpdate::Sparse(SparseUpdate::new(vec![1], vec![5.0], 3));
+        assert_eq!(s.into_dense(), vec![0.0, 5.0, 0.0]);
     }
 
     #[test]

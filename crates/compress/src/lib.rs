@@ -1,29 +1,54 @@
 //! `fl-compress` — compression of federated model updates.
 //!
 //! The paper's framework is built around *uplink sparsification*: each client
-//! compresses its model delta with Top-K before transmission, and the BCRS
-//! scheduler chooses a per-client compression ratio. This crate provides:
+//! compresses its model delta before transmission, and the BCRS scheduler
+//! chooses a per-client compression ratio. This crate provides two layers:
 //!
-//! * [`sparse::SparseUpdate`] — the COO (index + value) representation of a
-//!   compressed update, with wire-size accounting used by the network model;
-//! * the [`compressor::Compressor`] trait and the concrete compressors the
-//!   paper evaluates or mentions: [`topk::TopK`], [`randk::RandK`],
-//!   [`threshold::Threshold`], and a QSGD-style [`quantize::Qsgd`] quantizer;
-//! * [`error_feedback::ErrorFeedback`] — the residual-memory wrapper that
-//!   turns any compressor into its error-feedback variant (EF-Top-K baseline).
+//! **The codec pipeline** (the API the round engine uses):
+//!
+//! * [`spec::CompressorSpec`] — parseable descriptions like `"topk"`,
+//!   `"qsgd:8"`, `"threshold:0.01"`, `"ef-topk"` and the composed
+//!   `"topk+qsgd:4"`;
+//! * [`registry::CodecRegistry`] — resolves a spec into a boxed
+//!   [`codec::UpdateCodec`], with custom codecs pluggable by name;
+//! * [`codec::UpdateCodec`] — stateful `encode(&mut self, dense, ratio, rng)`
+//!   producing a real [`wire::WireUpdate`] byte buffer (varint-delta sparse
+//!   indices, bit-packed QSGD levels) and `decode` reconstructing the lossy
+//!   dense update. Error-feedback residuals live inside [`codec::EfCodec`].
+//!
+//! **The primitives** codecs are built from:
+//!
+//! * [`sparse::SparseUpdate`] — the COO (index + value) representation with
+//!   the paper's analytic wire-size accounting;
+//! * the [`compressor::Compressor`] trait and the stateless compressors:
+//!   [`topk::TopK`], [`randk::RandK`], [`threshold::Threshold`] and the
+//!   QSGD-style [`quantize::Qsgd`] quantizer;
+//! * [`error_feedback::ErrorFeedback`] — the residual-memory wrapper over a
+//!   raw [`compressor::Compressor`] (the codec pipeline uses
+//!   [`codec::EfCodec`] instead).
 
+pub mod codec;
 pub mod compressor;
 pub mod error_feedback;
 pub mod quantize;
 pub mod randk;
+pub mod registry;
 pub mod sparse;
+pub mod spec;
 pub mod threshold;
 pub mod topk;
+pub mod wire;
 
+pub use codec::{
+    CodecCtx, ComposedCodec, EfCodec, QsgdCodec, RandKCodec, ThresholdCodec, TopKCodec, UpdateCodec,
+};
 pub use compressor::{CompressedUpdate, Compressor};
 pub use error_feedback::ErrorFeedback;
 pub use quantize::Qsgd;
 pub use randk::RandK;
+pub use registry::{CodecFactory, CodecRegistry};
 pub use sparse::SparseUpdate;
+pub use spec::{CodecStage, CompressorSpec, SpecError};
 pub use threshold::Threshold;
 pub use topk::TopK;
+pub use wire::{WireError, WireUpdate};

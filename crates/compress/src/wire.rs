@@ -1,0 +1,624 @@
+//! The versioned byte-level wire format every [`crate::codec::UpdateCodec`]
+//! emits.
+//!
+//! A [`WireUpdate`] is a real, self-describing byte buffer — what a client
+//! would actually put on the network — rather than an in-memory struct with
+//! an asserted size. The layout (version 1) is:
+//!
+//! ```text
+//! [0xB3 0xF1]          magic
+//! [u8]                 format version (currently 1)
+//! [u8]                 payload kind (0 sparse, 1 quantized,
+//!                      2 sparse+quantized, 3 dense)
+//! [varint]             dense_len
+//! ── kind 0 (sparse) ──────────────────────────────────────────────
+//! [varint]             nnz
+//! [varint × nnz]       delta-encoded indices (first absolute, then gaps ≥ 1)
+//! [f32 LE × nnz]       values
+//! ── kind 1 (quantized) ───────────────────────────────────────────
+//! [u8]                 bits per coordinate (sign + level), 2..=16
+//! [f32 LE]             L2 norm of the vector
+//! [packed]             dense_len × bits, MSB-first
+//! ── kind 2 (sparse + quantized) ──────────────────────────────────
+//! [varint]             nnz
+//! [varint × nnz]       delta-encoded indices
+//! [u8]                 bits per coordinate
+//! [f32 LE]             L2 norm of the retained values
+//! [packed]             nnz × bits, MSB-first
+//! ── kind 3 (dense) ───────────────────────────────────────────────
+//! [f32 LE × dense_len] values (ratio-1.0 uploads: no index overhead)
+//! ```
+//!
+//! Varints are LEB128 over `u64`. Each packed coordinate stores a sign bit
+//! followed by `bits − 1` magnitude-level bits; the dequantized value is
+//! `sign · norm · level / max_level` with `max_level = 2^(bits−1) − 1`.
+//!
+//! The header bytes are pinned by a golden-bytes test so accidental format
+//! drift fails CI; bump [`WIRE_VERSION`] for any intentional layout change.
+
+use crate::compressor::CompressedUpdate;
+use crate::quantize::{max_level_for_bits, qsgd_dequantize};
+use crate::sparse::SparseUpdate;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// First two bytes of every encoded update.
+pub const WIRE_MAGIC: [u8; 2] = [0xB3, 0xF1];
+
+/// Current wire-format version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Payload kind tag: COO sparse indices + f32 values.
+pub const KIND_SPARSE: u8 = 0;
+/// Payload kind tag: dense bit-packed QSGD levels.
+pub const KIND_QUANTIZED: u8 = 1;
+/// Payload kind tag: sparse indices + bit-packed QSGD levels.
+pub const KIND_SPARSE_QUANTIZED: u8 = 2;
+/// Payload kind tag: every coordinate as a raw f32 (ratio-1.0 uploads; no
+/// index overhead, so a dense transmission costs dense bytes).
+pub const KIND_DENSE: u8 = 3;
+
+/// A decoding failure: the buffer is not a valid version-1 wire update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header or a declared payload requires.
+    Truncated,
+    /// The buffer does not start with [`WIRE_MAGIC`].
+    BadMagic,
+    /// The version byte is newer than this decoder understands.
+    UnsupportedVersion(u8),
+    /// The kind byte is not one of the defined payload kinds.
+    UnknownKind(u8),
+    /// Structurally invalid payload (bad index ordering, bit width, …).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated wire update"),
+            WireError::BadMagic => write!(f, "bad wire magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown wire payload kind {k}"),
+            WireError::Corrupt(what) => write!(f, "corrupt wire payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One encoded model update: the exact bytes a client ships, plus decoding.
+///
+/// Produced by [`crate::codec::UpdateCodec::encode`]; [`WireUpdate::len`] is
+/// what the network simulator charges under
+/// [`CostBasis::Encoded`](https://docs.rs/fl-netsim) instead of the paper's
+/// analytic `2·V·CR` formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireUpdate {
+    bytes: Bytes,
+}
+
+impl WireUpdate {
+    /// Wrap raw bytes (validated lazily by [`WireUpdate::decode`]).
+    pub fn from_bytes(bytes: Bytes) -> Self {
+        Self { bytes }
+    }
+
+    /// Size on the wire in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True for a zero-length buffer (never produced by the encoders).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The raw encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The payload kind byte, if the header is present and valid.
+    pub fn kind(&self) -> Result<u8, WireError> {
+        let b = self.as_bytes();
+        if b.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        if b[0..2] != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        if b[2] != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion(b[2]));
+        }
+        Ok(b[3])
+    }
+
+    /// Decode the buffer into the lossy in-memory update it represents.
+    pub fn decode(&self) -> Result<CompressedUpdate, WireError> {
+        let kind = self.kind()?;
+        let b = self.as_bytes();
+        let mut cur = 4usize;
+        let dense_len = read_varint(b, &mut cur)? as usize;
+        match kind {
+            KIND_SPARSE => {
+                let (indices, values) = decode_sparse_body(b, &mut cur, dense_len)?;
+                Ok(CompressedUpdate::Sparse(SparseUpdate::new(
+                    indices, values, dense_len,
+                )))
+            }
+            KIND_QUANTIZED => {
+                let (norm, max_level, levels) = decode_quantized_body(b, &mut cur, dense_len)?;
+                Ok(CompressedUpdate::Quantized {
+                    values: qsgd_dequantize(norm, max_level, &levels),
+                    wire_bytes: self.len(),
+                })
+            }
+            KIND_SPARSE_QUANTIZED => {
+                let indices = decode_indices(b, &mut cur, dense_len)?;
+                let (norm, max_level, levels) = decode_quantized_body(b, &mut cur, indices.len())?;
+                let values = qsgd_dequantize(norm, max_level, &levels);
+                Ok(CompressedUpdate::Sparse(SparseUpdate::new(
+                    indices, values, dense_len,
+                )))
+            }
+            KIND_DENSE => {
+                if dense_len > (b.len() - cur) / 4 {
+                    return Err(WireError::Truncated);
+                }
+                let mut values = Vec::with_capacity(dense_len);
+                for _ in 0..dense_len {
+                    values.push(read_f32_le(b, &mut cur)?);
+                }
+                // Decode to the full-density sparse form: downstream overlap
+                // analysis and aggregation treat a ratio-1.0 upload exactly
+                // like a sparse update that retained every coordinate.
+                let indices = (0..dense_len as u32).collect();
+                Ok(CompressedUpdate::Sparse(SparseUpdate::new(
+                    indices, values, dense_len,
+                )))
+            }
+            other => Err(WireError::UnknownKind(other)),
+        }
+    }
+}
+
+fn header(kind: u8, dense_len: usize, capacity_hint: usize) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(4 + 10 + capacity_hint);
+    buf.put_slice(&WIRE_MAGIC);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(kind);
+    put_varint(&mut buf, dense_len as u64);
+    buf
+}
+
+fn put_indices(buf: &mut BytesMut, indices: &[u32]) {
+    assert!(
+        indices.windows(2).all(|w| w[0] < w[1]),
+        "wire indices must be strictly increasing"
+    );
+    put_varint(buf, indices.len() as u64);
+    let mut prev = 0u64;
+    for (pos, &i) in indices.iter().enumerate() {
+        let i = i as u64;
+        if pos == 0 {
+            put_varint(buf, i);
+        } else {
+            put_varint(buf, i - prev);
+        }
+        prev = i;
+    }
+}
+
+/// Encode a sparse update as a `KIND_SPARSE` buffer.
+pub fn encode_sparse(update: &SparseUpdate) -> WireUpdate {
+    let mut buf = header(KIND_SPARSE, update.dense_len(), update.nnz() * 7);
+    put_indices(&mut buf, update.indices());
+    for &v in update.values() {
+        buf.put_f32_le(v);
+    }
+    WireUpdate::from_bytes(buf.freeze())
+}
+
+/// Encode an uncompressed (ratio-1.0) update as a `KIND_DENSE` buffer: raw
+/// f32 values with no per-coordinate index overhead.
+pub fn encode_dense(values: &[f32]) -> WireUpdate {
+    let mut buf = header(KIND_DENSE, values.len(), values.len() * 4);
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+    WireUpdate::from_bytes(buf.freeze())
+}
+
+/// Encode a dense quantized vector as a `KIND_QUANTIZED` buffer. `levels`
+/// holds signed levels (`±level`, magnitude ≤ `2^(bits−1) − 1`).
+pub fn encode_quantized(dense_len: usize, bits: u8, norm: f32, levels: &[i32]) -> WireUpdate {
+    assert_eq!(levels.len(), dense_len, "one level per dense coordinate");
+    let mut buf = header(
+        KIND_QUANTIZED,
+        dense_len,
+        5 + (dense_len * bits as usize).div_ceil(8),
+    );
+    put_quantized_body(&mut buf, bits, norm, levels);
+    WireUpdate::from_bytes(buf.freeze())
+}
+
+/// Encode a sparsified-then-quantized update as a `KIND_SPARSE_QUANTIZED`
+/// buffer: `indices` are the retained coordinates, `levels` their signed
+/// quantization levels.
+pub fn encode_sparse_quantized(
+    dense_len: usize,
+    indices: &[u32],
+    bits: u8,
+    norm: f32,
+    levels: &[i32],
+) -> WireUpdate {
+    assert_eq!(indices.len(), levels.len(), "one level per retained index");
+    let mut buf = header(
+        KIND_SPARSE_QUANTIZED,
+        dense_len,
+        indices.len() * 3 + 5 + (indices.len() * bits as usize).div_ceil(8),
+    );
+    put_indices(&mut buf, indices);
+    put_quantized_body(&mut buf, bits, norm, levels);
+    WireUpdate::from_bytes(buf.freeze())
+}
+
+fn put_quantized_body(buf: &mut BytesMut, bits: u8, norm: f32, levels: &[i32]) {
+    assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+    let max_level = max_level_for_bits(bits) as i32;
+    buf.put_u8(bits);
+    buf.put_f32_le(norm);
+    // MSB-first bit packing: sign bit, then bits-1 magnitude bits.
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    for &l in levels {
+        let sign = (l < 0) as u64;
+        let mag = l.unsigned_abs().min(max_level as u32) as u64;
+        let field = (sign << (bits - 1)) | mag;
+        acc = (acc << bits) | field;
+        acc_bits += bits as u32;
+        while acc_bits >= 8 {
+            acc_bits -= 8;
+            buf.put_u8((acc >> acc_bits) as u8);
+        }
+    }
+    if acc_bits > 0 {
+        buf.put_u8((acc << (8 - acc_bits)) as u8);
+    }
+}
+
+fn decode_indices(b: &[u8], cur: &mut usize, dense_len: usize) -> Result<Vec<u32>, WireError> {
+    let nnz = read_varint(b, cur)? as usize;
+    if nnz > dense_len {
+        return Err(WireError::Corrupt("nnz exceeds dense length"));
+    }
+    // Every index occupies at least one varint byte; reject a declared count
+    // the remaining buffer cannot possibly hold before allocating for it
+    // (a crafted header must not drive a huge allocation).
+    if nnz > b.len() - *cur {
+        return Err(WireError::Truncated);
+    }
+    let mut indices = Vec::with_capacity(nnz);
+    let mut prev: u64 = 0;
+    for pos in 0..nnz {
+        let raw = read_varint(b, cur)?;
+        let idx = if pos == 0 {
+            raw
+        } else {
+            if raw == 0 {
+                return Err(WireError::Corrupt("indices not strictly increasing"));
+            }
+            prev + raw
+        };
+        if idx >= dense_len as u64 {
+            return Err(WireError::Corrupt("index out of range"));
+        }
+        indices.push(idx as u32);
+        prev = idx;
+    }
+    Ok(indices)
+}
+
+fn decode_sparse_body(
+    b: &[u8],
+    cur: &mut usize,
+    dense_len: usize,
+) -> Result<(Vec<u32>, Vec<f32>), WireError> {
+    let indices = decode_indices(b, cur, dense_len)?;
+    if b.len() < *cur + indices.len().saturating_mul(4) {
+        return Err(WireError::Truncated);
+    }
+    let mut values = Vec::with_capacity(indices.len());
+    for _ in 0..indices.len() {
+        values.push(read_f32_le(b, cur)?);
+    }
+    Ok((indices, values))
+}
+
+fn decode_quantized_body(
+    b: &[u8],
+    cur: &mut usize,
+    count: usize,
+) -> Result<(f32, u32, Vec<i32>), WireError> {
+    if b.len() < *cur + 5 {
+        return Err(WireError::Truncated);
+    }
+    let bits = b[*cur];
+    *cur += 1;
+    if !(2..=16).contains(&bits) {
+        return Err(WireError::Corrupt("bits out of range"));
+    }
+    let norm = read_f32_le(b, cur)?;
+    // Bound the declared coordinate count by what the remaining bytes can
+    // hold before any multiplication or allocation: a crafted dense_len must
+    // neither overflow `count * bits` nor reserve gigabytes.
+    if count > (b.len() - *cur).saturating_mul(8) / bits as usize {
+        return Err(WireError::Truncated);
+    }
+    let packed_bytes = (count * bits as usize).div_ceil(8);
+    let mut levels = Vec::with_capacity(count);
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    let mut byte_cur = *cur;
+    let sign_bit = 1u64 << (bits - 1);
+    let mag_mask = sign_bit - 1;
+    for _ in 0..count {
+        while acc_bits < bits as u32 {
+            acc = (acc << 8) | b[byte_cur] as u64;
+            byte_cur += 1;
+            acc_bits += 8;
+        }
+        let field = (acc >> (acc_bits - bits as u32)) & ((1u64 << bits) - 1);
+        acc_bits -= bits as u32;
+        let mag = (field & mag_mask) as i32;
+        levels.push(if field & sign_bit != 0 { -mag } else { mag });
+    }
+    *cur += packed_bytes;
+    Ok((norm, max_level_for_bits(bits), levels))
+}
+
+fn read_f32_le(b: &[u8], cur: &mut usize) -> Result<f32, WireError> {
+    if b.len() < *cur + 4 {
+        return Err(WireError::Truncated);
+    }
+    let v = f32::from_le_bytes([b[*cur], b[*cur + 1], b[*cur + 2], b[*cur + 3]]);
+    *cur += 4;
+    Ok(v)
+}
+
+/// Append an LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint, advancing `cur`.
+pub fn read_varint(b: &[u8], cur: &mut usize) -> Result<u64, WireError> {
+    let mut out: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        if *cur >= b.len() {
+            return Err(WireError::Truncated);
+        }
+        if shift >= 64 {
+            return Err(WireError::Corrupt("varint overflow"));
+        }
+        let byte = b[*cur];
+        *cur += 1;
+        out |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let b = buf.freeze();
+            let mut cur = 0;
+            assert_eq!(read_varint(&b, &mut cur).unwrap(), v);
+            assert_eq!(cur, b.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut cur = 0;
+        assert_eq!(read_varint(&[0x80], &mut cur), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn sparse_wire_roundtrip_is_exact() {
+        let s = SparseUpdate::new(vec![0, 7, 300, 5000], vec![1.5, -2.25, 0.125, 9.0], 10_000);
+        let w = encode_sparse(&s);
+        let back = w.decode().unwrap();
+        assert_eq!(back.as_sparse().unwrap(), &s);
+    }
+
+    #[test]
+    fn empty_sparse_update_encodes() {
+        let s = SparseUpdate::empty(42);
+        let back = encode_sparse(&s).decode().unwrap();
+        assert_eq!(back.as_sparse().unwrap().nnz(), 0);
+        assert_eq!(back.dense_len(), 42);
+    }
+
+    #[test]
+    fn quantized_wire_roundtrip_recovers_levels() {
+        // bits = 4 → max_level 7; signed levels survive packing exactly.
+        let levels = vec![0, 7, -7, 3, -1, 2, 0, -5, 6];
+        let w = encode_quantized(levels.len(), 4, 2.0, &levels);
+        let back = w.decode().unwrap();
+        let values = match back {
+            CompressedUpdate::Quantized { values, wire_bytes } => {
+                assert_eq!(wire_bytes, w.len());
+                values
+            }
+            _ => panic!("expected quantized payload"),
+        };
+        for (&l, &v) in levels.iter().zip(values.iter()) {
+            let expected = 2.0 * l as f32 / 7.0;
+            assert!((v - expected).abs() < 1e-6, "level {l} decoded to {v}");
+        }
+    }
+
+    #[test]
+    fn sparse_quantized_wire_roundtrip() {
+        let indices = vec![3u32, 10, 11, 99];
+        let levels = vec![1, -3, 3, 2];
+        let w = encode_sparse_quantized(100, &indices, 3, 1.0, &levels);
+        let back = w.decode().unwrap();
+        let s = back.as_sparse().unwrap();
+        assert_eq!(s.indices(), &indices[..]);
+        assert_eq!(s.dense_len(), 100);
+        for (&l, &v) in levels.iter().zip(s.values().iter()) {
+            assert!((v - l as f32 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn header_is_pinned() {
+        // Golden bytes: any change to the header layout must be deliberate
+        // (bump WIRE_VERSION and update this fixture).
+        let s = SparseUpdate::new(vec![2, 5], vec![1.0, -1.0], 300);
+        let w = encode_sparse(&s);
+        let b = w.as_bytes();
+        assert_eq!(&b[0..2], &WIRE_MAGIC);
+        assert_eq!(b[2], 1, "wire version");
+        assert_eq!(b[3], KIND_SPARSE);
+        // dense_len 300 = varint [0xAC, 0x02], nnz 2, first index 2, gap 3.
+        assert_eq!(&b[4..9], &[0xAC, 0x02, 0x02, 0x02, 0x03]);
+        // Then two f32 LE values.
+        assert_eq!(b.len(), 9 + 8);
+        assert_eq!(&b[9..13], &1.0f32.to_le_bytes());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            WireUpdate::from_bytes(Bytes::from_static(&[1, 2])).decode(),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(
+            WireUpdate::from_bytes(Bytes::from_static(&[0, 0, 1, 0, 0])).decode(),
+            Err(WireError::BadMagic)
+        );
+        assert_eq!(
+            WireUpdate::from_bytes(Bytes::from_static(&[0xB3, 0xF1, 99, 0, 0])).decode(),
+            Err(WireError::UnsupportedVersion(99))
+        );
+        assert_eq!(
+            WireUpdate::from_bytes(Bytes::from_static(&[0xB3, 0xF1, 1, 9, 0])).decode(),
+            Err(WireError::UnknownKind(9))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncated_body() {
+        let s = SparseUpdate::new(vec![0, 1, 2], vec![1.0, 2.0, 3.0], 8);
+        let w = encode_sparse(&s);
+        let cut = WireUpdate::from_bytes(Bytes::copy_from_slice(&w.as_bytes()[..w.len() - 5]));
+        assert_eq!(cut.decode(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn dense_wire_roundtrip_is_exact_without_index_overhead() {
+        let values = vec![1.5f32, -2.0, 0.0, 4.25];
+        let w = encode_dense(&values);
+        // header (4) + varint dense_len (1) + 4 × f32: dense bytes, not 2×.
+        assert_eq!(w.len(), 5 + 16);
+        assert_eq!(w.kind().unwrap(), KIND_DENSE);
+        let s = w.decode().unwrap().into_sparse().unwrap();
+        assert_eq!(s.indices(), &[0, 1, 2, 3]);
+        assert_eq!(s.values(), &values[..]);
+    }
+
+    #[test]
+    fn crafted_huge_counts_are_rejected_without_allocating() {
+        // Quantized payload declaring 2^62 coordinates: must error, not
+        // overflow `count * bits` or reserve gigabytes.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&WIRE_MAGIC);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(KIND_QUANTIZED);
+        put_varint(&mut buf, 1u64 << 62); // dense_len
+        buf.put_u8(8); // bits
+        buf.put_f32_le(1.0); // norm
+        buf.put_u8(0xAB); // one stray payload byte
+        assert_eq!(
+            WireUpdate::from_bytes(buf.freeze()).decode(),
+            Err(WireError::Truncated)
+        );
+
+        // Sparse payload declaring a huge dense_len and nnz with a tiny body.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&WIRE_MAGIC);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(KIND_SPARSE);
+        put_varint(&mut buf, 1u64 << 62); // dense_len
+        put_varint(&mut buf, 1u64 << 61); // nnz
+        assert_eq!(
+            WireUpdate::from_bytes(buf.freeze()).decode(),
+            Err(WireError::Truncated)
+        );
+
+        // Dense payload declaring more values than the buffer holds.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&WIRE_MAGIC);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(KIND_DENSE);
+        put_varint(&mut buf, u64::MAX);
+        assert_eq!(
+            WireUpdate::from_bytes(buf.freeze()).decode(),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn encode_sparse_quantized_rejects_unsorted_indices() {
+        encode_sparse_quantized(100, &[5, 3], 4, 1.0, &[1, 2]);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_index() {
+        // Hand-built sparse buffer with an index beyond dense_len.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&WIRE_MAGIC);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(KIND_SPARSE);
+        put_varint(&mut buf, 4); // dense_len
+        put_varint(&mut buf, 1); // nnz
+        put_varint(&mut buf, 9); // index 9 >= 4
+        buf.put_f32_le(1.0);
+        assert_eq!(
+            WireUpdate::from_bytes(buf.freeze()).decode(),
+            Err(WireError::Corrupt("index out of range"))
+        );
+    }
+}

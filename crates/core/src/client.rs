@@ -1,8 +1,10 @@
 //! Simulated federated client: local dataset, local model replica, local SGD
-//! and (optionally) error-feedback compression state.
+//! and the update codec (with any cross-round state, e.g. error-feedback
+//! residuals) the client encodes its uplink with.
 
 use crate::config::{ExperimentConfig, ModelPreset};
-use fl_compress::{CompressedUpdate, Compressor, ErrorFeedback, RandK, TopK};
+use crate::policy::resolve_codec_spec;
+use fl_compress::{CodecCtx, CodecRegistry, CompressedUpdate, UpdateCodec, WireError, WireUpdate};
 use fl_data::{BatchLoader, Dataset};
 use fl_nn::{flatten_params, mlp, unflatten_params, Sequential, Sgd, SoftmaxCrossEntropy};
 use fl_tensor::rng::Xoshiro256;
@@ -30,7 +32,7 @@ pub struct ClientState {
     model: Sequential,
     loader: BatchLoader,
     rng: Xoshiro256,
-    error_feedback: Option<ErrorFeedback<TopK>>,
+    codec: Box<dyn UpdateCodec>,
     local_lr: f32,
     momentum: f32,
     weight_decay: f32,
@@ -39,7 +41,24 @@ pub struct ClientState {
 
 impl ClientState {
     /// Create a client from the experiment configuration and its local shard.
+    /// The uplink codec is resolved from the configuration's
+    /// [`ExperimentConfig::compressor`] spec (or the algorithm-implied
+    /// default) through the built-in [`CodecRegistry`].
     pub fn new(id: usize, dataset: Dataset, config: &ExperimentConfig, rng: Xoshiro256) -> Self {
+        Self::with_registry(id, dataset, config, rng, &CodecRegistry::with_builtins())
+    }
+
+    /// Like [`new`](Self::new), resolving the codec spec through a
+    /// caller-supplied registry (the seam
+    /// [`crate::session::SessionBuilder::codec_registry`] uses to run custom
+    /// codecs through the round engine).
+    pub fn with_registry(
+        id: usize,
+        dataset: Dataset,
+        config: &ExperimentConfig,
+        rng: Xoshiro256,
+        registry: &CodecRegistry,
+    ) -> Self {
         let mut model_rng = Xoshiro256::new(config.seed); // same init as the server
         let model = build_model(
             &config.model,
@@ -48,18 +67,17 @@ impl ClientState {
             &mut model_rng,
         );
         let num_params = model.num_params();
-        let error_feedback = if config.algorithm.uses_error_feedback() {
-            Some(ErrorFeedback::new(TopK::new(), num_params))
-        } else {
-            None
-        };
+        let spec = resolve_codec_spec(config);
+        let codec = registry
+            .build(&spec, &CodecCtx::new(num_params, config.seed ^ id as u64))
+            .unwrap_or_else(|e| panic!("invalid compressor spec {spec}: {e}"));
         Self {
             id,
             dataset,
             model,
             loader: BatchLoader::new(config.batch_size, false),
             rng,
-            error_feedback,
+            codec,
             local_lr: config.local_lr,
             momentum: config.momentum,
             weight_decay: config.weight_decay,
@@ -117,29 +135,28 @@ impl ClientState {
         }
     }
 
-    /// Compress a delta at the given ratio using this client's configured
-    /// compressor (Top-K, EF-Top-K residual state, or Rand-K).
-    pub fn compress(&mut self, delta: &[f32], ratio: f64, use_randk: bool) -> CompressedUpdate {
-        if let Some(ef) = self.error_feedback.as_mut() {
-            ef.compress_with_feedback(delta, ratio)
-        } else if use_randk {
-            RandK::new(self.rng_seed_for_round()).compress(delta, ratio)
-        } else {
-            TopK::new().compress(delta, ratio)
-        }
+    /// Encode a delta at the given ratio with this client's codec, producing
+    /// the real wire bytes. Per-round randomness (Rand-K coordinate draws,
+    /// QSGD stochastic rounding) comes from the client's RNG stream, and any
+    /// codec state (error-feedback residuals) advances.
+    pub fn encode(&mut self, delta: &[f32], ratio: f64) -> WireUpdate {
+        self.codec.encode(delta, ratio, &mut self.rng)
     }
 
-    /// Current L2 norm of the error-feedback residual (0 when EF is unused).
+    /// Decode a wire buffer with this client's codec (what the server does on
+    /// receipt).
+    pub fn decode(&self, wire: &WireUpdate) -> Result<CompressedUpdate, WireError> {
+        self.codec.decode(wire)
+    }
+
+    /// Name of this client's codec (the resolved spec string).
+    pub fn codec_name(&self) -> String {
+        self.codec.name()
+    }
+
+    /// Current L2 norm of the codec's residual state (0 for stateless codecs).
     pub fn residual_norm(&self) -> f64 {
-        self.error_feedback
-            .as_ref()
-            .map(|ef| ef.residual_norm())
-            .unwrap_or(0.0)
-    }
-
-    fn rng_seed_for_round(&mut self) -> u64 {
-        use fl_tensor::rng::Rng;
-        self.rng.next_u64()
+        self.codec.residual_norm()
     }
 }
 
@@ -228,9 +245,10 @@ mod tests {
     #[test]
     fn ef_client_keeps_residual_state() {
         let (mut client, global, _) = quick_client(Algorithm::EfTopK);
+        assert_eq!(client.codec_name(), "ef-topk");
         let out = client.local_update(&global);
         assert_eq!(client.residual_norm(), 0.0);
-        let _ = client.compress(&out.delta, 0.05, false);
+        let _ = client.encode(&out.delta, 0.05);
         assert!(
             client.residual_norm() > 0.0,
             "EF residual should be non-empty"
@@ -240,30 +258,70 @@ mod tests {
     #[test]
     fn non_ef_client_has_zero_residual() {
         let (mut client, global, _) = quick_client(Algorithm::TopK);
+        assert_eq!(client.codec_name(), "topk");
         let out = client.local_update(&global);
-        let _ = client.compress(&out.delta, 0.05, false);
+        let _ = client.encode(&out.delta, 0.05);
         assert_eq!(client.residual_norm(), 0.0);
     }
 
     #[test]
-    fn compression_respects_ratio() {
+    fn encode_decode_respects_ratio() {
         let (mut client, global, _) = quick_client(Algorithm::TopK);
         let out = client.local_update(&global);
-        let c = client.compress(&out.delta, 0.1, false);
-        let nnz = c.as_sparse().unwrap().nnz();
+        let wire = client.encode(&out.delta, 0.1);
+        let decoded = client.decode(&wire).unwrap();
+        let nnz = decoded.as_sparse().unwrap().nnz();
         let expected = (0.1 * global.len() as f64).ceil() as usize;
         assert_eq!(nnz, expected);
+        // The wire buffer is a real byte payload: smaller than the analytic
+        // 8 bytes/coordinate thanks to varint-delta index coding.
+        assert!(wire.len() < nnz * 8 + 16);
+        assert!(wire.len() > nnz * 4);
     }
 
     #[test]
-    fn randk_compression_differs_from_topk() {
+    fn randk_client_differs_from_topk() {
+        use fl_compress::{Compressor, TopK};
         let (mut client, global, _) = quick_client(Algorithm::RandK);
+        assert_eq!(client.codec_name(), "randk");
         let out = client.local_update(&global);
         let topk = TopK::new().compress(&out.delta, 0.1);
-        let randk = client.compress(&out.delta, 0.1, true);
+        let wire = client.encode(&out.delta, 0.1);
+        let randk = client.decode(&wire).unwrap();
         assert_ne!(
             topk.as_sparse().unwrap().indices(),
             randk.as_sparse().unwrap().indices()
         );
+    }
+
+    #[test]
+    fn compressor_override_changes_the_wire_format() {
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.compressor = Some("topk+qsgd:4".parse().unwrap());
+        let (train, _) = config
+            .dataset
+            .spec(config.dataset_scale)
+            .generate(config.seed);
+        let local = train.subset(&(0..64).collect::<Vec<_>>());
+        let mut client = ClientState::new(0, local, &config, Xoshiro256::new(7));
+        assert_eq!(client.codec_name(), "topk+qsgd:4");
+        let mut rng = Xoshiro256::new(1);
+        let global = {
+            let model = build_model(
+                &config.model,
+                client.dataset().feature_dim(),
+                client.dataset().num_classes(),
+                &mut rng,
+            );
+            fl_nn::flatten_params(&model)
+        };
+        let out = client.local_update(&global);
+        let wire = client.encode(&out.delta, 0.1);
+        let k = (0.1 * global.len() as f64).ceil() as usize;
+        assert!(
+            wire.len() < k * 8 / 2,
+            "4-bit quantized values should beat the f32 sparse format"
+        );
+        assert_eq!(client.decode(&wire).unwrap().as_sparse().unwrap().nnz(), k);
     }
 }

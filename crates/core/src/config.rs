@@ -1,8 +1,9 @@
 //! Experiment configuration: one struct that fully determines a run.
 
 use crate::algorithm::Algorithm;
+use fl_compress::{CodecRegistry, CompressorSpec};
 use fl_data::DatasetPreset;
-use fl_netsim::LinkGenerator;
+use fl_netsim::{CostBasis, LinkGenerator};
 use serde::{Deserialize, Serialize};
 
 /// Which model architecture the clients train.
@@ -111,6 +112,17 @@ pub struct ExperimentConfig {
     /// Server momentum `β` in `[0, 1)` (FedAvgM-style heavy ball applied to
     /// the aggregated update); `0.0` is the paper's plain server update.
     pub server_momentum: f32,
+    /// Codec override for the clients' uplink compression. `None` (default)
+    /// uses the algorithm-implied codec (`topk`, `ef-topk` or `randk`, see
+    /// [`crate::policy::default_codec_spec`]); any parseable
+    /// [`CompressorSpec`] — `"qsgd:8"`, `"threshold:0.01"`, `"topk+qsgd:4"`,
+    /// … — runs the same algorithm over that codec instead.
+    pub compressor: Option<CompressorSpec>,
+    /// How the network simulator prices uplinks:
+    /// [`CostBasis::Analytic`] (default) charges the paper's `2·V·CR`
+    /// formula, [`CostBasis::Encoded`] charges the encoded wire bytes
+    /// exactly.
+    pub cost_basis: CostBasis,
 }
 
 impl Default for ExperimentConfig {
@@ -142,6 +154,8 @@ impl Default for ExperimentConfig {
             eval_every: 1,
             dropout_rate: 0.0,
             server_momentum: 0.0,
+            compressor: None,
+            cost_basis: CostBasis::Analytic,
         }
     }
 }
@@ -231,6 +245,46 @@ impl ExperimentConfig {
         }
         if !(0.0..1.0).contains(&self.server_momentum) {
             return Err("server_momentum must be in [0, 1)".into());
+        }
+        if let Some(spec) = &self.compressor {
+            CodecRegistry::with_builtins()
+                .validate(spec)
+                .map_err(|e| format!("invalid compressor spec {spec}: {e}"))?;
+        }
+        self.validate_compressor_semantics()
+    }
+
+    /// Like [`validate`](Self::validate), but resolving the compressor spec
+    /// against a caller-supplied registry instead of the built-ins.
+    /// [`crate::session::SessionBuilder`] calls this with its configured
+    /// registry so custom codecs pass validation.
+    pub fn validate_with_registry(&self, registry: &CodecRegistry) -> Result<(), String> {
+        if let Some(spec) = &self.compressor {
+            registry
+                .validate(spec)
+                .map_err(|e| format!("invalid compressor spec {spec}: {e}"))?;
+        }
+        let mut without_spec = self.clone();
+        without_spec.compressor = None;
+        without_spec.validate()?;
+        self.validate_compressor_semantics()
+    }
+
+    fn validate_compressor_semantics(&self) -> Result<(), String> {
+        if let Some(spec) = &self.compressor {
+            if spec.produces_dense() && self.algorithm.uses_opwa() {
+                return Err(format!(
+                    "algorithm {} applies the OPWA overlap mask, but compressor {spec} \
+                     decodes to dense updates with no overlap structure",
+                    self.algorithm.name()
+                ));
+            }
+            if spec.produces_dense() && self.record_overlap {
+                return Err(format!(
+                    "record_overlap is set, but compressor {spec} decodes to dense \
+                     updates with no overlap structure"
+                ));
+            }
         }
         Ok(())
     }
@@ -322,6 +376,56 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn codec_knobs_default_to_paper_behaviour() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.compressor, None);
+        assert_eq!(c.cost_basis, CostBasis::Analytic);
+    }
+
+    #[test]
+    fn compressor_override_is_validated() {
+        let good = ExperimentConfig {
+            compressor: Some("topk+qsgd:4".parse().unwrap()),
+            cost_basis: CostBasis::Encoded,
+            ..Default::default()
+        };
+        assert!(good.validate().is_ok());
+        // Parseable but unresolvable specs are caught at validation time.
+        let bad = ExperimentConfig {
+            compressor: Some("no-such-codec".parse().unwrap()),
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("no-such-codec"), "{err}");
+    }
+
+    #[test]
+    fn dense_codecs_cannot_pair_with_overlap_machinery() {
+        // Pure quantizers decode dense — no overlap degrees exist, so OPWA
+        // algorithms and overlap recording reject them up front.
+        let opwa = ExperimentConfig {
+            algorithm: Algorithm::BcrsOpwa,
+            compressor: Some("qsgd:8".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(opwa.validate().unwrap_err().contains("OPWA"));
+        let recording = ExperimentConfig {
+            algorithm: Algorithm::TopK,
+            record_overlap: true,
+            compressor: Some("qsgd:8".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(recording.validate().unwrap_err().contains("record_overlap"));
+        // The composed sparsify+quantize form keeps overlap structure.
+        let composed = ExperimentConfig {
+            algorithm: Algorithm::BcrsOpwa,
+            compressor: Some("topk+qsgd:4".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(composed.validate().is_ok());
     }
 
     #[test]

@@ -63,8 +63,9 @@ pub use config::{ExperimentConfig, ModelPreset};
 pub use opwa::OpwaMask;
 pub use overlap::{OverlapCounts, OverlapStats};
 pub use policy::{
-    AvailabilitySelector, BcrsRatioPolicy, ClientSelector, MomentumServer, RatioCtx, RatioDecision,
-    RatioPolicy, SelectionCtx, ServerOpt, SgdServer, UniformRatio, UniformSelector,
+    default_codec_spec, resolve_codec_spec, AvailabilitySelector, BcrsRatioPolicy, ClientSelector,
+    MomentumServer, RatioCtx, RatioDecision, RatioPolicy, SelectionCtx, ServerOpt, SgdServer,
+    UniformRatio, UniformSelector,
 };
 pub use round::RoundOutput;
 pub use runner::{run_experiment, ExperimentResult, RoundRecord};

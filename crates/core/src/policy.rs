@@ -24,6 +24,7 @@ use crate::aggregate::apply_update;
 use crate::algorithm::Algorithm;
 use crate::bcrs::{BcrsSchedule, BcrsScheduler};
 use crate::config::ExperimentConfig;
+use fl_compress::CompressorSpec;
 use fl_netsim::{CommModel, Link};
 use fl_tensor::rng::{Rng, Xoshiro256};
 
@@ -341,6 +342,30 @@ pub fn default_server_opt(config: &ExperimentConfig) -> Box<dyn ServerOpt> {
     }
 }
 
+/// The codec spec an algorithm implies when the configuration does not
+/// override it: `ef-topk` for EF-Top-K, `randk` for Rand-K, plain `topk` for
+/// everything else (FedAvg transmits at ratio 1, which Top-K passes through).
+pub fn default_codec_spec(algorithm: Algorithm) -> CompressorSpec {
+    if algorithm.uses_error_feedback() {
+        CompressorSpec::topk().with_error_feedback()
+    } else if algorithm.uses_randk() {
+        CompressorSpec::randk()
+    } else {
+        CompressorSpec::topk()
+    }
+}
+
+/// The codec spec a configuration resolves to: the explicit
+/// [`ExperimentConfig::compressor`] override when present, the
+/// algorithm-implied default otherwise. This is the fourth policy seam of the
+/// round engine — any algorithm can run over any codec.
+pub fn resolve_codec_spec(config: &ExperimentConfig) -> CompressorSpec {
+    config
+        .compressor
+        .clone()
+        .unwrap_or_else(|| default_codec_spec(config.algorithm))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +495,22 @@ mod tests {
         MomentumServer::new(0.0).apply(&mut a, &delta, 0.7);
         SgdServer.apply(&mut b, &delta, 0.7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn codec_specs_follow_algorithm_and_override() {
+        assert_eq!(default_codec_spec(Algorithm::FedAvg).to_string(), "topk");
+        assert_eq!(default_codec_spec(Algorithm::TopK).to_string(), "topk");
+        assert_eq!(default_codec_spec(Algorithm::EfTopK).to_string(), "ef-topk");
+        assert_eq!(default_codec_spec(Algorithm::RandK).to_string(), "randk");
+        assert_eq!(default_codec_spec(Algorithm::Bcrs).to_string(), "topk");
+        assert_eq!(default_codec_spec(Algorithm::BcrsOpwa).to_string(), "topk");
+        assert_eq!(default_codec_spec(Algorithm::TopKOpwa).to_string(), "topk");
+
+        let mut c = ExperimentConfig::quick(Algorithm::EfTopK);
+        assert_eq!(resolve_codec_spec(&c).to_string(), "ef-topk");
+        c.compressor = Some("qsgd:8".parse().unwrap());
+        assert_eq!(resolve_codec_spec(&c).to_string(), "qsgd:8");
     }
 
     #[test]

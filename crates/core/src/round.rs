@@ -13,7 +13,7 @@
 //! [`FederatedSession::run_round`] threads the stage outputs through in
 //! order and returns a [`RoundOutput`].
 
-use crate::aggregate::{aggregate_sparse, data_fractions};
+use crate::aggregate::{aggregate_compressed, aggregate_sparse, data_fractions};
 use crate::bcrs::BcrsSchedule;
 use crate::eval::{evaluate, Evaluation};
 use crate::opwa::OpwaMask;
@@ -21,8 +21,8 @@ use crate::overlap::OverlapCounts;
 use crate::policy::{RatioCtx, SelectionCtx};
 use crate::runner::RoundRecord;
 use crate::session::FederatedSession;
-use fl_compress::SparseUpdate;
-use fl_netsim::{Link, RoundBreakdown, RoundTiming};
+use fl_compress::{CompressedUpdate, SparseUpdate};
+use fl_netsim::{CostBasis, Link, RoundBreakdown, RoundTiming};
 use fl_nn::unflatten_params;
 use fl_tensor::parallel::parallel_map;
 
@@ -35,8 +35,11 @@ pub struct RoundOutput {
     pub schedule: Option<BcrsSchedule>,
     /// Slowest selected client's local training wall time (seconds).
     pub train_time_s: f64,
-    /// Total compression wall time across the cohort (seconds).
+    /// Total codec (encode + decode) wall time across the cohort (seconds).
     pub compress_time_s: f64,
+    /// Encoded wire size of every selected client's upload, in cohort order
+    /// (what [`CostBasis::Encoded`] charges).
+    pub uplink_wire_bytes: Vec<usize>,
 }
 
 /// Stage 1 output: the cohort and its links.
@@ -45,9 +48,10 @@ struct Selection {
     links: Vec<Link>,
 }
 
-/// Stage 2 output: the cohort's compressed updates plus training metrics.
+/// Stage 2 output: the cohort's decoded updates plus training metrics.
 struct LocalPhase {
-    updates: Vec<SparseUpdate>,
+    updates: Vec<CompressedUpdate>,
+    wire_bytes: Vec<usize>,
     sample_counts: Vec<usize>,
     train_loss: f64,
     max_train_time: f64,
@@ -102,8 +106,11 @@ impl FederatedSession {
         Selection { selected, links }
     }
 
-    /// Stage 2: assign per-client ratios, then train and compress the cohort
-    /// in parallel. Updates are moved out of the client outputs (no cloning).
+    /// Stage 2: assign per-client ratios, then train, encode and decode the
+    /// cohort in parallel. Every client's update round-trips through its
+    /// codec's byte-level wire format; the decoded (lossy) update is what the
+    /// server aggregates, and the encoded length is what
+    /// [`CostBasis::Encoded`] charges.
     fn local_phase(&mut self, round: usize, selection: &Selection) -> LocalPhase {
         let decision = self.ratio_policy.decide(&RatioCtx {
             round,
@@ -116,7 +123,6 @@ impl FederatedSession {
             "ratio policy must produce one ratio per selected client"
         );
 
-        let use_randk = self.config.algorithm.uses_randk();
         let work: Vec<(usize, f64)> = selection
             .selected
             .iter()
@@ -129,31 +135,34 @@ impl FederatedSession {
             let mut client = clients_ref[client_idx].lock();
             let train_out = client.local_update(global_ref);
             let c_start = std::time::Instant::now();
-            let compressed = client.compress(&train_out.delta, ratio, use_randk);
+            let wire = client.encode(&train_out.delta, ratio);
+            let wire_len = wire.len();
+            let update = client
+                .decode(&wire)
+                .expect("a codec must decode its own encoding");
             let compress_time = c_start.elapsed().as_secs_f64();
-            (train_out, compressed, compress_time)
+            (train_out, update, wire_len, compress_time)
         });
 
         let cohort_len = outputs.len();
         let mut updates = Vec::with_capacity(cohort_len);
+        let mut wire_bytes = Vec::with_capacity(cohort_len);
         let mut sample_counts = Vec::with_capacity(cohort_len);
         let mut loss_sum = 0.0f64;
         let mut max_train_time = 0.0f64;
         let mut total_compress_time = 0.0f64;
-        for (train_out, compressed, compress_time) in outputs {
+        for (train_out, update, wire_len, compress_time) in outputs {
             sample_counts.push(train_out.num_samples);
             loss_sum += train_out.train_loss;
             max_train_time = max_train_time.max(train_out.train_time_s);
             total_compress_time += compress_time;
-            updates.push(
-                compressed
-                    .into_sparse()
-                    .expect("sparsifying compressors always produce sparse updates"),
-            );
+            updates.push(update);
+            wire_bytes.push(wire_len);
         }
 
         LocalPhase {
             updates,
+            wire_bytes,
             sample_counts,
             train_loss: loss_sum / cohort_len as f64,
             max_train_time,
@@ -166,9 +175,10 @@ impl FederatedSession {
 
     /// Stage 3: compute averaging coefficients (Eq. 6 under BCRS), apply the
     /// OPWA mask when active, aggregate, and let the server optimizer update
-    /// the global parameters.
+    /// the global parameters. Overlap analysis and OPWA apply when the whole
+    /// cohort decoded to sparse updates (quantized codecs retain every
+    /// coordinate, so overlap degrees are not defined for them).
     fn aggregate_phase(&mut self, local: &LocalPhase) -> AggregatePhase {
-        let sparse_refs: Vec<&SparseUpdate> = local.updates.iter().collect();
         let fractions = data_fractions(&local.sample_counts);
         let coefficients: Vec<f64> =
             match (&local.schedule, self.config.disable_coefficient_adjustment) {
@@ -176,21 +186,32 @@ impl FederatedSession {
                 _ => fractions,
             };
 
-        let need_overlap = self.config.algorithm.uses_opwa() || self.config.record_overlap;
-        let overlap = if need_overlap {
-            Some(OverlapCounts::from_updates(&sparse_refs))
+        let all_sparse = local.updates.iter().all(|u| u.as_sparse().is_some());
+        let (overlap, aggregated) = if all_sparse {
+            let sparse_refs: Vec<&SparseUpdate> = local
+                .updates
+                .iter()
+                .map(|u| u.as_sparse().expect("checked all_sparse"))
+                .collect();
+            let need_overlap = self.config.algorithm.uses_opwa() || self.config.record_overlap;
+            let overlap = if need_overlap {
+                Some(OverlapCounts::from_updates(&sparse_refs))
+            } else {
+                None
+            };
+            let mask = if self.config.algorithm.uses_opwa() {
+                overlap.as_ref().map(|c| {
+                    OpwaMask::from_overlap(c, self.config.gamma, self.config.overlap_threshold)
+                })
+            } else {
+                None
+            };
+            let aggregated = aggregate_sparse(&sparse_refs, &coefficients, mask.as_ref());
+            (overlap, aggregated)
         } else {
-            None
+            let refs: Vec<&CompressedUpdate> = local.updates.iter().collect();
+            (None, aggregate_compressed(&refs, &coefficients, None))
         };
-        let mask = if self.config.algorithm.uses_opwa() {
-            overlap.as_ref().map(|c| {
-                OpwaMask::from_overlap(c, self.config.gamma, self.config.overlap_threshold)
-            })
-        } else {
-            None
-        };
-
-        let aggregated = aggregate_sparse(&sparse_refs, &coefficients, mask.as_ref());
         self.server_opt
             .apply(&mut self.global_params, &aggregated, self.config.server_lr);
         AggregatePhase { overlap }
@@ -198,6 +219,9 @@ impl FederatedSession {
 
     /// Stage 4: price the round's uploads under the evaluated algorithm and
     /// under uncompressed transmission, and accumulate the running totals.
+    /// Under [`CostBasis::Analytic`] compressed uploads cost the paper's
+    /// `2·V·CR` formula (or the BCRS schedule's times); under
+    /// [`CostBasis::Encoded`] each upload costs exactly its encoded length.
     fn timing_phase(&mut self, selection: &Selection, local: &LocalPhase) -> RoundTiming {
         let model_bytes = self.model_bytes as f64;
         let dense_times: Vec<f64> = selection
@@ -205,15 +229,23 @@ impl FederatedSession {
             .iter()
             .map(|l| self.comm.dense_uplink_time(l, model_bytes))
             .collect();
-        let algorithm_times: Vec<f64> = match &local.schedule {
-            Some(s) => s.scheduled_times.clone(),
-            None if local.dense_uplink => dense_times.clone(),
-            None => selection
+        let algorithm_times: Vec<f64> = match self.comm.cost_basis {
+            CostBasis::Encoded => selection
                 .links
                 .iter()
-                .zip(local.ratios.iter())
-                .map(|(l, &r)| self.comm.sparse_uplink_time(l, model_bytes, r))
+                .zip(local.wire_bytes.iter())
+                .map(|(l, &b)| self.comm.transfer_time(l, b as f64))
                 .collect(),
+            CostBasis::Analytic => match &local.schedule {
+                Some(s) => s.scheduled_times.clone(),
+                None if local.dense_uplink => dense_times.clone(),
+                None => selection
+                    .links
+                    .iter()
+                    .zip(local.ratios.iter())
+                    .map(|(l, &r)| self.comm.sparse_uplink_time(l, model_bytes, r))
+                    .collect(),
+            },
         };
         let timing = RoundTiming::from_client_times(&algorithm_times, &dense_times);
         self.time_acc.push(timing);
@@ -258,6 +290,7 @@ impl FederatedSession {
             test_loss: eval.loss,
             train_loss: local.train_loss,
             mean_compression_ratio: local.ratios.iter().sum::<f64>() / local.ratios.len() as f64,
+            uplink_bytes: local.wire_bytes.iter().sum(),
             comm_actual_s: timing.actual,
             comm_max_s: timing.max,
             comm_min_s: timing.min,
@@ -272,6 +305,7 @@ impl FederatedSession {
             schedule: local.schedule,
             train_time_s: local.max_train_time,
             compress_time_s: local.total_compress_time,
+            uplink_wire_bytes: local.wire_bytes,
         }
     }
 }
@@ -281,6 +315,127 @@ mod tests {
     use crate::algorithm::Algorithm;
     use crate::config::ExperimentConfig;
     use crate::session::FederatedSession;
+    use fl_netsim::CostBasis;
+
+    #[test]
+    fn record_reports_the_exact_encoded_bytes() {
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.rounds = 2;
+        config.max_threads = 1;
+        config.cost_basis = CostBasis::Encoded;
+        let mut session = FederatedSession::from_config(&config);
+        let out = session.run_round();
+        // The record's uplink byte count is exactly the sum of the encoded
+        // buffers' lengths.
+        assert_eq!(
+            out.record.uplink_bytes,
+            out.uplink_wire_bytes.iter().sum::<usize>()
+        );
+        assert_eq!(
+            out.uplink_wire_bytes.len(),
+            out.record.selected_clients.len()
+        );
+        assert!(out.uplink_wire_bytes.iter().all(|&b| b > 0));
+        // Under the encoded basis, every timing quantity is priced from those
+        // buffers: the straggler time is the max per-client transfer time of
+        // the actual wire lengths.
+        let times: Vec<f64> = out
+            .record
+            .selected_clients
+            .iter()
+            .zip(out.uplink_wire_bytes.iter())
+            .map(|(&cid, &bytes)| {
+                session
+                    .comm
+                    .transfer_time(&session.links[cid], bytes as f64)
+            })
+            .collect();
+        let expected_max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let expected_min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(out.record.comm_actual_s.to_bits(), expected_max.to_bits());
+        assert_eq!(out.record.comm_min_s.to_bits(), expected_min.to_bits());
+    }
+
+    #[test]
+    fn cost_basis_changes_timing_but_not_training() {
+        let mut analytic = ExperimentConfig::quick(Algorithm::TopK);
+        analytic.rounds = 3;
+        analytic.max_threads = 1;
+        let mut encoded = analytic.clone();
+        encoded.cost_basis = CostBasis::Encoded;
+        let a = FederatedSession::from_config(&analytic).run();
+        let e = FederatedSession::from_config(&encoded).run();
+        for (ra, re) in a.records.iter().zip(e.records.iter()) {
+            // Same trajectory and same honest byte accounting either way…
+            assert_eq!(ra.test_accuracy.to_bits(), re.test_accuracy.to_bits());
+            assert_eq!(ra.selected_clients, re.selected_clients);
+            assert_eq!(ra.uplink_bytes, re.uplink_bytes);
+            // …but the priced time differs: the analytic 2·V·CR formula vs
+            // the varint-compressed real buffers.
+            assert_ne!(ra.comm_actual_s.to_bits(), re.comm_actual_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantized_codec_runs_through_the_round_engine() {
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.rounds = 2;
+        config.max_threads = 1;
+        config.compressor = Some("qsgd:8".parse().unwrap());
+        config.cost_basis = CostBasis::Encoded;
+        let mut session = FederatedSession::from_config(&config);
+        let out = session.run_round();
+        // 8 bits/coordinate: the dense quantized upload is about a quarter of
+        // the f32 model per client.
+        let per_client = out.record.uplink_bytes / out.record.selected_clients.len();
+        let dense = session.model_bytes();
+        assert!(per_client < dense / 3, "{per_client} vs dense {dense}");
+        assert!(per_client > dense / 8);
+        // And the session keeps training (a second round works).
+        let out2 = session.run_round();
+        assert_eq!(out2.record.round, 1);
+    }
+
+    #[test]
+    fn composed_codec_keeps_opwa_overlap_analysis() {
+        // A sparsify+quantize codec still decodes to sparse updates, so the
+        // OPWA overlap histogram stays available.
+        let mut config = ExperimentConfig::quick(Algorithm::TopKOpwa);
+        config.rounds = 1;
+        config.max_threads = 1;
+        config.compressor = Some("topk+qsgd:6".parse().unwrap());
+        let out = FederatedSession::from_config(&config).run_round();
+        assert!(out.record.overlap.is_some());
+
+        // A dense quantized codec has no overlap degrees to analyse, so the
+        // OPWA combination is rejected up front instead of silently degrading
+        // to plain averaging.
+        config.compressor = Some("qsgd:8".parse().unwrap());
+        let err = config.validate().unwrap_err();
+        assert!(err.contains("OPWA"), "{err}");
+    }
+
+    #[test]
+    fn fedavg_encoded_bytes_are_dense_not_sparse() {
+        // The ratio-1.0 upload ships the dense wire kind: ~4 bytes per
+        // coordinate plus a fixed header, never the ~5+ bytes/coordinate of
+        // the sparse index+value format — so under the encoded basis FedAvg
+        // is charged honest dense bytes and stays at its own straggler bound.
+        let mut config = ExperimentConfig::quick(Algorithm::FedAvg);
+        config.rounds = 1;
+        config.max_threads = 1;
+        config.cost_basis = CostBasis::Encoded;
+        let mut session = FederatedSession::from_config(&config);
+        let dense = session.model_bytes();
+        let out = session.run_round();
+        for &bytes in &out.uplink_wire_bytes {
+            assert!(bytes >= dense && bytes <= dense + 16, "{bytes} vs {dense}");
+        }
+        assert!(
+            out.record.comm_actual_s <= out.record.comm_max_s * 1.001,
+            "FedAvg must not appear slower than its own dense transmission"
+        );
+    }
 
     #[test]
     fn round_output_carries_schedule_for_bcrs_only() {

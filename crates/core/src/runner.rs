@@ -32,6 +32,11 @@ pub struct RoundRecord {
     pub train_loss: f64,
     /// Mean compression ratio actually used by the cohort this round.
     pub mean_compression_ratio: f64,
+    /// Total bytes the cohort's encoded (wire-format) uploads occupied this
+    /// round — the honest byte count the codec pipeline produced, recorded
+    /// under both cost bases. Under `CostBasis::Encoded` the communication
+    /// times are priced from exactly these buffers.
+    pub uplink_bytes: usize,
     /// This round's communication time under the evaluated algorithm (straggler).
     pub comm_actual_s: f64,
     /// This round's straggler time for an uncompressed transfer.
@@ -69,6 +74,7 @@ impl PartialEq for RoundRecord {
             test_loss,
             train_loss,
             mean_compression_ratio,
+            uplink_bytes,
             comm_actual_s,
             comm_max_s,
             comm_min_s,
@@ -83,6 +89,7 @@ impl PartialEq for RoundRecord {
             && bits(self.test_loss) == bits(*test_loss)
             && bits(self.train_loss) == bits(*train_loss)
             && bits(self.mean_compression_ratio) == bits(*mean_compression_ratio)
+            && self.uplink_bytes == *uplink_bytes
             && bits(self.comm_actual_s) == bits(*comm_actual_s)
             && bits(self.comm_max_s) == bits(*comm_max_s)
             && bits(self.comm_min_s) == bits(*comm_min_s)
@@ -160,19 +167,20 @@ impl ExperimentResult {
     }
 
     /// CSV dump of the round records
-    /// (`round,test_accuracy,test_loss,train_loss,mean_cr,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s`).
+    /// (`round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,test_accuracy,test_loss,train_loss,mean_cr,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s\n",
+            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s\n",
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+                "{},{:.4},{:.4},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4}\n",
                 r.round,
                 r.test_accuracy,
                 r.test_loss,
                 r.train_loss,
                 r.mean_compression_ratio,
+                r.uplink_bytes,
                 r.comm_actual_s,
                 r.cumulative_actual_s,
                 r.cumulative_max_s,
@@ -297,14 +305,26 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_round_records() {
         // Determinism regression gate: every field of every record must be
-        // identical between a sequential and a parallel run of the same seed.
-        let mut c = quick(Algorithm::BcrsOpwa);
-        c.rounds = 4;
-        c.max_threads = 1;
-        let sequential = run_experiment(&c);
-        c.max_threads = 4;
-        let parallel = run_experiment(&c);
-        assert_eq!(sequential.records, parallel.records);
+        // identical between a sequential and a parallel run of the same seed,
+        // for every paper algorithm — including Rand-K, whose per-round
+        // coordinate draws now flow through the codec pipeline.
+        for alg in [
+            Algorithm::FedAvg,
+            Algorithm::TopK,
+            Algorithm::EfTopK,
+            Algorithm::RandK,
+            Algorithm::Bcrs,
+            Algorithm::BcrsOpwa,
+            Algorithm::TopKOpwa,
+        ] {
+            let mut c = quick(alg);
+            c.rounds = 3;
+            c.max_threads = 1;
+            let sequential = run_experiment(&c);
+            c.max_threads = 4;
+            let parallel = run_experiment(&c);
+            assert_eq!(sequential.records, parallel.records, "{alg:?}");
+        }
     }
 
     #[test]
@@ -380,7 +400,7 @@ mod tests {
         let header = csv.lines().next().unwrap();
         assert_eq!(
             header,
-            "round,test_accuracy,test_loss,train_loss,mean_cr,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s"
+            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s"
         );
         // Every row has exactly as many cells as the header.
         let columns = header.split(',').count();

@@ -29,6 +29,7 @@ use crate::policy::{
     ServerOpt,
 };
 use crate::runner::{ExperimentResult, RoundRecord};
+use fl_compress::CodecRegistry;
 use fl_data::{dirichlet_partition, Dataset, PartitionStats};
 use fl_netsim::{CommModel, Link, RoundBreakdown, TimeAccumulator};
 use fl_nn::{flatten_params, Sequential};
@@ -45,6 +46,7 @@ pub struct SessionBuilder {
     selector: Option<Box<dyn ClientSelector>>,
     ratio_policy: Option<Box<dyn RatioPolicy>>,
     server_opt: Option<Box<dyn ServerOpt>>,
+    registry: Option<CodecRegistry>,
     threads: Option<usize>,
 }
 
@@ -58,6 +60,7 @@ impl SessionBuilder {
             selector: None,
             ratio_policy: None,
             server_opt: None,
+            registry: None,
             threads: None,
         }
     }
@@ -95,6 +98,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Use a custom codec registry when resolving the configuration's
+    /// compressor spec — custom [`fl_compress::UpdateCodec`]s registered by
+    /// name become usable from `config.compressor` (see
+    /// `examples/custom_compressor.rs` for registering one).
+    pub fn codec_registry(mut self, registry: CodecRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Override the client-training worker-thread count without touching the
     /// configuration (`0` = auto). The sweep driver uses this to split the
     /// machine's parallelism between concurrent sessions while leaving
@@ -110,8 +122,9 @@ impl SessionBuilder {
     /// historical `run_experiment` behaviour.
     pub fn build(self) -> FederatedSession {
         let config = self.config;
+        let registry = self.registry.unwrap_or_else(CodecRegistry::with_builtins);
         config
-            .validate()
+            .validate_with_registry(&registry)
             .unwrap_or_else(|e| panic!("invalid experiment config: {e}"));
         let wall_start = std::time::Instant::now();
 
@@ -154,13 +167,19 @@ impl SessionBuilder {
             .map(|p| {
                 let local = p.dataset(&train);
                 let client_rng = root_rng.fork(p.client_id as u64);
-                Mutex::new(ClientState::new(p.client_id, local, &config, client_rng))
+                Mutex::new(ClientState::with_registry(
+                    p.client_id,
+                    local,
+                    &config,
+                    client_rng,
+                    &registry,
+                ))
             })
             .collect();
         let links: Vec<Link> = config
             .links
             .generate(config.num_clients, config.seed ^ 0x11C5);
-        let comm = CommModel::paper_default();
+        let comm = CommModel::paper_default().with_cost_basis(config.cost_basis);
 
         let selection_rng = Xoshiro256::new(config.seed ^ 0x5E1E);
         let threads = match self.threads.unwrap_or(config.max_threads) {
@@ -450,6 +469,35 @@ mod tests {
             sparse.records[3].test_accuracy, sparse.records[2].test_accuracy,
             "round 4 repeats round 3's evaluation"
         );
+    }
+
+    #[test]
+    fn custom_codec_registry_reaches_the_round_engine() {
+        use fl_compress::{CodecCtx, CodecRegistry, SpecError, TopKCodec, UpdateCodec};
+
+        // Register the built-in Top-K codec under a custom name: the spec
+        // resolves only through the custom registry.
+        fn my_topk(_arg: Option<&str>, _ctx: &CodecCtx) -> Result<Box<dyn UpdateCodec>, SpecError> {
+            Ok(Box::new(TopKCodec))
+        }
+        let mut registry = CodecRegistry::with_builtins();
+        registry.register("my-topk", my_topk);
+
+        let mut config = quick(Algorithm::TopK);
+        config.rounds = 2;
+        config.compressor = Some("my-topk".parse().unwrap());
+        // The built-in-only validation rejects the custom name…
+        assert!(config.validate().is_err());
+        // …but a builder configured with the registry runs it end to end,
+        // identically to the built-in Top-K (same codec, different name).
+        let custom = SessionBuilder::from_config(&config)
+            .codec_registry(registry)
+            .build()
+            .run();
+        let mut builtin_config = config.clone();
+        builtin_config.compressor = Some("topk".parse().unwrap());
+        let builtin = FederatedSession::from_config(&builtin_config).run();
+        assert_eq!(custom.records, builtin.records);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::algorithm::Algorithm;
 use crate::config::ExperimentConfig;
 use crate::runner::ExperimentResult;
 use crate::session::SessionBuilder;
+use fl_compress::CompressorSpec;
 use fl_data::{Dataset, DatasetPreset};
 use fl_tensor::parallel::{default_threads, parallel_map};
 use std::collections::HashMap;
@@ -108,8 +109,8 @@ pub fn run_sweep(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
 }
 
 /// A cartesian grid of experiment configurations over the axes the paper
-/// sweeps: dataset × heterogeneity `β` × compression ratio × algorithm ×
-/// seed. Unset axes stay at the base configuration's value.
+/// sweeps — dataset × heterogeneity `β` × compression ratio × algorithm ×
+/// codec × seed. Unset axes stay at the base configuration's value.
 #[derive(Clone, Debug)]
 pub struct SweepGrid {
     base: ExperimentConfig,
@@ -117,6 +118,7 @@ pub struct SweepGrid {
     betas: Vec<f64>,
     compression_ratios: Vec<f64>,
     algorithms: Vec<Algorithm>,
+    compressors: Vec<Option<CompressorSpec>>,
     seeds: Vec<u64>,
 }
 
@@ -128,6 +130,7 @@ impl SweepGrid {
             betas: vec![base.beta],
             compression_ratios: vec![base.compression_ratio],
             algorithms: vec![base.algorithm],
+            compressors: vec![base.compressor.clone()],
             seeds: vec![base.seed],
             base,
         }
@@ -157,6 +160,13 @@ impl SweepGrid {
         self
     }
 
+    /// Sweep over these codec specs (each becomes the configuration's
+    /// `compressor` override; see [`crate::policy::resolve_codec_spec`]).
+    pub fn compressors(mut self, specs: impl IntoIterator<Item = CompressorSpec>) -> Self {
+        self.compressors = specs.into_iter().map(Some).collect();
+        self
+    }
+
     /// Sweep over these master seeds (for repeated trials).
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
@@ -169,6 +179,7 @@ impl SweepGrid {
             * self.betas.len()
             * self.compression_ratios.len()
             * self.algorithms.len()
+            * self.compressors.len()
             * self.seeds.len()
     }
 
@@ -177,22 +188,25 @@ impl SweepGrid {
         self.len() == 0
     }
 
-    /// Materialise the grid, nested dataset → β → ratio → algorithm → seed
-    /// (the paper's table ordering).
+    /// Materialise the grid, nested dataset → β → ratio → algorithm → codec →
+    /// seed (the paper's table ordering, with codecs as extra rows).
     pub fn configs(&self) -> Vec<ExperimentConfig> {
         let mut out = Vec::with_capacity(self.len());
         for &dataset in &self.datasets {
             for &beta in &self.betas {
                 for &compression_ratio in &self.compression_ratios {
                     for &algorithm in &self.algorithms {
-                        for &seed in &self.seeds {
-                            let mut c = self.base.clone();
-                            c.dataset = dataset;
-                            c.beta = beta;
-                            c.compression_ratio = compression_ratio;
-                            c.algorithm = algorithm;
-                            c.seed = seed;
-                            out.push(c);
+                        for compressor in &self.compressors {
+                            for &seed in &self.seeds {
+                                let mut c = self.base.clone();
+                                c.dataset = dataset;
+                                c.beta = beta;
+                                c.compression_ratio = compression_ratio;
+                                c.algorithm = algorithm;
+                                c.compressor = compressor.clone();
+                                c.seed = seed;
+                                out.push(c);
+                            }
                         }
                     }
                 }
@@ -269,6 +283,28 @@ mod tests {
         base.rounds = 2;
         let results = run_sweep_threaded(std::slice::from_ref(&base), 2);
         assert_eq!(results[0].config.max_threads, 0);
+    }
+
+    #[test]
+    fn compressor_axis_expands_the_grid() {
+        let grid = SweepGrid::new(quick_base())
+            .compressors(["topk+qsgd:4".parse().unwrap(), "qsgd:8".parse().unwrap()])
+            .compression_ratios([0.1, 0.05]);
+        assert_eq!(grid.len(), 4);
+        let configs = grid.configs();
+        assert_eq!(
+            configs[0].compressor.as_ref().unwrap().to_string(),
+            "topk+qsgd:4"
+        );
+        assert_eq!(
+            configs[1].compressor.as_ref().unwrap().to_string(),
+            "qsgd:8"
+        );
+        assert!(configs.iter().all(|c| c.validate().is_ok()));
+        // The default grid keeps the base's (absent) override.
+        assert!(SweepGrid::new(quick_base()).configs()[0]
+            .compressor
+            .is_none());
     }
 
     #[test]

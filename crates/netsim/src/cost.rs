@@ -3,17 +3,39 @@
 use crate::link::Link;
 use serde::{Deserialize, Serialize};
 
+/// What the simulator charges for a compressed uplink.
+///
+/// The paper's communication model is *analytic*: a sparsified update costs
+/// `2 × V × CR` bytes regardless of what any encoder actually produces.
+/// Since the codec pipeline emits real byte buffers, the simulator can
+/// alternatively charge the bytes that were actually encoded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostBasis {
+    /// The paper's closed-form `2·V·CR` accounting (default; keeps results
+    /// bit-identical to the analytic reproduction).
+    #[default]
+    Analytic,
+    /// Charge the encoded `WireUpdate` length exactly — varint-compressed
+    /// indices, bit-packed quantization levels and all.
+    Encoded,
+}
+
 /// Communication-time model: `T = L + bits / B`.
 ///
 /// For sparsified uplinks the paper charges `2 × V × CR` bytes — each retained
 /// coordinate ships an index alongside its value — which is what
 /// [`CommModel::sparse_uplink_time`] implements. `V` is the dense model size
-/// in bytes.
+/// in bytes. Under [`CostBasis::Encoded`] the round engine bypasses the
+/// analytic formula and prices each upload via [`CommModel::transfer_time`]
+/// on the encoded buffer's length.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct CommModel {
     /// If true (default, matches the paper) sparse transfers pay the 2× index
     /// overhead. Exposed so the ablation bench can quantify its impact.
     pub index_overhead: bool,
+    /// Whether uplinks are priced by the analytic formula or by the bytes a
+    /// codec actually produced.
+    pub cost_basis: CostBasis,
 }
 
 impl CommModel {
@@ -21,7 +43,14 @@ impl CommModel {
     pub fn paper_default() -> Self {
         Self {
             index_overhead: true,
+            cost_basis: CostBasis::Analytic,
         }
+    }
+
+    /// The same model pricing uplinks by encoded bytes.
+    pub fn with_cost_basis(mut self, basis: CostBasis) -> Self {
+        self.cost_basis = basis;
+        self
     }
 
     /// Time in seconds to transmit `payload_bytes` over `link`.
@@ -85,6 +114,7 @@ mod tests {
     fn no_overhead_variant() {
         let m = CommModel {
             index_overhead: false,
+            ..CommModel::paper_default()
         };
         let link = link_1mbps_100ms();
         let t1 = m.sparse_uplink_time(&link, 125_000.0, 1.0);
@@ -109,6 +139,15 @@ mod tests {
         let m = CommModel::paper_default();
         let link = link_1mbps_100ms();
         assert_eq!(m.ratio_for_budget(&link, 1e6, 0.05), 0.0);
+    }
+
+    #[test]
+    fn cost_basis_defaults_to_analytic() {
+        assert_eq!(CostBasis::default(), CostBasis::Analytic);
+        assert_eq!(CommModel::paper_default().cost_basis, CostBasis::Analytic);
+        let m = CommModel::paper_default().with_cost_basis(CostBasis::Encoded);
+        assert_eq!(m.cost_basis, CostBasis::Encoded);
+        assert!(m.index_overhead, "basis switch leaves the formula intact");
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod metrics;
 pub mod timeline;
 
 pub use breakdown::RoundBreakdown;
-pub use cost::CommModel;
+pub use cost::{CommModel, CostBasis};
 pub use link::{Link, LinkGenerator};
 pub use metrics::{RoundTiming, TimeAccumulator};
 pub use timeline::{ClientTimeline, RoundTimeline};

@@ -1,13 +1,18 @@
-//! Plugging a custom compressor into the compression pipeline.
+//! Plugging a custom codec into the spec-driven compression pipeline.
 //!
 //! The paper positions its framework as a foundation that "integrates common
-//! compression techniques". This example shows the extension point: implement
-//! the [`Compressor`] trait, and the sparse update it produces flows through
-//! overlap analysis, OPWA masking and aggregation exactly like the built-in
-//! Top-K. Here we build a layer-aware Top-K that budgets the retained
-//! coordinates per segment (a common trick to keep small layers represented),
-//! and compare it against plain Top-K and QSGD quantization on wire size and
-//! reconstruction error.
+//! compression techniques". This example shows both extension points:
+//!
+//! 1. **Specs** — parse pipeline descriptions like `"topk"`, `"qsgd:6"`,
+//!    `"ef-topk"` and the composed `"topk+qsgd:6"` into codecs through the
+//!    [`CodecRegistry`], and compare the *real* encoded wire sizes (varint
+//!    delta indices, bit-packed levels) against the dense f32 payload.
+//! 2. **Custom codecs** — implement [`UpdateCodec`], register it under a
+//!    name, and build it from a spec string (`"segmented-topk:5000"`) like
+//!    any built-in. Here we build a layer-aware Top-K that budgets the
+//!    retained coordinates per segment (a common trick to keep small layers
+//!    represented); because it emits the standard sparse wire format, decode,
+//!    overlap analysis and OPWA masking come for free.
 //!
 //! Run with `cargo run --release --example custom_compressor`.
 
@@ -19,8 +24,12 @@ struct SegmentedTopK {
     segment: usize,
 }
 
-impl Compressor for SegmentedTopK {
-    fn compress(&self, dense: &[f32], ratio: f64) -> CompressedUpdate {
+impl UpdateCodec for SegmentedTopK {
+    fn name(&self) -> String {
+        format!("segmented-topk:{}", self.segment)
+    }
+
+    fn encode(&mut self, dense: &[f32], ratio: f64, _rng: &mut Xoshiro256) -> WireUpdate {
         let inner = TopK::new();
         let mut indices = Vec::new();
         let mut values = Vec::new();
@@ -28,7 +37,7 @@ impl Compressor for SegmentedTopK {
         while start < dense.len() {
             let end = (start + self.segment).min(dense.len());
             let chunk = &dense[start..end];
-            if let CompressedUpdate::Sparse(s) = inner.compress(chunk, ratio) {
+            if let Some(s) = inner.compress(chunk, ratio).into_sparse() {
                 for (&i, &v) in s.indices().iter().zip(s.values().iter()) {
                     indices.push(start as u32 + i);
                     values.push(v);
@@ -36,16 +45,36 @@ impl Compressor for SegmentedTopK {
             }
             start = end;
         }
-        CompressedUpdate::Sparse(SparseUpdate::new(indices, values, dense.len()))
-    }
-
-    fn name(&self) -> &'static str {
-        "segmented-topk"
+        let sparse = SparseUpdate::new(indices, values, dense.len());
+        // Emitting the standard sparse wire format means the default
+        // `UpdateCodec::decode` already understands our bytes.
+        fl_compress::wire::encode_sparse(&sparse)
     }
 }
 
-fn reconstruction_error(original: &[f32], compressed: &CompressedUpdate) -> f64 {
-    let rec = compressed.to_dense();
+/// Registry factory: `"segmented-topk:5000"` → a 5000-wide segmented Top-K.
+fn segmented_topk_factory(
+    arg: Option<&str>,
+    _ctx: &CodecCtx,
+) -> Result<Box<dyn UpdateCodec>, SpecError> {
+    let segment: usize = match arg {
+        None => 4096,
+        Some(a) => a.parse().map_err(|_| SpecError::BadArg {
+            codec: "segmented-topk".into(),
+            reason: format!("segment size {a:?} is not an integer"),
+        })?,
+    };
+    if segment == 0 {
+        return Err(SpecError::BadArg {
+            codec: "segmented-topk".into(),
+            reason: "segment size must be positive".into(),
+        });
+    }
+    Ok(Box::new(SegmentedTopK { segment }))
+}
+
+fn reconstruction_error(original: &[f32], decoded: &CompressedUpdate) -> f64 {
+    let rec = decoded.to_dense();
     let num: f64 = original
         .iter()
         .zip(rec.iter())
@@ -72,34 +101,47 @@ fn main() {
         .collect();
     let dense_bytes = n * 4;
 
+    // One registry serves built-ins and the custom codec alike.
+    let mut registry = CodecRegistry::with_builtins();
+    registry.register("segmented-topk", segmented_topk_factory);
+    let ctx = CodecCtx::new(n, 11);
+
     let ratio = 0.05;
-    let compressors: Vec<Box<dyn Compressor>> = vec![
-        Box::new(TopK::new()),
-        Box::new(SegmentedTopK { segment: 5_000 }),
-        Box::new(RandK::new(11)),
-        Box::new(Threshold::new()),
-        Box::new(Qsgd::new(15, 11)),
+    let specs = [
+        "topk",
+        "segmented-topk:5000",
+        "randk",
+        "threshold",
+        "qsgd:6",
+        "topk+qsgd:6",
+        "ef-topk",
     ];
 
     println!("dense update: {n} parameters, {dense_bytes} bytes, target ratio {ratio}");
     println!(
-        "{:>16} {:>12} {:>12} {:>16}",
-        "compressor", "wire bytes", "vs dense", "rel. L2 error"
+        "{:>18} {:>12} {:>12} {:>16}",
+        "codec", "wire bytes", "vs dense", "rel. L2 error"
     );
-    for c in &compressors {
-        let out = c.compress(&delta, ratio);
+    for raw in &specs {
+        let spec: CompressorSpec = raw.parse().expect("example specs parse");
+        let mut codec = registry.build(&spec, &ctx).expect("example specs resolve");
+        let mut stream = Xoshiro256::new(17);
+        let wire = codec.encode(&delta, ratio, &mut stream);
+        let decoded = codec.decode(&wire).expect("self-encoded bytes decode");
         println!(
-            "{:>16} {:>12} {:>11.1}x {:>16.4}",
-            c.name(),
-            out.wire_size_bytes(),
-            dense_bytes as f64 / out.wire_size_bytes() as f64,
-            reconstruction_error(&delta, &out)
+            "{:>18} {:>12} {:>11.1}x {:>16.4}",
+            codec.name(),
+            wire.len(),
+            dense_bytes as f64 / wire.len() as f64,
+            reconstruction_error(&delta, &decoded)
         );
     }
 
-    // The custom compressor's output is a normal SparseUpdate, so OPWA's
-    // overlap analysis applies unchanged.
-    let seg = SegmentedTopK { segment: 5_000 };
+    // The custom codec decodes to a normal SparseUpdate, so OPWA's overlap
+    // analysis applies unchanged.
+    let mut seg = registry
+        .build(&"segmented-topk:5000".parse().unwrap(), &ctx)
+        .unwrap();
     let clients: Vec<SparseUpdate> = (0..5)
         .map(|k| {
             let shifted: Vec<f32> = delta
@@ -107,13 +149,15 @@ fn main() {
                 .enumerate()
                 .map(|(i, &v)| if i % 5 == k { v * 2.0 } else { v })
                 .collect();
-            seg.compress(&shifted, ratio).as_sparse().unwrap().clone()
+            let mut stream = Xoshiro256::new(100 + k as u64);
+            let wire = seg.encode(&shifted, ratio, &mut stream);
+            seg.decode(&wire).unwrap().into_sparse().unwrap()
         })
         .collect();
     let refs: Vec<&SparseUpdate> = clients.iter().collect();
     let overlap = OverlapCounts::from_updates(&refs).stats();
     println!(
-        "\noverlap of 5 simulated clients using the custom compressor: {:.1}% singletons",
+        "\noverlap of 5 simulated clients using the custom codec: {:.1}% singletons",
         overlap.singleton_fraction() * 100.0
     );
     let mask = OpwaMask::from_overlap(&OverlapCounts::from_updates(&refs), 5.0, 1);

@@ -44,6 +44,29 @@
 //!     .run();
 //! assert_eq!(results.len(), 2);
 //! ```
+//!
+//! ## The codec pipeline
+//!
+//! Uplink compression is spec-driven: a [`compress::spec::CompressorSpec`]
+//! string such as `"topk"`, `"qsgd:8"` or the composed `"topk+qsgd:4"`
+//! resolves through the [`compress::registry::CodecRegistry`] into an
+//! [`compress::codec::UpdateCodec`] that encodes every client update into a
+//! real, versioned byte buffer ([`compress::wire::WireUpdate`]). Set
+//! [`core::config::ExperimentConfig::compressor`] to run any algorithm over
+//! any codec, and switch [`core::config::ExperimentConfig::cost_basis`] to
+//! [`netsim::cost::CostBasis::Encoded`] to charge the network simulator the
+//! encoded bytes instead of the paper's analytic `2·V·CR` formula:
+//!
+//! ```
+//! use bwfl::prelude::*;
+//!
+//! let mut config = ExperimentConfig::quick(Algorithm::TopK);
+//! config.rounds = 2;
+//! config.compressor = Some("topk+qsgd:4".parse().unwrap());
+//! config.cost_basis = CostBasis::Encoded;
+//! let result = run_experiment(&config);
+//! assert!(result.records[0].uplink_bytes > 0);
+//! ```
 
 pub use fl_compress as compress;
 pub use fl_core as core;
@@ -55,21 +78,24 @@ pub use fl_tensor as tensor;
 /// The types most users need, in one import.
 pub mod prelude {
     pub use fl_compress::{
-        CompressedUpdate, Compressor, ErrorFeedback, Qsgd, RandK, SparseUpdate, Threshold, TopK,
+        CodecCtx, CodecRegistry, CodecStage, CompressedUpdate, Compressor, CompressorSpec,
+        ErrorFeedback, Qsgd, RandK, SparseUpdate, SpecError, Threshold, TopK, UpdateCodec,
+        WireError, WireUpdate,
     };
     pub use fl_core::runner::{evaluate_params, run_experiment_with, stream_experiment};
     pub use fl_core::{
-        run_experiment, run_sweep, run_sweep_threaded, Algorithm, AvailabilitySelector,
-        BcrsRatioPolicy, BcrsSchedule, BcrsScheduler, ClientSelector, ExperimentConfig,
-        ExperimentResult, FederatedSession, ModelPreset, MomentumServer, OpwaMask, OverlapCounts,
-        OverlapStats, RatioDecision, RatioPolicy, RoundOutput, RoundRecord, ServerOpt,
-        SessionBuilder, SgdServer, SweepGrid, UniformRatio, UniformSelector,
+        default_codec_spec, resolve_codec_spec, run_experiment, run_sweep, run_sweep_threaded,
+        Algorithm, AvailabilitySelector, BcrsRatioPolicy, BcrsSchedule, BcrsScheduler,
+        ClientSelector, ExperimentConfig, ExperimentResult, FederatedSession, ModelPreset,
+        MomentumServer, OpwaMask, OverlapCounts, OverlapStats, RatioDecision, RatioPolicy,
+        RoundOutput, RoundRecord, ServerOpt, SessionBuilder, SgdServer, SweepGrid, UniformRatio,
+        UniformSelector,
     };
     pub use fl_data::{
         dirichlet_partition, BatchLoader, ClientPartition, Dataset, DatasetPreset, PartitionStats,
     };
     pub use fl_netsim::{
-        CommModel, Link, LinkGenerator, RoundBreakdown, RoundTiming, TimeAccumulator,
+        CommModel, CostBasis, Link, LinkGenerator, RoundBreakdown, RoundTiming, TimeAccumulator,
     };
     pub use fl_nn::{
         flatten_params, mlp, small_cnn, unflatten_params, Layer, Sequential, Sgd,

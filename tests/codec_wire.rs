@@ -1,0 +1,186 @@
+//! Integration tests of the spec-driven codec pipeline: encode→decode round
+//! trips for every registered codec, the pinned wire header, and the
+//! end-to-end honest-byte accounting through the experiment engine.
+
+use bwfl::prelude::*;
+use proptest::prelude::*;
+
+fn registry() -> CodecRegistry {
+    CodecRegistry::with_builtins()
+}
+
+/// One representative spec per registered codec family, plus the wrapper and
+/// composition forms. Kept in sync with the registry by the test below.
+fn representative_specs() -> Vec<CompressorSpec> {
+    vec![
+        "topk".parse().unwrap(),
+        "randk".parse().unwrap(),
+        "threshold".parse().unwrap(),
+        "threshold:0.05".parse().unwrap(),
+        "qsgd:8".parse().unwrap(),
+        "ef-topk".parse().unwrap(),
+        "topk+qsgd:6".parse().unwrap(),
+        "ef-randk+qsgd:8".parse().unwrap(),
+    ]
+}
+
+#[test]
+fn every_registered_codec_has_a_representative_spec() {
+    let covered: Vec<String> = representative_specs()
+        .iter()
+        .flat_map(|s| s.stages.iter().map(|st| st.name.clone()))
+        .collect();
+    for name in registry().names() {
+        assert!(
+            covered.iter().any(|c| c == name),
+            "registered codec {name:?} missing from the round-trip suite"
+        );
+    }
+}
+
+proptest! {
+    /// Sparse codecs reproduce the retained coordinates exactly; quantized
+    /// codecs reconstruct every coordinate within one level of the norm.
+    #[test]
+    fn prop_encode_decode_roundtrip_for_every_codec(
+        dense in proptest::collection::vec(-5.0f32..5.0, 16..200),
+        ratio in 0.05f64..1.0,
+        stream_seed in 0u64..1000,
+    ) {
+        for spec in representative_specs() {
+            let mut codec = registry()
+                .build(&spec, &CodecCtx::new(dense.len(), 7))
+                .expect("representative specs resolve");
+            let mut rng = Xoshiro256::new(stream_seed);
+            let wire = codec.encode(&dense, ratio, &mut rng);
+            prop_assert!(!wire.is_empty(), "{spec}: empty wire buffer");
+            let decoded = codec.decode(&wire).expect("self-encoded bytes decode");
+            prop_assert_eq!(decoded.dense_len(), dense.len(), "{}", &spec);
+
+            let is_quantized = spec.stages.iter().any(|s| s.name == "qsgd");
+            // Rand-K rescales retained values by len/k for unbiasedness, so
+            // only its coordinate structure (not the values) matches the
+            // input.
+            let rescaled = spec.stages[0].name == "randk";
+            match decoded {
+                CompressedUpdate::Sparse(ref s) if !is_quantized => {
+                    // Exact round trip (error feedback sends delta+residual,
+                    // where the residual starts at zero, so values still
+                    // match the input on the first round).
+                    for (&i, &v) in s.indices().iter().zip(s.values().iter()) {
+                        if rescaled {
+                            continue;
+                        }
+                        prop_assert_eq!(v, dense[i as usize], "{} index {}", &spec, i);
+                    }
+                }
+                ref update => {
+                    // Quantized payloads: within one level of the encoded
+                    // group's norm (coarsest representative codec is qsgd:6,
+                    // 31 levels; a norm/3 bound is comfortably loose).
+                    let norm = dense.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt();
+                    let tol = norm / 3.0 + 1e-4;
+                    let rec = update.to_dense();
+                    for (i, &r) in rec.iter().enumerate() {
+                        if r != 0.0 && !rescaled {
+                            prop_assert!(
+                                (r - dense[i]).abs() <= tol as f32,
+                                "{} coordinate {} decoded {} vs {}",
+                                &spec, i, r, dense[i]
+                            );
+                        }
+                    }
+                }
+            }
+
+            // A second encode with identical inputs and stream state is
+            // byte-identical for stateless codecs; stateful (EF) codecs may
+            // differ, but must still decode.
+            if !spec.error_feedback {
+                let mut codec2 = registry()
+                    .build(&spec, &CodecCtx::new(dense.len(), 7))
+                    .unwrap();
+                let mut rng2 = Xoshiro256::new(stream_seed);
+                let wire2 = codec2.encode(&dense, ratio, &mut rng2);
+                prop_assert_eq!(wire.as_bytes(), wire2.as_bytes(), "{} not deterministic", &spec);
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_bytes_pin_the_wire_header() {
+    // Format drift must fail CI: the first bytes of every encoded update are
+    // magic 0xB3F1, version 1, then the payload kind.
+    let dense = [0.0f32, 3.0, 0.0, -1.0];
+    let mut rng = Xoshiro256::new(1);
+
+    let mut topk = registry()
+        .build(&"topk".parse().unwrap(), &CodecCtx::new(4, 0))
+        .unwrap();
+    let wire = topk.encode(&dense, 0.5, &mut rng);
+    // kind 0 (sparse), dense_len 4, nnz 2, indices 1 and +2, f32 values.
+    assert_eq!(
+        wire.as_bytes(),
+        [
+            0xB3, 0xF1, 0x01, 0x00, // magic, version, kind
+            0x04, 0x02, 0x01, 0x02, // dense_len, nnz, delta indices
+            0x00, 0x00, 0x40, 0x40, // 3.0f32 LE
+            0x00, 0x00, 0x80, 0xBF, // -1.0f32 LE
+        ]
+    );
+
+    let mut qsgd = registry()
+        .build(&"qsgd:8".parse().unwrap(), &CodecCtx::new(4, 0))
+        .unwrap();
+    let wire = qsgd.encode(&dense, 1.0, &mut rng);
+    assert_eq!(&wire.as_bytes()[..4], [0xB3, 0xF1, 0x01, 0x01]);
+    assert_eq!(wire.as_bytes()[5], 8, "bits byte");
+
+    let mut composed = registry()
+        .build(&"topk+qsgd:6".parse().unwrap(), &CodecCtx::new(4, 0))
+        .unwrap();
+    let wire = composed.encode(&dense, 0.5, &mut rng);
+    assert_eq!(&wire.as_bytes()[..4], [0xB3, 0xF1, 0x01, 0x02]);
+}
+
+#[test]
+fn encoded_cost_basis_charges_real_bytes_end_to_end() {
+    let mut config = ExperimentConfig::quick(Algorithm::TopK);
+    config.rounds = 3;
+    config.max_threads = 1;
+    config.compressor = Some("topk+qsgd:4".parse().unwrap());
+    config.cost_basis = CostBasis::Encoded;
+    let result = run_experiment(&config);
+    let analytic_bytes_per_round = (2.0 * result.model_bytes as f64 * config.compression_ratio)
+        as usize
+        * config.clients_per_round();
+    for r in &result.records {
+        assert!(r.uplink_bytes > 0);
+        // 4-bit quantized values + varint indices are far below the analytic
+        // 2·V·CR sparse accounting.
+        assert!(
+            r.uplink_bytes < analytic_bytes_per_round / 2,
+            "round {}: encoded {} vs analytic {}",
+            r.round,
+            r.uplink_bytes,
+            analytic_bytes_per_round
+        );
+    }
+    // Determinism holds through the encoded path too.
+    let again = run_experiment(&config);
+    assert_eq!(result.records, again.records);
+}
+
+#[test]
+fn csv_exposes_the_uplink_byte_column() {
+    let mut config = ExperimentConfig::quick(Algorithm::TopK);
+    config.rounds = 2;
+    config.max_threads = 1;
+    let result = run_experiment(&config);
+    let csv = result.to_csv();
+    assert!(csv.lines().next().unwrap().contains("uplink_bytes"));
+    let first_row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+    let bytes: usize = first_row[5].parse().expect("uplink_bytes cell is integral");
+    assert_eq!(bytes, result.records[0].uplink_bytes);
+}
