@@ -5,6 +5,16 @@
 //! waiting split plus the round duration, showing that adaptive compression
 //! removes the waiting time without extending the round.
 //!
+//! By default the download bar is the figure's flat 0.5 s placeholder; with
+//! `--downlink SPEC` it is priced per link by the cost model's download leg
+//! instead (dense for the uncompressed scheme, the analytic `2·V·CR`
+//! broadcast for the compressed ones), so the timeline attributes the
+//! bidirectional cost the way the round engine charges it. Note this figure
+//! is purely analytic — the flag's *presence* switches the download leg on,
+//! but the spec value itself does not change the analytic times (all codecs
+//! are priced at the base ratio; run an experiment binary under
+//! `--cost-basis encoded` to compare codecs by their real bytes).
+//!
 //! `cargo run --release -p fl-bench --bin fig1_timeline`
 
 use fl_bench::BenchArgs;
@@ -21,13 +31,32 @@ fn main() {
     ];
     let model_bytes = 101_672.0; // the default MLP (~25k parameters)
     let training_s = [10.0, 10.0, 10.0];
-    let download_s = [0.5, 0.5, 0.5];
     let comm = CommModel::paper_default();
     let base_ratio = 0.1;
 
-    let schemes: Vec<(&str, Vec<f64>)> = vec![
+    // Download attribution: the figure's flat placeholder, or — when the
+    // downlink leg is simulated — the cost model's per-link download times
+    // (dense broadcast for the uncompressed scheme, the analytic compressed
+    // broadcast for the others).
+    let flat_download = [0.5, 0.5, 0.5];
+    let dense_download: Vec<f64> = links
+        .iter()
+        .map(|l| comm.dense_downlink_time(l, model_bytes))
+        .collect();
+    let sparse_download: Vec<f64> = links
+        .iter()
+        .map(|l| comm.sparse_downlink_time(l, model_bytes, base_ratio))
+        .collect();
+    let simulate_downlink = args.downlink.is_some();
+
+    let schemes: Vec<(&str, Vec<f64>, Vec<f64>)> = vec![
         (
             "uncompressed",
+            if simulate_downlink {
+                dense_download
+            } else {
+                flat_download.to_vec()
+            },
             links
                 .iter()
                 .map(|l| comm.dense_uplink_time(l, model_bytes))
@@ -35,6 +64,11 @@ fn main() {
         ),
         (
             "uniform-compression",
+            if simulate_downlink {
+                sparse_download.clone()
+            } else {
+                flat_download.to_vec()
+            },
             links
                 .iter()
                 .map(|l| comm.sparse_uplink_time(l, model_bytes, base_ratio))
@@ -42,6 +76,11 @@ fn main() {
         ),
         (
             "adaptive-compression (BCRS)",
+            if simulate_downlink {
+                sparse_download
+            } else {
+                flat_download.to_vec()
+            },
             BcrsScheduler::new(comm)
                 .schedule(&links, model_bytes, base_ratio)
                 .scheduled_times,
@@ -51,7 +90,7 @@ fn main() {
     if args.csv {
         println!("scheme,client,download_s,training_s,upload_s,waiting_s,round_s");
     }
-    for (name, uploads) in schemes {
+    for (name, download_s, uploads) in schemes {
         let tl = RoundTimeline::synchronous(&download_s, &training_s, &uploads);
         if args.csv {
             for c in tl.clients() {

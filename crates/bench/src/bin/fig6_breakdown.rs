@@ -1,6 +1,11 @@
 //! Fig. 6 — time breakdown of one FL round: compression/decompression,
 //! local training, uncompressed communication, and BCRS-scheduled
-//! communication, for CR = 0.01 and CR = 0.1.
+//! communication, for CR = 0.01 and CR = 0.1. With `--downlink SPEC` the
+//! broadcast leg is simulated too: `bcrs_comm_s` (and the uncompressed
+//! reference) then cover the full bidirectional round, and `downlink_comm_s`
+//! reports the broadcast's *of-which* share — it is already included in the
+//! other two communication columns, so do not add it to them (0 when the
+//! downlink is not simulated).
 //!
 //! Both CR cells run through the parallel sweep driver (`SweepGrid` over the
 //! compression-ratio axis, shared dataset generation, worker count set by
@@ -28,13 +33,17 @@ fn main() {
     let grid = SweepGrid::new(base).compression_ratios([0.01, 0.1]);
     let results = run_sweep_threaded(&grid.configs(), args.sweep_threads);
 
-    println!("cr,compress_s,training_s,uncompressed_comm_s,bcrs_comm_s");
+    println!("cr,compress_s,training_s,uncompressed_comm_s,bcrs_comm_s,downlink_comm_s");
     for result in &results {
         let cr = result.config.compression_ratio;
         let b = result.breakdown;
         println!(
-            "{cr},{:.4},{:.4},{:.4},{:.4}",
-            b.compress_s, b.training_s, b.uncompressed_comm_s, b.scheduled_comm_s
+            "{cr},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            b.compress_s,
+            b.training_s,
+            b.uncompressed_comm_s,
+            b.scheduled_comm_s,
+            b.downlink_comm_s
         );
         if !args.csv {
             eprintln!(

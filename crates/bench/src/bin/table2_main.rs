@@ -12,8 +12,11 @@
 //!
 //! `--compressors spec1,spec2,…` appends extra scenario rows sweeping the
 //! listed codec specs (e.g. `qsgd:8,topk+qsgd:4,ef-topk`) through the same
-//! dataset × β × CR grid. These rows run under `CostBasis::Encoded`, so their
-//! communication times are priced from the bytes each codec actually encoded.
+//! dataset × β × CR grid. These rows default to `CostBasis::Encoded`, so
+//! their communication times are priced from the bytes each codec actually
+//! encoded; `--cost-basis analytic|encoded` overrides the basis for *every*
+//! row (main grid and codec rows alike), and `--downlink SPEC` simulates the
+//! server→client broadcast through a codec instead of teleporting it.
 //!
 //! `cargo run --release -p fl-bench --bin table2_main [-- --all-datasets --full]`
 
@@ -96,6 +99,15 @@ fn main() {
             );
             if !args.csv {
                 eprintln!("# {}", summarize(result));
+                if let Some(spec) = &result.config.downlink_compressor {
+                    let down_kb = result
+                        .records
+                        .iter()
+                        .map(|r| r.downlink_bytes as f64)
+                        .sum::<f64>()
+                        / 1e3;
+                    eprintln!("#   downlink {spec}: {down_kb:.1} kB total encoded broadcast");
+                }
             }
         }
         if let Some(result) = ablation_iter.next() {
@@ -127,7 +139,7 @@ fn main() {
             specs.into_iter().partition(|s| s.produces_dense());
         let mut base = configs[0].clone();
         base.algorithm = Algorithm::TopK;
-        base.cost_basis = CostBasis::Encoded;
+        base.cost_basis = args.cost_basis.unwrap_or(CostBasis::Encoded);
         let mut codec_configs = Vec::new();
         if !ratio_bound.is_empty() {
             codec_configs.extend(

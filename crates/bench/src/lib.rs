@@ -14,13 +14,21 @@
 //! * `--sweep-threads N` — worker threads for the parallel sweep driver
 //!   (0 = auto). Grid binaries run their experiments through
 //!   `fl_core::sweep::run_sweep_threaded`, which also shares dataset
-//!   generation across the grid.
+//!   generation across the grid;
+//! * `--cost-basis analytic|encoded` — how the simulator prices transfers:
+//!   the paper's closed-form `2·V·CR` accounting (default) or the bytes each
+//!   codec actually encoded;
+//! * `--downlink SPEC`   — simulate the server→client broadcast through the
+//!   given codec spec (e.g. `topk`, `ef-topk`, `qsgd:8`) instead of
+//!   teleporting it for free.
 //!
 //! The Criterion benches under `benches/` cover the micro-performance of the
 //! building blocks (compression, aggregation, scheduling, training step).
 
+use fl_compress::CompressorSpec;
 use fl_core::{Algorithm, ExperimentConfig, ExperimentResult, ModelPreset};
 use fl_data::DatasetPreset;
+use fl_netsim::CostBasis;
 
 /// Command-line arguments shared by every experiment binary.
 #[derive(Clone, Debug)]
@@ -41,6 +49,12 @@ pub struct BenchArgs {
     pub eval_every: Option<usize>,
     /// Worker threads for the parallel sweep driver (0 = auto).
     pub sweep_threads: usize,
+    /// Transfer pricing override (`--cost-basis analytic|encoded`); `None`
+    /// keeps each binary's default basis.
+    pub cost_basis: Option<CostBasis>,
+    /// Broadcast codec for the downlink leg (`--downlink SPEC`); `None`
+    /// keeps the paper's free broadcast.
+    pub downlink: Option<CompressorSpec>,
     /// Extra flags not recognised by the common parser (binary-specific).
     pub extra: Vec<String>,
 }
@@ -56,6 +70,8 @@ impl Default for BenchArgs {
             csv: false,
             eval_every: None,
             sweep_threads: 0,
+            cost_basis: None,
+            downlink: None,
             extra: Vec::new(),
         }
     }
@@ -94,6 +110,26 @@ impl BenchArgs {
                     if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
                         out.sweep_threads = v;
                     }
+                }
+                "--cost-basis" => {
+                    let value = it
+                        .next()
+                        .unwrap_or_else(|| panic!("--cost-basis needs a value: analytic|encoded"));
+                    out.cost_basis = Some(match value.as_str() {
+                        "analytic" => CostBasis::Analytic,
+                        "encoded" => CostBasis::Encoded,
+                        other => panic!("--cost-basis: expected analytic|encoded, got {other:?}"),
+                    });
+                }
+                "--downlink" => {
+                    let value = it.next().unwrap_or_else(|| {
+                        panic!("--downlink needs a codec spec, e.g. topk or ef-topk")
+                    });
+                    out.downlink = Some(
+                        value
+                            .parse()
+                            .unwrap_or_else(|e| panic!("--downlink: cannot parse {value:?}: {e}")),
+                    );
                 }
                 other => out.extra.push(other.to_string()),
             }
@@ -164,6 +200,12 @@ pub fn bench_config(
     config.seed = args.seed;
     if let Some(eval_every) = args.eval_every {
         config.eval_every = eval_every.max(1);
+    }
+    if let Some(basis) = args.cost_basis {
+        config.cost_basis = basis;
+    }
+    if let Some(downlink) = &args.downlink {
+        config.downlink_compressor = Some(downlink.clone());
     }
     config
 }
@@ -253,6 +295,43 @@ mod tests {
         let d = parse(&[]);
         assert_eq!(d.eval_every, None);
         assert_eq!(d.sweep_threads, 0);
+    }
+
+    #[test]
+    fn parses_cost_basis_and_downlink_flags() {
+        let a = parse(&["--cost-basis", "encoded", "--downlink", "ef-topk"]);
+        assert_eq!(a.cost_basis, Some(CostBasis::Encoded));
+        assert_eq!(a.downlink.as_ref().unwrap().to_string(), "ef-topk");
+        let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &a);
+        assert_eq!(c.cost_basis, CostBasis::Encoded);
+        assert_eq!(
+            c.downlink_compressor.as_ref().unwrap().to_string(),
+            "ef-topk"
+        );
+        assert!(c.validate().is_ok());
+
+        let b = parse(&["--cost-basis", "analytic"]);
+        assert_eq!(b.cost_basis, Some(CostBasis::Analytic));
+
+        // Unset flags leave the binary's defaults alone.
+        let d = parse(&[]);
+        assert_eq!(d.cost_basis, None);
+        assert_eq!(d.downlink, None);
+        let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &d);
+        assert_eq!(c.cost_basis, CostBasis::Analytic);
+        assert_eq!(c.downlink_compressor, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--cost-basis")]
+    fn bad_cost_basis_value_panics() {
+        parse(&["--cost-basis", "bogus"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--downlink")]
+    fn bad_downlink_spec_panics() {
+        parse(&["--downlink", "+nope"]);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`codec::UpdateCodec`] — stateful `encode(&mut self, dense, ratio, rng)`
 //!   producing a real [`wire::WireUpdate`] byte buffer (varint-delta sparse
 //!   indices, bit-packed QSGD levels) and `decode` reconstructing the lossy
-//!   dense update. Error-feedback residuals live inside [`codec::EfCodec`].
+//!   dense update. Error-feedback residuals live inside [`codec::EfCodec`];
+//! * [`downlink::DownlinkChannel`] — the server-side broadcast wrapper: one
+//!   codec encodes the global-parameter delta per round, recipients share the
+//!   decoded view, and error-feedback residuals live server-side.
 //!
 //! **The primitives** codecs are built from:
 //!
@@ -29,6 +32,7 @@
 
 pub mod codec;
 pub mod compressor;
+pub mod downlink;
 pub mod error_feedback;
 pub mod quantize;
 pub mod randk;
@@ -43,6 +47,7 @@ pub use codec::{
     CodecCtx, ComposedCodec, EfCodec, QsgdCodec, RandKCodec, ThresholdCodec, TopKCodec, UpdateCodec,
 };
 pub use compressor::{CompressedUpdate, Compressor};
+pub use downlink::DownlinkChannel;
 pub use error_feedback::ErrorFeedback;
 pub use quantize::Qsgd;
 pub use randk::RandK;

@@ -138,7 +138,15 @@ impl WireUpdate {
         let kind = self.kind()?;
         let b = self.as_bytes();
         let mut cur = 4usize;
-        let dense_len = read_varint(b, &mut cur)? as usize;
+        let declared_len = read_varint(b, &mut cur)?;
+        // Wire indices are u32, so no valid buffer can describe a longer
+        // vector; checking the raw varint (before any `as usize` cast, which
+        // would itself truncate on 32-bit targets) keeps a crafted
+        // `dense_len` from silently wrapping into `0..dense_len as u32`.
+        if declared_len > u32::MAX as u64 {
+            return Err(WireError::Corrupt("dense length exceeds u32 index range"));
+        }
+        let dense_len = declared_len as usize;
         match kind {
             KIND_SPARSE => {
                 let (indices, values) = decode_sparse_body(b, &mut cur, dense_len)?;
@@ -560,13 +568,13 @@ mod tests {
 
     #[test]
     fn crafted_huge_counts_are_rejected_without_allocating() {
-        // Quantized payload declaring 2^62 coordinates: must error, not
+        // Quantized payload declaring u32::MAX coordinates: must error, not
         // overflow `count * bits` or reserve gigabytes.
         let mut buf = BytesMut::new();
         buf.put_slice(&WIRE_MAGIC);
         buf.put_u8(WIRE_VERSION);
         buf.put_u8(KIND_QUANTIZED);
-        put_varint(&mut buf, 1u64 << 62); // dense_len
+        put_varint(&mut buf, u32::MAX as u64); // dense_len
         buf.put_u8(8); // bits
         buf.put_f32_le(1.0); // norm
         buf.put_u8(0xAB); // one stray payload byte
@@ -580,8 +588,8 @@ mod tests {
         buf.put_slice(&WIRE_MAGIC);
         buf.put_u8(WIRE_VERSION);
         buf.put_u8(KIND_SPARSE);
-        put_varint(&mut buf, 1u64 << 62); // dense_len
-        put_varint(&mut buf, 1u64 << 61); // nnz
+        put_varint(&mut buf, u32::MAX as u64); // dense_len
+        put_varint(&mut buf, (u32::MAX - 1) as u64); // nnz
         assert_eq!(
             WireUpdate::from_bytes(buf.freeze()).decode(),
             Err(WireError::Truncated)
@@ -592,11 +600,41 @@ mod tests {
         buf.put_slice(&WIRE_MAGIC);
         buf.put_u8(WIRE_VERSION);
         buf.put_u8(KIND_DENSE);
-        put_varint(&mut buf, u64::MAX);
+        put_varint(&mut buf, u32::MAX as u64);
         assert_eq!(
             WireUpdate::from_bytes(buf.freeze()).decode(),
             Err(WireError::Truncated)
         );
+    }
+
+    #[test]
+    fn dense_len_beyond_u32_is_corrupt_for_every_kind() {
+        // Indices are u32 on the wire, so a varint dense_len above u32::MAX
+        // can never be valid. The old decoder reconstructed dense indices via
+        // `0..dense_len as u32`, silently truncating such buffers; now every
+        // payload kind rejects them up front.
+        for kind in [
+            KIND_SPARSE,
+            KIND_QUANTIZED,
+            KIND_SPARSE_QUANTIZED,
+            KIND_DENSE,
+        ] {
+            for dense_len in [u32::MAX as u64 + 1, 1u64 << 62, u64::MAX] {
+                let mut buf = BytesMut::new();
+                buf.put_slice(&WIRE_MAGIC);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(kind);
+                put_varint(&mut buf, dense_len);
+                // Enough trailing bytes that a truncating decoder would have
+                // happily read a small body instead of erroring.
+                buf.put_slice(&[0u8; 64]);
+                assert_eq!(
+                    WireUpdate::from_bytes(buf.freeze()).decode(),
+                    Err(WireError::Corrupt("dense length exceeds u32 index range")),
+                    "kind {kind} dense_len {dense_len}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -118,10 +118,23 @@ pub struct ExperimentConfig {
     /// [`CompressorSpec`] — `"qsgd:8"`, `"threshold:0.01"`, `"topk+qsgd:4"`,
     /// … — runs the same algorithm over that codec instead.
     pub compressor: Option<CompressorSpec>,
-    /// How the network simulator prices uplinks:
+    /// Codec for the server→client broadcast (downlink) leg. `None` (default,
+    /// the paper's setting) teleports the global model to the clients for
+    /// free, exactly as the analytic reproduction always has. `Some(spec)`
+    /// simulates the broadcast honestly: each round the aggregated global
+    /// delta is encoded once through this codec (resolved via the same
+    /// [`CodecRegistry`] as the uplink, at the base `compression_ratio`),
+    /// clients train from the decoded — lossy — view, `RoundRecord` reports
+    /// the encoded buffer's length as `downlink_bytes`, and the per-client
+    /// download time joins the round's straggler bound. Error-feedback specs
+    /// (`"ef-topk"`, …) keep their residual server-side. Dense-decoding specs
+    /// (`"qsgd:8"`) are fine here even with OPWA algorithms — the overlap
+    /// machinery concerns the *uplink* updates only.
+    pub downlink_compressor: Option<CompressorSpec>,
+    /// How the network simulator prices transfers:
     /// [`CostBasis::Analytic`] (default) charges the paper's `2·V·CR`
-    /// formula, [`CostBasis::Encoded`] charges the encoded wire bytes
-    /// exactly.
+    /// formula on both legs, [`CostBasis::Encoded`] charges the encoded wire
+    /// bytes exactly.
     pub cost_basis: CostBasis,
 }
 
@@ -155,6 +168,7 @@ impl Default for ExperimentConfig {
             dropout_rate: 0.0,
             server_momentum: 0.0,
             compressor: None,
+            downlink_compressor: None,
             cost_basis: CostBasis::Analytic,
         }
     }
@@ -246,10 +260,16 @@ impl ExperimentConfig {
         if !(0.0..1.0).contains(&self.server_momentum) {
             return Err("server_momentum must be in [0, 1)".into());
         }
+        let registry = CodecRegistry::with_builtins();
         if let Some(spec) = &self.compressor {
-            CodecRegistry::with_builtins()
+            registry
                 .validate(spec)
                 .map_err(|e| format!("invalid compressor spec {spec}: {e}"))?;
+        }
+        if let Some(spec) = &self.downlink_compressor {
+            registry
+                .validate(spec)
+                .map_err(|e| format!("invalid downlink compressor spec {spec}: {e}"))?;
         }
         self.validate_compressor_semantics()
     }
@@ -264,8 +284,14 @@ impl ExperimentConfig {
                 .validate(spec)
                 .map_err(|e| format!("invalid compressor spec {spec}: {e}"))?;
         }
+        if let Some(spec) = &self.downlink_compressor {
+            registry
+                .validate(spec)
+                .map_err(|e| format!("invalid downlink compressor spec {spec}: {e}"))?;
+        }
         let mut without_spec = self.clone();
         without_spec.compressor = None;
+        without_spec.downlink_compressor = None;
         without_spec.validate()?;
         self.validate_compressor_semantics()
     }
@@ -382,7 +408,34 @@ mod tests {
     fn codec_knobs_default_to_paper_behaviour() {
         let c = ExperimentConfig::default();
         assert_eq!(c.compressor, None);
+        assert_eq!(c.downlink_compressor, None);
         assert_eq!(c.cost_basis, CostBasis::Analytic);
+    }
+
+    #[test]
+    fn downlink_spec_is_validated_but_exempt_from_overlap_rules() {
+        // Unresolvable downlink specs fail validation with a pointed message.
+        let bad = ExperimentConfig {
+            downlink_compressor: Some("no-such-codec".parse().unwrap()),
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("downlink"), "{err}");
+        // A dense-decoding broadcast codec is fine even under OPWA — the
+        // overlap machinery analyses the *uplink* updates only.
+        let dense_downlink = ExperimentConfig {
+            algorithm: Algorithm::BcrsOpwa,
+            downlink_compressor: Some("qsgd:8".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(dense_downlink.validate().is_ok());
+        // EF broadcast codecs validate too.
+        let ef = ExperimentConfig {
+            downlink_compressor: Some("ef-topk".parse().unwrap()),
+            cost_basis: CostBasis::Encoded,
+            ..Default::default()
+        };
+        assert!(ef.validate().is_ok());
     }
 
     #[test]

@@ -46,9 +46,10 @@ pub struct SelectionCtx<'a> {
 /// dedicated selection stream) so runs stay reproducible.
 pub trait ClientSelector: Send {
     /// Return the ids of the clients participating this round. The result
-    /// must be non-empty, contain no duplicates, and every id must be in
+    /// must contain no duplicates and every id must be in
     /// `[0, num_clients)`. It may be smaller than `cohort_size` (e.g. under
-    /// dropout).
+    /// dropout); if it comes back empty the round engine backstops it with
+    /// one uniformly drawn client, so a round always has a participant.
     fn select(&mut self, ctx: &SelectionCtx<'_>, rng: &mut Xoshiro256) -> Vec<usize>;
 
     /// Short name used in reports.
@@ -73,8 +74,11 @@ impl ClientSelector for UniformSelector {
 /// Dropout-aware selector: every client is independently unavailable with
 /// probability `dropout_rate` each round, and the cohort is drawn uniformly
 /// from the available clients (shrinking below the target size when too few
-/// are up). If no client is available at all, the round falls back to uniform
-/// selection over everyone so training can proceed.
+/// are up). If no client is available at all, exactly one client is drawn
+/// uniformly so the round still has a participant — previously this case
+/// fell back to a *full* target-size cohort, i.e. the rounds where the most
+/// clients were down were the ones with the largest cohorts, and downstream
+/// per-client averages were computed over clients that never participated.
 #[derive(Clone, Copy, Debug)]
 pub struct AvailabilitySelector {
     /// Per-round, per-client probability of being unavailable, in `[0, 1)`.
@@ -98,7 +102,7 @@ impl ClientSelector for AvailabilitySelector {
             .filter(|_| !rng.next_bool(self.dropout_rate))
             .collect();
         if available.is_empty() {
-            return rng.sample_without_replacement(ctx.num_clients, ctx.cohort_size);
+            return vec![rng.next_below(ctx.num_clients)];
         }
         let k = ctx.cohort_size.min(available.len());
         rng.sample_without_replacement(available.len(), k)
@@ -431,6 +435,33 @@ mod tests {
     #[should_panic]
     fn availability_selector_rejects_certain_dropout() {
         AvailabilitySelector::new(1.0);
+    }
+
+    #[test]
+    fn near_certain_dropout_still_yields_a_participant_every_round() {
+        // Regression: at dropout_rate ≈ 1.0 the "nobody available" branch is
+        // hit almost every round. It must produce exactly one valid
+        // participant — never an empty cohort (which would break the round's
+        // straggler max and per-client byte averages downstream) and never
+        // the old full-target-size fallback.
+        let links = links(10);
+        let mut sel = AvailabilitySelector::new(0.999);
+        let mut rng = Xoshiro256::new(17);
+        let mut singleton_rounds = 0;
+        for _ in 0..300 {
+            let picked = sel.select(&ctx(&links), &mut rng);
+            assert!(!picked.is_empty(), "empty cohort at dropout ≈ 1.0");
+            assert!(picked.len() <= 5);
+            assert!(picked.iter().all(|&c| c < 10));
+            if picked.len() == 1 {
+                singleton_rounds += 1;
+            }
+        }
+        assert!(
+            singleton_rounds > 250,
+            "at 99.9% dropout nearly every round should fall back to a \
+             single participant, got {singleton_rounds}/300"
+        );
     }
 
     #[test]

@@ -1,13 +1,22 @@
 //! One communication round of the [`FederatedSession`] engine, decomposed
 //! into explicit stages (Alg. 1 lines 3–19):
 //!
-//! 1. **select** — the [`crate::policy::ClientSelector`] picks the cohort;
-//! 2. **local phase** — the [`crate::policy::RatioPolicy`] assigns ratios,
-//!    then every selected client trains and compresses in parallel;
-//! 3. **aggregate phase** — overlap analysis, optional OPWA mask, weighted
+//! 1. **select** — the [`crate::policy::ClientSelector`] picks the cohort
+//!    (guaranteed non-empty: an empty selection falls back to one uniformly
+//!    drawn client so the round's averages and stragglers stay defined);
+//! 2. **downlink phase** — when a broadcast codec is configured, the server
+//!    encodes the global-parameter delta since the last broadcast once into
+//!    a [`fl_compress::WireUpdate`]; the selected clients decode it before
+//!    training (one shared decode — every recipient gets the same bytes);
+//! 3. **local phase** — the [`crate::policy::RatioPolicy`] assigns ratios,
+//!    then every selected client trains (from the broadcast view) and
+//!    compresses in parallel;
+//! 4. **aggregate phase** — overlap analysis, optional OPWA mask, weighted
 //!    aggregation and the [`crate::policy::ServerOpt`] global update;
-//! 4. **timing phase** — the network simulator prices the round's uploads;
-//! 5. **eval phase** — the global model is evaluated on the held-out test set
+//! 5. **timing phase** — the network simulator prices the round's transfers:
+//!    every client's upload, plus its download of the broadcast when the
+//!    downlink leg is simulated (the straggler bound covers both legs);
+//! 6. **eval phase** — the global model is evaluated on the held-out test set
 //!    (every `eval_every` rounds) and the [`RoundRecord`] is assembled.
 //!
 //! [`FederatedSession::run_round`] threads the stage outputs through in
@@ -25,6 +34,7 @@ use fl_compress::{CompressedUpdate, SparseUpdate};
 use fl_netsim::{CostBasis, Link, RoundBreakdown, RoundTiming};
 use fl_nn::unflatten_params;
 use fl_tensor::parallel::parallel_map;
+use fl_tensor::rng::Rng;
 
 /// Everything produced by one round beyond the global-state mutation.
 #[derive(Clone, Debug)]
@@ -40,6 +50,10 @@ pub struct RoundOutput {
     /// Encoded wire size of every selected client's upload, in cohort order
     /// (what [`CostBasis::Encoded`] charges).
     pub uplink_wire_bytes: Vec<usize>,
+    /// Encoded wire size of this round's server→client broadcast buffer
+    /// (0 when no downlink codec is configured — the broadcast is then
+    /// teleported for free, the paper's analytic setting).
+    pub downlink_wire_bytes: usize,
 }
 
 /// Stage 1 output: the cohort and its links.
@@ -48,7 +62,14 @@ struct Selection {
     links: Vec<Link>,
 }
 
-/// Stage 2 output: the cohort's decoded updates plus training metrics.
+/// Stage 2 output: the broadcast leg. `wire_bytes` is `None` when no
+/// downlink codec is configured (the broadcast is teleported for free).
+struct DownlinkPhase {
+    wire_bytes: Option<usize>,
+    codec_time_s: f64,
+}
+
+/// Stage 3 output: the cohort's decoded updates plus training metrics.
 struct LocalPhase {
     updates: Vec<CompressedUpdate>,
     wire_bytes: Vec<usize>,
@@ -61,7 +82,7 @@ struct LocalPhase {
     dense_uplink: bool,
 }
 
-/// Stage 3 output: the overlap analysis retained for the record.
+/// Stage 4 output: the overlap analysis retained for the record.
 struct AggregatePhase {
     overlap: Option<OverlapCounts>,
 }
@@ -84,15 +105,22 @@ impl FederatedSession {
     pub(crate) fn step(&mut self) -> RoundOutput {
         let round = self.next_round;
         let selection = self.select(round);
+        let downlink = self.downlink_phase();
         let local = self.local_phase(round, &selection);
         let aggregate = self.aggregate_phase(&local);
-        let timing = self.timing_phase(&selection, &local);
-        let output = self.eval_phase(round, selection, local, aggregate, timing);
+        let timing = self.timing_phase(&selection, &local, &downlink);
+        let output = self.eval_phase(round, selection, local, aggregate, downlink, timing);
         self.next_round += 1;
         output
     }
 
     /// Stage 1: pick this round's cohort via the selection policy.
+    ///
+    /// The engine guarantees a non-empty cohort: a selector that comes back
+    /// empty (a custom policy, or an availability model with every client
+    /// down) is backstopped by one uniformly drawn client, so the round's
+    /// loss/ratio averages, the straggler `max` and any per-client byte
+    /// arithmetic downstream never operate on an empty set.
     fn select(&mut self, round: usize) -> Selection {
         let ctx = SelectionCtx {
             round,
@@ -100,16 +128,43 @@ impl FederatedSession {
             cohort_size: self.cohort,
             links: &self.links,
         };
-        let selected = self.selector.select(&ctx, &mut self.selection_rng);
-        assert!(!selected.is_empty(), "selector produced an empty cohort");
+        let mut selected = self.selector.select(&ctx, &mut self.selection_rng);
+        if selected.is_empty() {
+            selected.push(self.selection_rng.next_below(self.config.num_clients));
+        }
         let links = selected.iter().map(|&i| self.links[i]).collect();
         Selection { selected, links }
     }
 
-    /// Stage 2: assign per-client ratios, then train, encode and decode the
-    /// cohort in parallel. Every client's update round-trips through its
-    /// codec's byte-level wire format; the decoded (lossy) update is what the
-    /// server aggregates, and the encoded length is what
+    /// Stage 2: broadcast the global parameters. With a downlink codec the
+    /// delta since the previous broadcast is encoded once into real wire
+    /// bytes and decoded back into the clients' shared view (error-feedback
+    /// state advancing server-side); without one the stage is a no-op and
+    /// clients read the server's parameters directly, exactly as the paper's
+    /// analytic model assumes.
+    fn downlink_phase(&mut self) -> DownlinkPhase {
+        match self.downlink.as_mut() {
+            Some(channel) => {
+                let start = std::time::Instant::now();
+                let wire = channel.broadcast(&self.global_params);
+                DownlinkPhase {
+                    wire_bytes: Some(wire.len()),
+                    codec_time_s: start.elapsed().as_secs_f64(),
+                }
+            }
+            None => DownlinkPhase {
+                wire_bytes: None,
+                codec_time_s: 0.0,
+            },
+        }
+    }
+
+    /// Stage 3: assign per-client ratios, then train, encode and decode the
+    /// cohort in parallel. Clients start from the broadcast view of the
+    /// global parameters (identical to the server's parameters unless a
+    /// lossy downlink codec is active). Every client's update round-trips
+    /// through its codec's byte-level wire format; the decoded (lossy)
+    /// update is what the server aggregates, and the encoded length is what
     /// [`CostBasis::Encoded`] charges.
     fn local_phase(&mut self, round: usize, selection: &Selection) -> LocalPhase {
         let decision = self.ratio_policy.decide(&RatioCtx {
@@ -129,7 +184,10 @@ impl FederatedSession {
             .cloned()
             .zip(decision.ratios.iter().cloned())
             .collect();
-        let global_ref = &self.global_params;
+        let global_ref: &[f32] = match &self.downlink {
+            Some(channel) => channel.view(),
+            None => &self.global_params,
+        };
         let clients_ref = &self.clients;
         let outputs = parallel_map(work, self.threads, move |(client_idx, ratio)| {
             let mut client = clients_ref[client_idx].lock();
@@ -173,7 +231,7 @@ impl FederatedSession {
         }
     }
 
-    /// Stage 3: compute averaging coefficients (Eq. 6 under BCRS), apply the
+    /// Stage 4: compute averaging coefficients (Eq. 6 under BCRS), apply the
     /// OPWA mask when active, aggregate, and let the server optimizer update
     /// the global parameters. Overlap analysis and OPWA apply when the whole
     /// cohort decoded to sparse updates (quantized codecs retain every
@@ -217,19 +275,31 @@ impl FederatedSession {
         AggregatePhase { overlap }
     }
 
-    /// Stage 4: price the round's uploads under the evaluated algorithm and
+    /// Stage 5: price the round's transfers under the evaluated algorithm and
     /// under uncompressed transmission, and accumulate the running totals.
     /// Under [`CostBasis::Analytic`] compressed uploads cost the paper's
     /// `2·V·CR` formula (or the BCRS schedule's times); under
     /// [`CostBasis::Encoded`] each upload costs exactly its encoded length.
-    fn timing_phase(&mut self, selection: &Selection, local: &LocalPhase) -> RoundTiming {
+    ///
+    /// When the downlink leg is simulated, every selected client additionally
+    /// pays for downloading the broadcast before it can train — analytically
+    /// the symmetric `2·V·CR` formula at the base ratio, or the encoded
+    /// broadcast buffer's exact length under [`CostBasis::Encoded`] — and the
+    /// uncompressed reference pays a dense download, so both sides of the
+    /// straggler comparison stay bidirectional.
+    fn timing_phase(
+        &mut self,
+        selection: &Selection,
+        local: &LocalPhase,
+        downlink: &DownlinkPhase,
+    ) -> RoundTiming {
         let model_bytes = self.model_bytes as f64;
-        let dense_times: Vec<f64> = selection
+        let mut dense_times: Vec<f64> = selection
             .links
             .iter()
             .map(|l| self.comm.dense_uplink_time(l, model_bytes))
             .collect();
-        let algorithm_times: Vec<f64> = match self.comm.cost_basis {
+        let mut algorithm_times: Vec<f64> = match self.comm.cost_basis {
             CostBasis::Encoded => selection
                 .links
                 .iter()
@@ -247,18 +317,39 @@ impl FederatedSession {
                     .collect(),
             },
         };
+        let mut downlink_straggler_s = 0.0f64;
+        if let Some(bytes) = downlink.wire_bytes {
+            for ((alg, dense), link) in algorithm_times
+                .iter_mut()
+                .zip(dense_times.iter_mut())
+                .zip(selection.links.iter())
+            {
+                let down = match self.comm.cost_basis {
+                    CostBasis::Encoded => self.comm.transfer_time(link, bytes as f64),
+                    CostBasis::Analytic => self.comm.sparse_downlink_time(
+                        link,
+                        model_bytes,
+                        self.config.compression_ratio,
+                    ),
+                };
+                *alg += down;
+                *dense += self.comm.dense_downlink_time(link, model_bytes);
+                downlink_straggler_s = downlink_straggler_s.max(down);
+            }
+        }
         let timing = RoundTiming::from_client_times(&algorithm_times, &dense_times);
         self.time_acc.push(timing);
         self.breakdown_total.accumulate(&RoundBreakdown {
-            compress_s: local.total_compress_time,
+            compress_s: local.total_compress_time + downlink.codec_time_s,
             training_s: local.max_train_time,
             uncompressed_comm_s: timing.max,
             scheduled_comm_s: timing.actual,
+            downlink_comm_s: downlink_straggler_s,
         });
         timing
     }
 
-    /// Stage 5: evaluate the new global model (every `eval_every` rounds and
+    /// Stage 6: evaluate the new global model (every `eval_every` rounds and
     /// always on the final configured round; skipped rounds repeat the most
     /// recent evaluation, NaN before the first) and assemble the record.
     fn eval_phase(
@@ -267,6 +358,7 @@ impl FederatedSession {
         selection: Selection,
         local: LocalPhase,
         aggregate: AggregatePhase,
+        downlink: DownlinkPhase,
         timing: RoundTiming,
     ) -> RoundOutput {
         let eval_every = self.config.eval_every.max(1);
@@ -291,6 +383,7 @@ impl FederatedSession {
             train_loss: local.train_loss,
             mean_compression_ratio: local.ratios.iter().sum::<f64>() / local.ratios.len() as f64,
             uplink_bytes: local.wire_bytes.iter().sum(),
+            downlink_bytes: downlink.wire_bytes.unwrap_or(0),
             comm_actual_s: timing.actual,
             comm_max_s: timing.max,
             comm_min_s: timing.min,
@@ -304,8 +397,9 @@ impl FederatedSession {
             record,
             schedule: local.schedule,
             train_time_s: local.max_train_time,
-            compress_time_s: local.total_compress_time,
+            compress_time_s: local.total_compress_time + downlink.codec_time_s,
             uplink_wire_bytes: local.wire_bytes,
+            downlink_wire_bytes: downlink.wire_bytes.unwrap_or(0),
         }
     }
 }
@@ -435,6 +529,152 @@ mod tests {
             out.record.comm_actual_s <= out.record.comm_max_s * 1.001,
             "FedAvg must not appear slower than its own dense transmission"
         );
+    }
+
+    #[test]
+    fn no_downlink_codec_records_zero_downlink_bytes() {
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.rounds = 1;
+        config.max_threads = 1;
+        let out = FederatedSession::from_config(&config).run_round();
+        assert_eq!(out.record.downlink_bytes, 0);
+        assert_eq!(out.downlink_wire_bytes, 0);
+    }
+
+    #[test]
+    fn encoded_downlink_bytes_match_the_broadcast_buffer_and_the_clock() {
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.rounds = 2;
+        config.max_threads = 1;
+        config.downlink_compressor = Some("topk".parse().unwrap());
+        config.cost_basis = CostBasis::Encoded;
+        let mut session = FederatedSession::from_config(&config);
+        let out = session.run_round();
+        // The record's downlink byte count is exactly the encoded broadcast
+        // buffer's length (one buffer — a broadcast, not a per-client sum).
+        assert_eq!(out.record.downlink_bytes, out.downlink_wire_bytes);
+        assert!(out.record.downlink_bytes > 0);
+        // Under the encoded basis each selected client pays its upload plus
+        // the download of exactly those broadcast bytes; the record's actual
+        // time is the bidirectional straggler, bit for bit.
+        let times: Vec<f64> = out
+            .record
+            .selected_clients
+            .iter()
+            .zip(out.uplink_wire_bytes.iter())
+            .map(|(&cid, &up)| {
+                let link = &session.links[cid];
+                let up_s = session.comm.transfer_time(link, up as f64);
+                up_s + session
+                    .comm
+                    .transfer_time(link, out.record.downlink_bytes as f64)
+            })
+            .collect();
+        let expected_max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(out.record.comm_actual_s.to_bits(), expected_max.to_bits());
+        // The next round broadcasts the freshly aggregated delta: non-empty
+        // again, and the session keeps training.
+        let out2 = session.run_round();
+        assert!(out2.record.downlink_bytes > 0);
+        assert_eq!(out2.record.round, 1);
+    }
+
+    #[test]
+    fn analytic_downlink_charges_the_symmetric_paper_formula() {
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.rounds = 1;
+        config.max_threads = 1;
+        config.downlink_compressor = Some("topk".parse().unwrap());
+        let mut session = FederatedSession::from_config(&config);
+        let model_bytes = session.model_bytes() as f64;
+        let out = session.run_round();
+        // downlink_bytes still reports the honest encoded buffer…
+        assert!(out.record.downlink_bytes > 0);
+        // …but the clock charges the paper's 2·V·CR formula on both legs.
+        let times: Vec<f64> = out
+            .record
+            .selected_clients
+            .iter()
+            .map(|&cid| {
+                let link = &session.links[cid];
+                let up_s =
+                    session
+                        .comm
+                        .sparse_uplink_time(link, model_bytes, config.compression_ratio);
+                up_s + session.comm.sparse_downlink_time(
+                    link,
+                    model_bytes,
+                    config.compression_ratio,
+                )
+            })
+            .collect();
+        let expected_max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(out.record.comm_actual_s.to_bits(), expected_max.to_bits());
+        // The uncompressed reference is bidirectional too, so compression
+        // still shows a saving.
+        assert!(out.record.comm_actual_s < out.record.comm_max_s);
+    }
+
+    #[test]
+    fn downlink_leg_only_adds_time_and_bytes_under_a_lossless_broadcast() {
+        // At compression_ratio 1.0 the Top-K broadcast ships the dense delta
+        // exactly, so the clients' view equals the server's parameters and
+        // the training trajectory matches the free-broadcast run — only the
+        // byte accounting and the clock change.
+        let mut free = ExperimentConfig::quick(Algorithm::FedAvg);
+        free.rounds = 3;
+        free.max_threads = 1;
+        free.compression_ratio = 1.0;
+        let mut paid = free.clone();
+        paid.downlink_compressor = Some("topk".parse().unwrap());
+        let a = FederatedSession::from_config(&free).run();
+        let b = FederatedSession::from_config(&paid).run();
+        for (ra, rb) in a.records.iter().zip(b.records.iter()) {
+            assert_eq!(ra.test_accuracy.to_bits(), rb.test_accuracy.to_bits());
+            assert_eq!(ra.selected_clients, rb.selected_clients);
+            assert_eq!(ra.uplink_bytes, rb.uplink_bytes);
+            assert_eq!(ra.downlink_bytes, 0);
+            assert!(rb.downlink_bytes > 0);
+            assert!(rb.comm_actual_s > ra.comm_actual_s);
+        }
+    }
+
+    #[test]
+    fn lossy_downlink_drifts_but_ef_downlink_still_learns() {
+        let mut base = ExperimentConfig::quick(Algorithm::TopK);
+        base.rounds = 6;
+        base.max_threads = 1;
+        let mut lossy = base.clone();
+        lossy.downlink_compressor = Some("topk".parse().unwrap());
+        let mut ef = base.clone();
+        ef.downlink_compressor = Some("ef-topk".parse().unwrap());
+
+        let free_run = FederatedSession::from_config(&base).run();
+        let lossy_run = FederatedSession::from_config(&lossy).run();
+        let mut ef_session = FederatedSession::from_config(&ef);
+        while !ef_session.is_finished() {
+            ef_session.run_round();
+        }
+        // A 10% Top-K broadcast is lossy: clients train from a drifted view,
+        // so the trajectory genuinely differs from the free broadcast.
+        assert_ne!(
+            free_run.accuracy_series(),
+            lossy_run
+                .records
+                .iter()
+                .map(|r| r.test_accuracy)
+                .collect::<Vec<_>>()
+        );
+        // The EF broadcast keeps its dropped coordinates server-side…
+        assert!(
+            ef_session.downlink_residual_norm() > 0.0,
+            "EF downlink must accumulate a residual"
+        );
+        // …and training still works under both lossy broadcasts.
+        let ef_run = ef_session.into_result();
+        for run in [&lossy_run, &ef_run] {
+            assert!(run.final_accuracy > 0.15, "{}", run.final_accuracy);
+        }
     }
 
     #[test]

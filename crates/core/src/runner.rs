@@ -37,6 +37,14 @@ pub struct RoundRecord {
     /// under both cost bases. Under `CostBasis::Encoded` the communication
     /// times are priced from exactly these buffers.
     pub uplink_bytes: usize,
+    /// Bytes of this round's encoded server→client broadcast buffer (the
+    /// downlink leg; every recipient receives the same buffer, so this is the
+    /// buffer length, not a per-client sum). 0 when no
+    /// `downlink_compressor` is configured — the broadcast is then teleported
+    /// for free, exactly as the paper's analytic model assumes. Under
+    /// `CostBasis::Encoded` each selected client's download of exactly these
+    /// bytes joins the round's straggler bound.
+    pub downlink_bytes: usize,
     /// This round's communication time under the evaluated algorithm (straggler).
     pub comm_actual_s: f64,
     /// This round's straggler time for an uncompressed transfer.
@@ -75,6 +83,7 @@ impl PartialEq for RoundRecord {
             train_loss,
             mean_compression_ratio,
             uplink_bytes,
+            downlink_bytes,
             comm_actual_s,
             comm_max_s,
             comm_min_s,
@@ -90,6 +99,7 @@ impl PartialEq for RoundRecord {
             && bits(self.train_loss) == bits(*train_loss)
             && bits(self.mean_compression_ratio) == bits(*mean_compression_ratio)
             && self.uplink_bytes == *uplink_bytes
+            && self.downlink_bytes == *downlink_bytes
             && bits(self.comm_actual_s) == bits(*comm_actual_s)
             && bits(self.comm_max_s) == bits(*comm_max_s)
             && bits(self.comm_min_s) == bits(*comm_min_s)
@@ -167,20 +177,21 @@ impl ExperimentResult {
     }
 
     /// CSV dump of the round records
-    /// (`round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s`).
+    /// (`round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s\n",
+            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s\n",
         );
         for r in &self.records {
             out.push_str(&format!(
-                "{},{:.4},{:.4},{:.4},{:.4},{},{:.4},{:.4},{:.4},{:.4}\n",
+                "{},{:.4},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.4}\n",
                 r.round,
                 r.test_accuracy,
                 r.test_loss,
                 r.train_loss,
                 r.mean_compression_ratio,
                 r.uplink_bytes,
+                r.downlink_bytes,
                 r.comm_actual_s,
                 r.cumulative_actual_s,
                 r.cumulative_max_s,
@@ -400,7 +411,7 @@ mod tests {
         let header = csv.lines().next().unwrap();
         assert_eq!(
             header,
-            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s"
+            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s"
         );
         // Every row has exactly as many cells as the header.
         let columns = header.split(',').count();

@@ -29,7 +29,7 @@ use crate::policy::{
     ServerOpt,
 };
 use crate::runner::{ExperimentResult, RoundRecord};
-use fl_compress::CodecRegistry;
+use fl_compress::{CodecCtx, CodecRegistry, DownlinkChannel};
 use fl_data::{dirichlet_partition, Dataset, PartitionStats};
 use fl_netsim::{CommModel, Link, RoundBreakdown, TimeAccumulator};
 use fl_nn::{flatten_params, Sequential};
@@ -181,6 +181,22 @@ impl SessionBuilder {
             .generate(config.num_clients, config.seed ^ 0x11C5);
         let comm = CommModel::paper_default().with_cost_basis(config.cost_basis);
 
+        // --- Downlink (broadcast) channel --------------------------------------
+        // Dedicated seeds keep the broadcast codec's randomness off the
+        // selection and uplink streams, so enabling the downlink leg never
+        // perturbs an otherwise-identical run's trajectory.
+        let downlink = config.downlink_compressor.as_ref().map(|spec| {
+            let codec = registry
+                .build(spec, &CodecCtx::new(model_params, config.seed ^ 0xD0C0))
+                .unwrap_or_else(|e| panic!("invalid downlink compressor spec {spec}: {e}"));
+            DownlinkChannel::new(
+                codec,
+                &global_params,
+                config.compression_ratio,
+                config.seed ^ 0xD011,
+            )
+        });
+
         let selection_rng = Xoshiro256::new(config.seed ^ 0x5E1E);
         let threads = match self.threads.unwrap_or(config.max_threads) {
             0 => default_threads(),
@@ -211,6 +227,7 @@ impl SessionBuilder {
             selector,
             ratio_policy,
             server_opt,
+            downlink,
             selection_rng,
             time_acc: TimeAccumulator::new(),
             breakdown_total: RoundBreakdown::default(),
@@ -245,6 +262,7 @@ pub struct FederatedSession {
     pub(crate) selector: Box<dyn ClientSelector>,
     pub(crate) ratio_policy: Box<dyn RatioPolicy>,
     pub(crate) server_opt: Box<dyn ServerOpt>,
+    pub(crate) downlink: Option<DownlinkChannel>,
     pub(crate) selection_rng: Xoshiro256,
     pub(crate) time_acc: TimeAccumulator,
     pub(crate) breakdown_total: RoundBreakdown,
@@ -295,6 +313,26 @@ impl FederatedSession {
     /// Records of the rounds completed so far.
     pub fn records(&self) -> &[RoundRecord] {
         &self.records
+    }
+
+    /// The parameters the clients actually train from: the downlink channel's
+    /// decoded view when a broadcast codec is active (lossy broadcasts drift
+    /// from [`global_params`](Self::global_params)), the global parameters
+    /// themselves otherwise.
+    pub fn broadcast_params(&self) -> &[f32] {
+        match &self.downlink {
+            Some(channel) => channel.view(),
+            None => &self.global_params,
+        }
+    }
+
+    /// L2 norm of the downlink codec's server-side residual state (0 when no
+    /// downlink codec is configured or the codec is stateless).
+    pub fn downlink_residual_norm(&self) -> f64 {
+        self.downlink
+            .as_ref()
+            .map(|c| c.residual_norm())
+            .unwrap_or(0.0)
     }
 
     /// The held-out test dataset.
@@ -411,6 +449,66 @@ mod tests {
         // Dropout runs are reproducible too.
         let again = FederatedSession::from_config(&config).run();
         assert_eq!(result.records, again.records);
+    }
+
+    #[test]
+    fn near_certain_dropout_never_yields_an_empty_round() {
+        // Regression: at dropout_rate ≈ 1.0 nearly every round hits the
+        // "nobody available" branch. Every round must still have at least one
+        // participant, and the per-cohort averages (train loss, mean ratio)
+        // must stay finite — an empty cohort would make them 0/0.
+        let mut config = quick(Algorithm::TopK);
+        config.rounds = 6;
+        config.dropout_rate = 0.999;
+        assert!(config.validate().is_ok());
+        let result = FederatedSession::from_config(&config).run();
+        assert_eq!(result.records.len(), 6);
+        for r in &result.records {
+            assert!(
+                !r.selected_clients.is_empty(),
+                "round {} was empty",
+                r.round
+            );
+            assert!(r.selected_clients.len() <= config.clients_per_round());
+            assert!(r.train_loss.is_finite());
+            assert!(r.mean_compression_ratio.is_finite());
+            assert!(r.uplink_bytes > 0);
+            assert!(r.uplink_bytes / r.selected_clients.len() > 0);
+        }
+        // Still deterministic.
+        let again = FederatedSession::from_config(&config).run();
+        assert_eq!(result.records, again.records);
+    }
+
+    #[test]
+    fn empty_custom_selector_is_backstopped_by_the_engine() {
+        // A (buggy or extreme) custom selector that returns an empty cohort
+        // must not panic the round engine or poison the averages: the engine
+        // falls back to one uniformly drawn client.
+        struct NobodySelector;
+        impl crate::policy::ClientSelector for NobodySelector {
+            fn select(
+                &mut self,
+                _ctx: &crate::policy::SelectionCtx<'_>,
+                _rng: &mut Xoshiro256,
+            ) -> Vec<usize> {
+                Vec::new()
+            }
+            fn name(&self) -> &'static str {
+                "nobody"
+            }
+        }
+        let mut config = quick(Algorithm::TopK);
+        config.rounds = 3;
+        let result = SessionBuilder::from_config(&config)
+            .selector(Box::new(NobodySelector))
+            .build()
+            .run();
+        for r in &result.records {
+            assert_eq!(r.selected_clients.len(), 1);
+            assert!(r.selected_clients[0] < config.num_clients);
+            assert!(r.train_loss.is_finite());
+        }
     }
 
     #[test]

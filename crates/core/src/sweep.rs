@@ -119,6 +119,7 @@ pub struct SweepGrid {
     compression_ratios: Vec<f64>,
     algorithms: Vec<Algorithm>,
     compressors: Vec<Option<CompressorSpec>>,
+    downlink_compressors: Vec<Option<CompressorSpec>>,
     seeds: Vec<u64>,
 }
 
@@ -131,6 +132,7 @@ impl SweepGrid {
             compression_ratios: vec![base.compression_ratio],
             algorithms: vec![base.algorithm],
             compressors: vec![base.compressor.clone()],
+            downlink_compressors: vec![base.downlink_compressor.clone()],
             seeds: vec![base.seed],
             base,
         }
@@ -167,6 +169,26 @@ impl SweepGrid {
         self
     }
 
+    /// Sweep over these broadcast codec specs (each becomes the
+    /// configuration's `downlink_compressor`). Use
+    /// [`downlink_compressor_options`](Self::downlink_compressor_options) to
+    /// include the free-broadcast baseline (`None`) in the same grid.
+    pub fn downlink_compressors(mut self, specs: impl IntoIterator<Item = CompressorSpec>) -> Self {
+        self.downlink_compressors = specs.into_iter().map(Some).collect();
+        self
+    }
+
+    /// Like [`downlink_compressors`](Self::downlink_compressors) but taking
+    /// `Option`s, so a grid can compare compressed broadcasts against the
+    /// paper's free-broadcast baseline side by side.
+    pub fn downlink_compressor_options(
+        mut self,
+        specs: impl IntoIterator<Item = Option<CompressorSpec>>,
+    ) -> Self {
+        self.downlink_compressors = specs.into_iter().collect();
+        self
+    }
+
     /// Sweep over these master seeds (for repeated trials).
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
@@ -180,6 +202,7 @@ impl SweepGrid {
             * self.compression_ratios.len()
             * self.algorithms.len()
             * self.compressors.len()
+            * self.downlink_compressors.len()
             * self.seeds.len()
     }
 
@@ -189,7 +212,8 @@ impl SweepGrid {
     }
 
     /// Materialise the grid, nested dataset → β → ratio → algorithm → codec →
-    /// seed (the paper's table ordering, with codecs as extra rows).
+    /// downlink codec → seed (the paper's table ordering, with codecs as
+    /// extra rows).
     pub fn configs(&self) -> Vec<ExperimentConfig> {
         let mut out = Vec::with_capacity(self.len());
         for &dataset in &self.datasets {
@@ -197,15 +221,18 @@ impl SweepGrid {
                 for &compression_ratio in &self.compression_ratios {
                     for &algorithm in &self.algorithms {
                         for compressor in &self.compressors {
-                            for &seed in &self.seeds {
-                                let mut c = self.base.clone();
-                                c.dataset = dataset;
-                                c.beta = beta;
-                                c.compression_ratio = compression_ratio;
-                                c.algorithm = algorithm;
-                                c.compressor = compressor.clone();
-                                c.seed = seed;
-                                out.push(c);
+                            for downlink in &self.downlink_compressors {
+                                for &seed in &self.seeds {
+                                    let mut c = self.base.clone();
+                                    c.dataset = dataset;
+                                    c.beta = beta;
+                                    c.compression_ratio = compression_ratio;
+                                    c.algorithm = algorithm;
+                                    c.compressor = compressor.clone();
+                                    c.downlink_compressor = downlink.clone();
+                                    c.seed = seed;
+                                    out.push(c);
+                                }
                             }
                         }
                     }
@@ -304,6 +331,33 @@ mod tests {
         // The default grid keeps the base's (absent) override.
         assert!(SweepGrid::new(quick_base()).configs()[0]
             .compressor
+            .is_none());
+    }
+
+    #[test]
+    fn downlink_axis_expands_the_grid() {
+        let grid = SweepGrid::new(quick_base())
+            .downlink_compressor_options([
+                None,
+                Some("topk".parse().unwrap()),
+                Some("ef-topk".parse().unwrap()),
+            ])
+            .compression_ratios([0.1, 0.05]);
+        assert_eq!(grid.len(), 6);
+        let configs = grid.configs();
+        assert!(configs[0].downlink_compressor.is_none());
+        assert_eq!(
+            configs[1].downlink_compressor.as_ref().unwrap().to_string(),
+            "topk"
+        );
+        assert_eq!(
+            configs[2].downlink_compressor.as_ref().unwrap().to_string(),
+            "ef-topk"
+        );
+        assert!(configs.iter().all(|c| c.validate().is_ok()));
+        // The default grid keeps the base's (absent) downlink codec.
+        assert!(SweepGrid::new(quick_base()).configs()[0]
+            .downlink_compressor
             .is_none());
     }
 

@@ -11,8 +11,13 @@ pub struct RoundBreakdown {
     pub training_s: f64,
     /// Communication time without compression (seconds).
     pub uncompressed_comm_s: f64,
-    /// Communication time with the evaluated scheduler (seconds).
+    /// Communication time with the evaluated scheduler (seconds). When a
+    /// downlink codec is active this is the full bidirectional straggler
+    /// bound (download + upload per client).
     pub scheduled_comm_s: f64,
+    /// Portion of the round spent on the server→client broadcast (straggler
+    /// view; 0 when the downlink is not simulated).
+    pub downlink_comm_s: f64,
 }
 
 impl RoundBreakdown {
@@ -22,6 +27,7 @@ impl RoundBreakdown {
         self.training_s += other.training_s;
         self.uncompressed_comm_s += other.uncompressed_comm_s;
         self.scheduled_comm_s += other.scheduled_comm_s;
+        self.downlink_comm_s += other.downlink_comm_s;
     }
 
     /// Divide every component by `n` (producing a per-round average).
@@ -35,6 +41,7 @@ impl RoundBreakdown {
             training_s: self.training_s / d,
             uncompressed_comm_s: self.uncompressed_comm_s / d,
             scheduled_comm_s: self.scheduled_comm_s / d,
+            downlink_comm_s: self.downlink_comm_s / d,
         }
     }
 
@@ -43,11 +50,16 @@ impl RoundBreakdown {
         self.uncompressed_comm_s - self.scheduled_comm_s
     }
 
-    /// CSV row (`compress,training,uncompressed_comm,scheduled_comm`).
+    /// CSV row
+    /// (`compress,training,uncompressed_comm,scheduled_comm,downlink_comm`).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{:.6},{:.6},{:.6},{:.6}",
-            self.compress_s, self.training_s, self.uncompressed_comm_s, self.scheduled_comm_s
+            "{:.6},{:.6},{:.6},{:.6},{:.6}",
+            self.compress_s,
+            self.training_s,
+            self.uncompressed_comm_s,
+            self.scheduled_comm_s,
+            self.downlink_comm_s
         )
     }
 }
@@ -65,12 +77,15 @@ mod tests {
                 training_s: 10.0,
                 uncompressed_comm_s: 48.0,
                 scheduled_comm_s: 1.0,
+                downlink_comm_s: 0.5,
             });
         }
         assert_eq!(total.training_s, 40.0);
+        assert_eq!(total.downlink_comm_s, 2.0);
         let avg = total.averaged_over(4);
         assert_eq!(avg.compress_s, 0.25);
         assert_eq!(avg.uncompressed_comm_s, 48.0);
+        assert_eq!(avg.downlink_comm_s, 0.5);
         assert_eq!(avg.comm_saving_s(), 47.0);
     }
 
@@ -84,8 +99,8 @@ mod tests {
     }
 
     #[test]
-    fn csv_row_has_four_fields() {
+    fn csv_row_has_five_fields() {
         let b = RoundBreakdown::default();
-        assert_eq!(b.to_csv_row().split(',').count(), 4);
+        assert_eq!(b.to_csv_row().split(',').count(), 5);
     }
 }

@@ -72,6 +72,26 @@ impl CommModel {
         self.transfer_time(link, factor * model_bytes * cr)
     }
 
+    /// Uncompressed downlink (broadcast) time for a dense model of
+    /// `model_bytes` bytes. Links are symmetric in this simulator — the same
+    /// latency and bandwidth govern both directions — so this mirrors
+    /// [`dense_uplink_time`](Self::dense_uplink_time); it exists so the
+    /// round engine's download leg reads as what it is.
+    pub fn dense_downlink_time(&self, link: &Link, model_bytes: f64) -> f64 {
+        self.transfer_time(link, model_bytes)
+    }
+
+    /// Analytic downlink time for a compressed broadcast at ratio `cr`: the
+    /// paper's bidirectional cost model charges the server→client leg with
+    /// the same `L + 2·V·CR·8 / B` formula as the client upload (each
+    /// retained coordinate ships an index alongside its value in either
+    /// direction). Under `CostBasis::Encoded` the round engine bypasses this
+    /// and prices the broadcast via [`transfer_time`](Self::transfer_time) on
+    /// the encoded buffer's length.
+    pub fn sparse_downlink_time(&self, link: &Link, model_bytes: f64, cr: f64) -> f64 {
+        self.sparse_uplink_time(link, model_bytes, cr)
+    }
+
     /// Invert the sparse uplink model: the compression ratio that makes the
     /// transfer finish in exactly `budget_s` seconds (clamped to `>= 0`).
     /// This is the core of BCRS (Alg. 2 line 13).
@@ -148,6 +168,20 @@ mod tests {
         let m = CommModel::paper_default().with_cost_basis(CostBasis::Encoded);
         assert_eq!(m.cost_basis, CostBasis::Encoded);
         assert!(m.index_overhead, "basis switch leaves the formula intact");
+    }
+
+    #[test]
+    fn downlink_legs_mirror_the_symmetric_uplink() {
+        let m = CommModel::paper_default();
+        let link = link_1mbps_100ms();
+        assert_eq!(
+            m.dense_downlink_time(&link, 125_000.0),
+            m.dense_uplink_time(&link, 125_000.0)
+        );
+        assert_eq!(
+            m.sparse_downlink_time(&link, 125_000.0, 0.1),
+            m.sparse_uplink_time(&link, 125_000.0, 0.1)
+        );
     }
 
     #[test]

@@ -67,6 +67,28 @@
 //! let result = run_experiment(&config);
 //! assert!(result.records[0].uplink_bytes > 0);
 //! ```
+//!
+//! ## The downlink leg
+//!
+//! The communication model is bidirectional. Set
+//! [`core::config::ExperimentConfig::downlink_compressor`] to route the
+//! server→client broadcast through a codec too: the global-parameter delta
+//! is encoded once per round (error-feedback residuals held server-side in
+//! the [`compress::downlink::DownlinkChannel`]), clients train from the
+//! decoded view, `RoundRecord::downlink_bytes` reports the broadcast
+//! buffer's exact length, and each client's download joins the round's
+//! straggler bound:
+//!
+//! ```
+//! use bwfl::prelude::*;
+//!
+//! let mut config = ExperimentConfig::quick(Algorithm::TopK);
+//! config.rounds = 2;
+//! config.downlink_compressor = Some("ef-topk".parse().unwrap());
+//! config.cost_basis = CostBasis::Encoded;
+//! let result = run_experiment(&config);
+//! assert!(result.records[0].downlink_bytes > 0);
+//! ```
 
 pub use fl_compress as compress;
 pub use fl_core as core;
@@ -79,8 +101,8 @@ pub use fl_tensor as tensor;
 pub mod prelude {
     pub use fl_compress::{
         CodecCtx, CodecRegistry, CodecStage, CompressedUpdate, Compressor, CompressorSpec,
-        ErrorFeedback, Qsgd, RandK, SparseUpdate, SpecError, Threshold, TopK, UpdateCodec,
-        WireError, WireUpdate,
+        DownlinkChannel, ErrorFeedback, Qsgd, RandK, SparseUpdate, SpecError, Threshold, TopK,
+        UpdateCodec, WireError, WireUpdate,
     };
     pub use fl_core::runner::{evaluate_params, run_experiment_with, stream_experiment};
     pub use fl_core::{

@@ -173,14 +173,128 @@ fn encoded_cost_basis_charges_real_bytes_end_to_end() {
 }
 
 #[test]
-fn csv_exposes_the_uplink_byte_column() {
+fn csv_exposes_the_uplink_and_downlink_byte_columns() {
     let mut config = ExperimentConfig::quick(Algorithm::TopK);
     config.rounds = 2;
     config.max_threads = 1;
+    config.downlink_compressor = Some("topk".parse().unwrap());
     let result = run_experiment(&config);
     let csv = result.to_csv();
-    assert!(csv.lines().next().unwrap().contains("uplink_bytes"));
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains("uplink_bytes"));
+    assert!(header.contains("downlink_bytes"));
     let first_row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
-    let bytes: usize = first_row[5].parse().expect("uplink_bytes cell is integral");
-    assert_eq!(bytes, result.records[0].uplink_bytes);
+    let up: usize = first_row[5].parse().expect("uplink_bytes cell is integral");
+    assert_eq!(up, result.records[0].uplink_bytes);
+    let down: usize = first_row[6]
+        .parse()
+        .expect("downlink_bytes cell is integral");
+    assert_eq!(down, result.records[0].downlink_bytes);
+    assert!(down > 0);
+}
+
+#[test]
+fn csv_rows_always_match_the_header_width() {
+    // Column-count invariant: every row of `RoundRecord::to_csv` has exactly
+    // as many cells as the header names — including the downlink_bytes
+    // column — whether or not the downlink leg is simulated and whether or
+    // not evaluations were skipped (NaN placeholders).
+    for downlink in [None, Some("ef-topk".parse().unwrap())] {
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.rounds = 3;
+        config.max_threads = 1;
+        config.eval_every = 2;
+        config.downlink_compressor = downlink;
+        let csv = run_experiment(&config).to_csv();
+        let mut lines = csv.lines();
+        let columns = lines.next().unwrap().split(',').count();
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), columns, "malformed row: {line}");
+            rows += 1;
+        }
+        assert_eq!(rows, config.rounds);
+    }
+}
+
+#[test]
+fn bidirectional_accounting_runs_end_to_end() {
+    // The full bidirectional path: EF broadcast downlink + composed uplink
+    // codec, both priced from real encoded bytes.
+    let mut config = ExperimentConfig::quick(Algorithm::TopK);
+    config.rounds = 3;
+    config.max_threads = 1;
+    config.compressor = Some("topk+qsgd:4".parse().unwrap());
+    config.downlink_compressor = Some("ef-topk".parse().unwrap());
+    config.cost_basis = CostBasis::Encoded;
+    let result = run_experiment(&config);
+    for r in &result.records {
+        assert!(r.uplink_bytes > 0);
+        assert!(r.downlink_bytes > 0);
+        assert!(r.comm_actual_s > 0.0);
+    }
+    // The broadcast is one buffer, not a per-client sum: far below the
+    // cohort's total uplink traffic would be at the same ratio, and bounded
+    // by one dense model plus framing.
+    assert!(result.records[0].downlink_bytes <= result.model_bytes + 64);
+    // Determinism holds through the bidirectional path.
+    let again = run_experiment(&config);
+    assert_eq!(result.records, again.records);
+}
+
+/// Deterministic corpus: `parse → Display → parse` is the identity for every
+/// registered codec name, alone and in every supported wrapper/composition
+/// shape.
+#[test]
+fn spec_display_roundtrips_for_every_registered_shape() {
+    let registry = registry();
+    for name in registry.names() {
+        let arged = |n: &str| match n {
+            "qsgd" => format!("{n}:8"),
+            "threshold" => format!("{n}:0.01"),
+            other => other.to_string(),
+        };
+        let mut shapes = vec![name.to_string(), arged(name), format!("ef-{}", arged(name))];
+        if name != "qsgd" {
+            shapes.push(format!("{}+qsgd:4", arged(name)));
+            shapes.push(format!("ef-{}+qsgd:4", arged(name)));
+        }
+        for raw in shapes {
+            let spec: CompressorSpec = raw.parse().unwrap_or_else(|e| panic!("{raw}: {e}"));
+            assert_eq!(spec.to_string(), raw);
+            let reparsed: CompressorSpec = spec.to_string().parse().unwrap();
+            assert_eq!(reparsed, spec, "{raw}");
+        }
+    }
+}
+
+proptest! {
+    /// Randomised spec shapes — arbitrary stage names (registered or not:
+    /// parsing never consults the registry), optional arguments and the
+    /// `ef-` wrapper — survive `Display → parse` unchanged.
+    #[test]
+    fn prop_spec_display_parse_is_the_identity(
+        ef in 0u8..2,
+        name_picks in proptest::collection::vec(0usize..8, 1..4),
+        arg_picks in proptest::collection::vec(0usize..5, 1..4),
+    ) {
+        const NAMES: [&str; 8] = [
+            "topk", "randk", "threshold", "qsgd",
+            "my-codec", "seg_mented", "x2", "a-b_c3",
+        ];
+        const ARGS: [Option<&str>; 5] = [None, Some("8"), Some("0.01"), Some("x-y_z"), Some("1e-3")];
+        let stages: Vec<CodecStage> = name_picks
+            .iter()
+            .zip(arg_picks.iter().cycle())
+            .map(|(&n, &a)| match ARGS[a % ARGS.len()] {
+                Some(arg) => CodecStage::with_arg(NAMES[n % NAMES.len()], arg),
+                None => CodecStage::new(NAMES[n % NAMES.len()]),
+            })
+            .collect();
+        let spec = CompressorSpec { error_feedback: ef == 1, stages };
+        let printed = spec.to_string();
+        let reparsed: CompressorSpec = printed.parse().expect("printed specs reparse");
+        prop_assert_eq!(&reparsed, &spec, "{}", printed);
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
 }
