@@ -2,10 +2,15 @@
 //! CIFAR-10-like benchmark (β ∈ {0.1, 0.5} × CR ∈ {0.1, 0.01}), for BCRS and
 //! the baselines.
 //!
+//! The grid runs through `fl_core::sweep::SweepGrid` and the parallel sweep
+//! driver (shared dataset generation, worker count set by `--sweep-threads`,
+//! rows printed in grid order).
+//!
 //! `cargo run --release -p fl-bench --bin fig10_time_curves`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::{run_experiment, Algorithm};
+use fl_core::sweep::{run_sweep_threaded, SweepGrid};
+use fl_core::Algorithm;
 use fl_data::DatasetPreset;
 
 fn main() {
@@ -16,22 +21,30 @@ fn main() {
         Algorithm::TopK,
         Algorithm::EfTopK,
     ];
+    let grid = SweepGrid::new(bench_config(
+        algorithms[0],
+        DatasetPreset::Cifar10Like,
+        0.1,
+        0.1,
+        &args,
+    ))
+    .betas([0.1, 0.5])
+    .compression_ratios([0.1, 0.01])
+    .algorithms(algorithms);
+    let results = run_sweep_threaded(&grid.configs(), args.sweep_threads);
+
     println!("beta,cr,algorithm,round,cumulative_comm_s,test_accuracy");
-    for &beta in &[0.1, 0.5] {
-        for &cr in &[0.1, 0.01] {
-            for &alg in &algorithms {
-                let config = bench_config(alg, DatasetPreset::Cifar10Like, beta, cr, &args);
-                let result = run_experiment(&config);
-                for r in &result.records {
-                    println!(
-                        "{beta},{cr},{},{},{:.2},{:.4}",
-                        alg.name(),
-                        r.round,
-                        r.cumulative_actual_s,
-                        r.test_accuracy
-                    );
-                }
-            }
+    for result in &results {
+        for r in &result.records {
+            println!(
+                "{},{},{},{},{:.2},{:.4}",
+                result.config.beta,
+                result.config.compression_ratio,
+                result.config.algorithm.name(),
+                r.round,
+                r.cumulative_actual_s,
+                r.test_accuracy
+            );
         }
     }
 }

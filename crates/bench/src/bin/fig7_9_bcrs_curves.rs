@@ -2,13 +2,18 @@
 //! baselines (FedAvg, Top-K, EF-Top-K) on CIFAR-10-like, SVHN-like and
 //! CIFAR-100-like, under β ∈ {0.1, 0.5} × CR ∈ {0.1, 0.01}.
 //!
+//! The whole grid runs through `fl_core::sweep::SweepGrid` and the parallel
+//! sweep driver (shared dataset generation, worker count set by
+//! `--sweep-threads`, rows printed in grid order).
+//!
 //! By default only the CIFAR-10-like grid (Fig. 7) is produced; pass
 //! `--all-datasets` for Figs. 8 and 9 as well.
 //!
 //! `cargo run --release -p fl-bench --bin fig7_9_bcrs_curves [-- --all-datasets]`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::{run_experiment, Algorithm};
+use fl_core::sweep::{run_sweep_threaded, SweepGrid};
+use fl_core::Algorithm;
 use fl_data::DatasetPreset;
 
 fn main() {
@@ -29,24 +34,27 @@ fn main() {
         Algorithm::Bcrs,
     ];
 
+    // Grid nesting (dataset → β → CR → algorithm) matches the loop order the
+    // figures are read in, so the sweep's results print in figure order.
+    let grid = SweepGrid::new(bench_config(algorithms[0], datasets[0], 0.1, 0.1, &args))
+        .datasets(datasets)
+        .betas([0.1, 0.5])
+        .compression_ratios([0.1, 0.01])
+        .algorithms(algorithms);
+    let results = run_sweep_threaded(&grid.configs(), args.sweep_threads);
+
     println!("dataset,beta,cr,algorithm,round,test_accuracy");
-    for &dataset in &datasets {
-        for &beta in &[0.1, 0.5] {
-            for &cr in &[0.1, 0.01] {
-                for &alg in &algorithms {
-                    let config = bench_config(alg, dataset, beta, cr, &args);
-                    let result = run_experiment(&config);
-                    for r in &result.records {
-                        println!(
-                            "{},{beta},{cr},{},{},{:.4}",
-                            dataset.name(),
-                            alg.name(),
-                            r.round,
-                            r.test_accuracy
-                        );
-                    }
-                }
-            }
+    for result in &results {
+        for r in &result.records {
+            println!(
+                "{},{},{},{},{},{:.4}",
+                result.config.dataset.name(),
+                result.config.beta,
+                result.config.compression_ratio,
+                result.config.algorithm.name(),
+                r.round,
+                r.test_accuracy
+            );
         }
     }
 }

@@ -18,6 +18,12 @@
 //! row (main grid and codec rows alike), and `--downlink SPEC` simulates the
 //! server→client broadcast through a codec instead of teleporting it.
 //!
+//! `--layer-compressors PLAN` likewise appends layer-aware scenario rows
+//! (e.g. `'conv*=topk;*=qsgd:8'`): the plan runs through the grid as Top-K
+//! rows under the encoded basis (the main grid keeps the flat path — its
+//! OPWA rows reject dense-decoding plan rules), with the per-layer byte
+//! breakdown summarised on stderr.
+//!
 //! `cargo run --release -p fl-bench --bin table2_main [-- --all-datasets --full]`
 
 use fl_bench::{bench_config, summarize, BenchArgs};
@@ -29,6 +35,11 @@ use fl_netsim::CostBasis;
 
 fn main() {
     let args = BenchArgs::parse();
+    // The main grid always runs the flat codec path: a layer plan with
+    // dense-decoding rules (e.g. `*=qsgd:8`) is invalid for the OPWA rows,
+    // so `--layer-compressors` becomes dedicated scenario rows below instead.
+    let mut grid_args = args.clone();
+    grid_args.layer_compressors = None;
     let datasets: Vec<DatasetPreset> = if args.has_flag("--all-datasets") || args.full {
         vec![
             DatasetPreset::Cifar10Like,
@@ -48,7 +59,7 @@ fn main() {
         datasets[0],
         betas[0],
         ratios[0],
-        &args,
+        &grid_args,
     ))
     .datasets(datasets.clone())
     .betas(betas)
@@ -140,6 +151,7 @@ fn main() {
         let mut base = configs[0].clone();
         base.algorithm = Algorithm::TopK;
         base.cost_basis = args.cost_basis.unwrap_or(CostBasis::Encoded);
+        let basis_tag = basis_tag(base.cost_basis);
         let mut codec_configs = Vec::new();
         if !ratio_bound.is_empty() {
             codec_configs.extend(
@@ -154,7 +166,7 @@ fn main() {
         if !ratio_free.is_empty() {
             codec_configs.extend(
                 SweepGrid::new(base)
-                    .datasets(datasets)
+                    .datasets(datasets.clone())
                     .betas(betas)
                     .compressors(ratio_free)
                     .configs(),
@@ -174,7 +186,7 @@ fn main() {
                 result.config.compression_ratio.to_string()
             };
             println!(
-                "{},{},{cr_cell},{spec}@encoded,{:.4},{:.4},{:.1}",
+                "{},{},{cr_cell},{spec}@{basis_tag},{:.4},{:.4},{:.1}",
                 result.config.dataset.name(),
                 result.config.beta,
                 result.final_accuracy,
@@ -195,4 +207,87 @@ fn main() {
             }
         }
     }
+
+    // Layer-aware scenario rows: run the requested plan through the same
+    // dataset × β × CR grid as Top-K rows priced from the encoded bytes, and
+    // summarise the per-layer breakdown a mixed plan records. A plan that
+    // resolves every segment of the model to a ratio-ignoring codec (pure
+    // quantizers and the raw-f32 `dense` codec) runs once per (dataset, β)
+    // with `-` in the CR column, like the ratio-free codec rows above.
+    if let Some(plan) = &args.layer_compressors {
+        let ratio_free = configs[0]
+            .model
+            .segment_names()
+            .iter()
+            .all(|name| plan.spec_for(name).is_some_and(spec_ignores_ratio));
+        let mut base = configs[0].clone();
+        base.algorithm = Algorithm::TopK;
+        base.compressor = None;
+        base.cost_basis = args.cost_basis.unwrap_or(CostBasis::Encoded);
+        let basis_tag = basis_tag(base.cost_basis);
+        let mut grid = SweepGrid::new(base)
+            .datasets(datasets.clone())
+            .betas(betas)
+            .layer_plans([plan.clone()]);
+        if !ratio_free {
+            grid = grid.compression_ratios(ratios);
+        }
+        let plan_configs = grid.configs();
+        let plan_results = run_sweep_threaded(&plan_configs, args.sweep_threads);
+        for result in &plan_results {
+            let last = result.records.last().unwrap();
+            let cr_cell = if ratio_free {
+                "-".to_string()
+            } else {
+                result.config.compression_ratio.to_string()
+            };
+            println!(
+                "{},{},{cr_cell},{plan}@{basis_tag},{:.4},{:.4},{:.1}",
+                result.config.dataset.name(),
+                result.config.beta,
+                result.final_accuracy,
+                result.best_accuracy,
+                last.cumulative_actual_s
+            );
+            if !args.csv {
+                eprintln!("# plan {plan}: {}", summarize(result));
+                // Sum the per-layer uplink bytes over the run (present only
+                // for genuinely mixed plans — uniform plans collapse to the
+                // flat codec and record no breakdown).
+                let mut per_layer: Vec<(String, usize)> = Vec::new();
+                for r in &result.records {
+                    if let Some(layers) = &r.layer_bytes {
+                        if per_layer.is_empty() {
+                            per_layer = layers
+                                .iter()
+                                .map(|l| (l.layer.clone(), l.uplink_bytes))
+                                .collect();
+                        } else {
+                            for (acc, l) in per_layer.iter_mut().zip(layers.iter()) {
+                                acc.1 += l.uplink_bytes;
+                            }
+                        }
+                    }
+                }
+                for (layer, bytes) in &per_layer {
+                    eprintln!("#   {layer}: {:.1} kB encoded uplink", *bytes as f64 / 1e3);
+                }
+            }
+        }
+    }
+}
+
+/// The label suffix naming the basis a scenario row's times were priced
+/// under (`--cost-basis` may override the encoded default).
+fn basis_tag(basis: CostBasis) -> &'static str {
+    match basis {
+        CostBasis::Encoded => "encoded",
+        CostBasis::Analytic => "analytic",
+    }
+}
+
+/// True when a spec's encode ignores the target ratio entirely: pure
+/// quantizers (`qsgd:<bits>`) and the raw-f32 `dense` codec.
+fn spec_ignores_ratio(spec: &CompressorSpec) -> bool {
+    spec.produces_dense() || (spec.stages.len() == 1 && spec.stages[0].name == "dense")
 }

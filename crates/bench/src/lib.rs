@@ -20,12 +20,16 @@
 //!   codec actually encoded;
 //! * `--downlink SPEC`   — simulate the server→client broadcast through the
 //!   given codec spec (e.g. `topk`, `ef-topk`, `qsgd:8`) instead of
-//!   teleporting it for free.
+//!   teleporting it for free;
+//! * `--layer-compressors PLAN` — assign uplink codecs per model layer with a
+//!   first-match glob plan (e.g. `'conv*=topk;*.bias=dense;*=qsgd:8'`).
+//!   Applied to every run `bench_config` builds; `table2_main` instead adds
+//!   dedicated plan rows so its OPWA grid rows stay valid.
 //!
 //! The Criterion benches under `benches/` cover the micro-performance of the
 //! building blocks (compression, aggregation, scheduling, training step).
 
-use fl_compress::CompressorSpec;
+use fl_compress::{CompressorSpec, LayerPlan};
 use fl_core::{Algorithm, ExperimentConfig, ExperimentResult, ModelPreset};
 use fl_data::DatasetPreset;
 use fl_netsim::CostBasis;
@@ -55,6 +59,9 @@ pub struct BenchArgs {
     /// Broadcast codec for the downlink leg (`--downlink SPEC`); `None`
     /// keeps the paper's free broadcast.
     pub downlink: Option<CompressorSpec>,
+    /// Layer-aware uplink codec plan (`--layer-compressors PLAN`); `None`
+    /// keeps the flat codec path.
+    pub layer_compressors: Option<LayerPlan>,
     /// Extra flags not recognised by the common parser (binary-specific).
     pub extra: Vec<String>,
 }
@@ -72,6 +79,7 @@ impl Default for BenchArgs {
             sweep_threads: 0,
             cost_basis: None,
             downlink: None,
+            layer_compressors: None,
             extra: Vec::new(),
         }
     }
@@ -130,6 +138,14 @@ impl BenchArgs {
                             .parse()
                             .unwrap_or_else(|e| panic!("--downlink: cannot parse {value:?}: {e}")),
                     );
+                }
+                "--layer-compressors" => {
+                    let value = it.next().unwrap_or_else(|| {
+                        panic!("--layer-compressors needs a plan, e.g. 'conv*=topk;*=qsgd:8'")
+                    });
+                    out.layer_compressors = Some(value.parse().unwrap_or_else(|e| {
+                        panic!("--layer-compressors: cannot parse {value:?}: {e}")
+                    }));
                 }
                 other => out.extra.push(other.to_string()),
             }
@@ -206,6 +222,9 @@ pub fn bench_config(
     }
     if let Some(downlink) = &args.downlink {
         config.downlink_compressor = Some(downlink.clone());
+    }
+    if let Some(plan) = &args.layer_compressors {
+        config.layer_compressors = Some(plan.clone());
     }
     config
 }
@@ -320,6 +339,32 @@ mod tests {
         let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &d);
         assert_eq!(c.cost_basis, CostBasis::Analytic);
         assert_eq!(c.downlink_compressor, None);
+    }
+
+    #[test]
+    fn parses_layer_compressors_flag() {
+        let a = parse(&["--layer-compressors", "conv*=topk;*=qsgd:8"]);
+        assert_eq!(
+            a.layer_compressors.as_ref().unwrap().to_string(),
+            "conv*=topk;*=qsgd:8"
+        );
+        let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &a);
+        assert_eq!(
+            c.layer_compressors.as_ref().unwrap().to_string(),
+            "conv*=topk;*=qsgd:8"
+        );
+        assert!(c.validate().is_ok());
+        // Unset leaves the flat path alone.
+        let d = parse(&[]);
+        assert_eq!(d.layer_compressors, None);
+        let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &d);
+        assert_eq!(c.layer_compressors, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--layer-compressors")]
+    fn bad_layer_plan_panics() {
+        parse(&["--layer-compressors", "not-a-plan"]);
     }
 
     #[test]

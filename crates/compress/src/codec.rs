@@ -99,6 +99,24 @@ impl UpdateCodec for TopKCodec {
     }
 }
 
+/// The explicit "don't compress this" codec: every coordinate ships as a raw
+/// f32 in the dense wire kind, ignoring the target ratio. Layer plans use it
+/// for segments that collapse under sparsification (biases, norm scales) —
+/// `"*.bias=dense"` keeps those few coordinates exact while the big layers
+/// stay aggressively compressed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DenseCodec;
+
+impl UpdateCodec for DenseCodec {
+    fn name(&self) -> String {
+        "dense".into()
+    }
+
+    fn encode(&mut self, dense: &[f32], _ratio: f64, _rng: &mut Xoshiro256) -> WireUpdate {
+        encode_dense(dense)
+    }
+}
+
 /// Uniform Rand-K sparsification. Draws one `u64` seed per round from the
 /// session stream — the same draw order the pre-codec engine used, so Rand-K
 /// trajectories replay bit-identically.

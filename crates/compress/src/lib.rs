@@ -17,7 +17,13 @@
 //!   dense update. Error-feedback residuals live inside [`codec::EfCodec`];
 //! * [`downlink::DownlinkChannel`] — the server-side broadcast wrapper: one
 //!   codec encodes the global-parameter delta per round, recipients share the
-//!   decoded view, and error-feedback residuals live server-side.
+//!   decoded view, and error-feedback residuals live server-side;
+//! * [`plan::LayerPlan`] — layer-aware codec plans: first-match
+//!   `pattern=spec` rules (`"conv*=topk;*.bias=dense;*=qsgd:8"`) assign one
+//!   codec per named parameter segment, resolved into a
+//!   [`plan::PlannedCodec`] that frames per-segment payloads into the
+//!   [`wire::KIND_SEGMENTED`] wire kind (uniform plans collapse to the flat
+//!   codec, bit for bit).
 //!
 //! **The primitives** codecs are built from:
 //!
@@ -34,6 +40,7 @@ pub mod codec;
 pub mod compressor;
 pub mod downlink;
 pub mod error_feedback;
+pub mod plan;
 pub mod quantize;
 pub mod randk;
 pub mod registry;
@@ -44,11 +51,13 @@ pub mod topk;
 pub mod wire;
 
 pub use codec::{
-    CodecCtx, ComposedCodec, EfCodec, QsgdCodec, RandKCodec, ThresholdCodec, TopKCodec, UpdateCodec,
+    CodecCtx, ComposedCodec, DenseCodec, EfCodec, QsgdCodec, RandKCodec, ThresholdCodec, TopKCodec,
+    UpdateCodec,
 };
 pub use compressor::{CompressedUpdate, Compressor};
 pub use downlink::DownlinkChannel;
 pub use error_feedback::ErrorFeedback;
+pub use plan::{glob_match, LayerPlan, PlanRule, PlannedCodec, SegmentDef};
 pub use quantize::Qsgd;
 pub use randk::RandK;
 pub use registry::{CodecFactory, CodecRegistry};

@@ -20,7 +20,8 @@
 //! in an [`EfCodec`] error-feedback shell.
 
 use crate::codec::{
-    CodecCtx, ComposedCodec, EfCodec, QsgdCodec, RandKCodec, ThresholdCodec, TopKCodec, UpdateCodec,
+    CodecCtx, ComposedCodec, DenseCodec, EfCodec, QsgdCodec, RandKCodec, ThresholdCodec, TopKCodec,
+    UpdateCodec,
 };
 use crate::spec::{CompressorSpec, SpecError};
 use std::collections::BTreeMap;
@@ -72,6 +73,10 @@ impl CodecRegistry {
             Ok(Box::new(ThresholdCodec { tau }))
         });
         r.register("qsgd", |arg, _ctx| Ok(Box::new(parse_qsgd(arg)?)));
+        r.register("dense", |arg, _ctx| {
+            no_arg("dense", arg)?;
+            Ok(Box::new(DenseCodec))
+        });
         r
     }
 
@@ -193,6 +198,7 @@ mod tests {
             "threshold",
             "threshold:0.5",
             "qsgd:8",
+            "dense",
             "ef-topk",
             "topk+qsgd:4",
             "ef-randk+qsgd:6",
@@ -203,7 +209,7 @@ mod tests {
         }
         assert_eq!(
             r.names().collect::<Vec<_>>(),
-            ["qsgd", "randk", "threshold", "topk"]
+            ["dense", "qsgd", "randk", "threshold", "topk"]
         );
     }
 

@@ -89,6 +89,9 @@ pub enum SpecError {
     /// The stage combination is not supported (only `sparsifier + qsgd`
     /// pipelines compose).
     UnsupportedComposition(String),
+    /// A layer plan left a model segment without a matching rule
+    /// (see [`crate::plan::LayerPlan`]).
+    UnmatchedSegment(String),
 }
 
 impl std::fmt::Display for SpecError {
@@ -101,6 +104,12 @@ impl std::fmt::Display for SpecError {
             }
             SpecError::UnsupportedComposition(s) => {
                 write!(f, "unsupported codec composition {s:?}: only a sparsifier followed by \"qsgd:<bits>\" composes")
+            }
+            SpecError::UnmatchedSegment(name) => {
+                write!(
+                    f,
+                    "no plan rule matches segment {name:?} (add a catch-all \"*=<spec>\" rule)"
+                )
             }
         }
     }

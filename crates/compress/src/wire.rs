@@ -27,6 +27,11 @@
 //! [packed]             nnz × bits, MSB-first
 //! ── kind 3 (dense) ───────────────────────────────────────────────
 //! [f32 LE × dense_len] values (ratio-1.0 uploads: no index overhead)
+//! ── kind 4 (segmented) ───────────────────────────────────────────
+//! [varint]             number of segments (≥ 1)
+//! [per segment]        varint byte length, then a complete nested
+//!                      wire update (any kind except segmented) whose
+//!                      dense lengths must tile dense_len exactly
 //! ```
 //!
 //! Varints are LEB128 over `u64`. Each packed coordinate stores a sign bit
@@ -56,6 +61,11 @@ pub const KIND_SPARSE_QUANTIZED: u8 = 2;
 /// Payload kind tag: every coordinate as a raw f32 (ratio-1.0 uploads; no
 /// index overhead, so a dense transmission costs dense bytes).
 pub const KIND_DENSE: u8 = 3;
+/// Payload kind tag: length-prefixed per-segment wire updates whose dense
+/// lengths tile the full vector — the frame a layer-aware
+/// [`crate::plan::PlannedCodec`] emits, so per-layer codecs keep honest
+/// byte accounting (the framing overhead is part of the buffer).
+pub const KIND_SEGMENTED: u8 = 4;
 
 /// A decoding failure: the buffer is not a valid version-1 wire update.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -185,8 +195,37 @@ impl WireUpdate {
                     indices, values, dense_len,
                 )))
             }
+            KIND_SEGMENTED => decode_segmented_body(b, &mut cur, dense_len),
             other => Err(WireError::UnknownKind(other)),
         }
+    }
+
+    /// For a [`KIND_SEGMENTED`] buffer, the per-segment payload byte lengths
+    /// in frame order (excluding the outer header and length prefixes — the
+    /// bytes each segment's own wire update occupies). `None` for any other
+    /// or structurally invalid buffer. This is how the round engine breaks a
+    /// planned upload's honest total down per layer without re-decoding.
+    pub fn segment_byte_lens(&self) -> Option<Vec<usize>> {
+        if self.kind().ok()? != KIND_SEGMENTED {
+            return None;
+        }
+        let b = self.as_bytes();
+        let mut cur = 4usize;
+        read_varint(b, &mut cur).ok()?; // dense_len
+        let n = read_varint(b, &mut cur).ok()? as usize;
+        if n > b.len() - cur {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let plen = read_varint(b, &mut cur).ok()? as usize;
+            if plen > b.len() - cur {
+                return None;
+            }
+            out.push(plen);
+            cur += plen;
+        }
+        Some(out)
     }
 }
 
@@ -269,6 +308,96 @@ pub fn encode_sparse_quantized(
     put_indices(&mut buf, indices);
     put_quantized_body(&mut buf, bits, norm, levels);
     WireUpdate::from_bytes(buf.freeze())
+}
+
+/// Encode per-segment wire updates into one framed `KIND_SEGMENTED` buffer.
+/// `dense_len` is the full vector's length; the parts' dense lengths must
+/// tile it exactly (checked on decode) and no part may itself be segmented.
+pub fn encode_segmented(dense_len: usize, parts: &[WireUpdate]) -> WireUpdate {
+    assert!(!parts.is_empty(), "a segmented update needs >= 1 segment");
+    let payload: usize = parts.iter().map(|p| p.len() + 5).sum();
+    let mut buf = header(KIND_SEGMENTED, dense_len, payload);
+    put_varint(&mut buf, parts.len() as u64);
+    for p in parts {
+        // Hard check, not a debug_assert: decode rejects nested frames, so a
+        // nested part would produce a buffer that cannot decode its own
+        // encoding. One byte compare per part keeps the failure at the
+        // encoder with a pointed message.
+        assert_ne!(
+            p.kind(),
+            Ok(KIND_SEGMENTED),
+            "segmented payloads do not nest"
+        );
+        put_varint(&mut buf, p.len() as u64);
+        buf.put_slice(p.as_bytes());
+    }
+    WireUpdate::from_bytes(buf.freeze())
+}
+
+/// Decode the body of a `KIND_SEGMENTED` buffer: parse and decode every
+/// nested segment, then splice them into one update over the full vector.
+/// The result is always sparse — a quantized segment (whose coordinate count
+/// is bounded by its own byte length) becomes a full-density run at its
+/// offset — so a crafted buffer can never force an allocation larger than
+/// its segments' own decode guards admit.
+fn decode_segmented_body(
+    b: &[u8],
+    cur: &mut usize,
+    dense_len: usize,
+) -> Result<CompressedUpdate, WireError> {
+    let n = read_varint(b, cur)? as usize;
+    if n == 0 {
+        return Err(WireError::Corrupt("segmented update with no segments"));
+    }
+    // Every segment needs at least its one-byte length prefix; reject a
+    // declared count the remaining buffer cannot hold before allocating.
+    if n > b.len() - *cur {
+        return Err(WireError::Truncated);
+    }
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    let mut covered = 0usize;
+    for _ in 0..n {
+        let plen_raw = read_varint(b, cur)?;
+        if plen_raw > (b.len() - *cur) as u64 {
+            return Err(WireError::Truncated);
+        }
+        let plen = plen_raw as usize;
+        let part = WireUpdate::from_bytes(Bytes::copy_from_slice(&b[*cur..*cur + plen]));
+        if part.kind()? == KIND_SEGMENTED {
+            return Err(WireError::Corrupt("nested segmented payload"));
+        }
+        let update = part.decode()?;
+        let part_len = update.dense_len();
+        if part_len > dense_len - covered {
+            return Err(WireError::Corrupt("segment lengths exceed dense length"));
+        }
+        match update {
+            CompressedUpdate::Sparse(s) => {
+                for (&i, &v) in s.indices().iter().zip(s.values().iter()) {
+                    indices.push(covered as u32 + i);
+                    values.push(v);
+                }
+            }
+            CompressedUpdate::Quantized { values: pv, .. } => {
+                // Full-density run: every coordinate of the segment, in
+                // order. `pv.len()` is bounded by the part's own byte length
+                // (its quantized decode guard), so this never over-allocates.
+                indices.extend((covered as u32)..(covered + part_len) as u32);
+                values.extend_from_slice(&pv);
+            }
+        }
+        covered += part_len;
+        *cur += plen;
+    }
+    if covered != dense_len {
+        return Err(WireError::Corrupt(
+            "segment lengths do not cover the dense vector",
+        ));
+    }
+    Ok(CompressedUpdate::Sparse(SparseUpdate::new(
+        indices, values, dense_len,
+    )))
 }
 
 fn put_quantized_body(buf: &mut BytesMut, bits: u8, norm: f32, levels: &[i32]) {
@@ -618,6 +747,7 @@ mod tests {
             KIND_QUANTIZED,
             KIND_SPARSE_QUANTIZED,
             KIND_DENSE,
+            KIND_SEGMENTED,
         ] {
             for dense_len in [u32::MAX as u64 + 1, 1u64 << 62, u64::MAX] {
                 let mut buf = BytesMut::new();
@@ -641,6 +771,120 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn encode_sparse_quantized_rejects_unsorted_indices() {
         encode_sparse_quantized(100, &[5, 3], 4, 1.0, &[1, 2]);
+    }
+
+    #[test]
+    fn segmented_roundtrip_splices_sparse_parts_with_offsets() {
+        let a = encode_sparse(&SparseUpdate::new(vec![1, 3], vec![1.0, 2.0], 5));
+        let b = encode_sparse(&SparseUpdate::new(vec![0, 6], vec![-1.0, 4.0], 7));
+        let w = encode_segmented(12, &[a.clone(), b.clone()]);
+        assert_eq!(w.kind().unwrap(), KIND_SEGMENTED);
+        // Exact framing: header + varint(dense_len) + varint(n) + per part
+        // (varint(len) + len) — the overhead is part of the honest byte count.
+        assert_eq!(w.len(), 4 + 1 + 1 + (1 + a.len()) + (1 + b.len()));
+        assert_eq!(w.segment_byte_lens().unwrap(), vec![a.len(), b.len()]);
+        let s = w.decode().unwrap().into_sparse().unwrap();
+        assert_eq!(s.dense_len(), 12);
+        assert_eq!(s.indices(), &[1, 3, 5, 11]);
+        assert_eq!(s.values(), &[1.0, 2.0, -1.0, 4.0]);
+    }
+
+    #[test]
+    fn segmented_quantized_part_becomes_a_full_density_run() {
+        let sparse = encode_sparse(&SparseUpdate::new(vec![2], vec![9.0], 4));
+        let quant = encode_quantized(3, 4, 7.0, &[7, -7, 0]);
+        let w = encode_segmented(7, &[sparse, quant]);
+        let s = w.decode().unwrap().into_sparse().unwrap();
+        assert_eq!(s.dense_len(), 7);
+        // Segment 1 contributes its retained coordinate; segment 2 every
+        // coordinate of its run (indices 4..7).
+        assert_eq!(s.indices(), &[2, 4, 5, 6]);
+        assert_eq!(s.values()[0], 9.0);
+        assert!((s.values()[1] - 7.0).abs() < 1e-6);
+        assert!((s.values()[2] + 7.0).abs() < 1e-6);
+        assert_eq!(s.values()[3], 0.0);
+    }
+
+    #[test]
+    fn segmented_rejects_crafted_frames() {
+        let part = encode_sparse(&SparseUpdate::new(vec![0], vec![1.0], 3));
+
+        // Lengths that do not tile the dense vector.
+        let short = encode_segmented(5, std::slice::from_ref(&part));
+        assert_eq!(
+            short.decode(),
+            Err(WireError::Corrupt(
+                "segment lengths do not cover the dense vector"
+            ))
+        );
+        let long = encode_segmented(2, std::slice::from_ref(&part));
+        assert_eq!(
+            long.decode(),
+            Err(WireError::Corrupt("segment lengths exceed dense length"))
+        );
+
+        // Nested segmented payloads are rejected (no recursion bombs). The
+        // encoder debug-asserts against this, so hand-build the frame.
+        let inner = encode_segmented(3, std::slice::from_ref(&part));
+        let mut buf = BytesMut::new();
+        buf.put_slice(&WIRE_MAGIC);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(KIND_SEGMENTED);
+        put_varint(&mut buf, 3);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, inner.len() as u64);
+        buf.put_slice(inner.as_bytes());
+        assert_eq!(
+            WireUpdate::from_bytes(buf.freeze()).decode(),
+            Err(WireError::Corrupt("nested segmented payload"))
+        );
+
+        // Zero segments.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&WIRE_MAGIC);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(KIND_SEGMENTED);
+        put_varint(&mut buf, 3);
+        put_varint(&mut buf, 0);
+        assert_eq!(
+            WireUpdate::from_bytes(buf.freeze()).decode(),
+            Err(WireError::Corrupt("segmented update with no segments"))
+        );
+
+        // A declared segment count the buffer cannot hold: must error before
+        // any allocation.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&WIRE_MAGIC);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(KIND_SEGMENTED);
+        put_varint(&mut buf, 3);
+        put_varint(&mut buf, u32::MAX as u64);
+        assert_eq!(
+            WireUpdate::from_bytes(buf.freeze()).decode(),
+            Err(WireError::Truncated)
+        );
+
+        // A segment length prefix pointing past the end of the buffer.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&WIRE_MAGIC);
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(KIND_SEGMENTED);
+        put_varint(&mut buf, 3);
+        put_varint(&mut buf, 1);
+        put_varint(&mut buf, 1000);
+        buf.put_u8(0xAB);
+        assert_eq!(
+            WireUpdate::from_bytes(buf.freeze()).decode(),
+            Err(WireError::Truncated)
+        );
+
+        // Truncating the last segment mid-payload is caught by the nested
+        // decode.
+        let full = encode_segmented(3, &[part]);
+        let cut =
+            WireUpdate::from_bytes(Bytes::copy_from_slice(&full.as_bytes()[..full.len() - 3]));
+        assert_eq!(cut.decode(), Err(WireError::Truncated));
+        assert_eq!(cut.segment_byte_lens(), None);
     }
 
     #[test]

@@ -4,9 +4,13 @@
 
 use crate::config::{ExperimentConfig, ModelPreset};
 use crate::policy::resolve_codec_spec;
-use fl_compress::{CodecCtx, CodecRegistry, CompressedUpdate, UpdateCodec, WireError, WireUpdate};
+use fl_compress::{
+    CodecCtx, CodecRegistry, CompressedUpdate, SegmentDef, UpdateCodec, WireError, WireUpdate,
+};
 use fl_data::{BatchLoader, Dataset};
-use fl_nn::{flatten_params, mlp, unflatten_params, Sequential, Sgd, SoftmaxCrossEntropy};
+use fl_nn::{
+    flatten_params, mlp, unflatten_params, ParamLayout, Sequential, Sgd, SoftmaxCrossEntropy,
+};
 use fl_tensor::rng::Xoshiro256;
 
 /// The result of one client's local training in one round.
@@ -30,6 +34,7 @@ pub struct ClientState {
     pub id: usize,
     dataset: Dataset,
     model: Sequential,
+    layout: ParamLayout,
     loader: BatchLoader,
     rng: Xoshiro256,
     codec: Box<dyn UpdateCodec>,
@@ -42,8 +47,9 @@ pub struct ClientState {
 impl ClientState {
     /// Create a client from the experiment configuration and its local shard.
     /// The uplink codec is resolved from the configuration's
-    /// [`ExperimentConfig::compressor`] spec (or the algorithm-implied
-    /// default) through the built-in [`CodecRegistry`].
+    /// [`ExperimentConfig::layer_compressors`] plan (one codec per parameter
+    /// segment) or [`ExperimentConfig::compressor`] spec (or the
+    /// algorithm-implied default) through the built-in [`CodecRegistry`].
     pub fn new(id: usize, dataset: Dataset, config: &ExperimentConfig, rng: Xoshiro256) -> Self {
         Self::with_registry(id, dataset, config, rng, &CodecRegistry::with_builtins())
     }
@@ -67,14 +73,28 @@ impl ClientState {
             &mut model_rng,
         );
         let num_params = model.num_params();
-        let spec = resolve_codec_spec(config);
-        let codec = registry
-            .build(&spec, &CodecCtx::new(num_params, config.seed ^ id as u64))
-            .unwrap_or_else(|e| panic!("invalid compressor spec {spec}: {e}"));
+        let layout = ParamLayout::of(&model);
+        let ctx = CodecCtx::new(num_params, config.seed ^ id as u64);
+        let codec = match &config.layer_compressors {
+            Some(plan) => {
+                // Layer-aware path: one codec per layout segment (a uniform
+                // plan collapses to the flat codec inside `resolve`, so the
+                // two paths stay bit-identical).
+                plan.resolve(registry, &segment_defs(&layout), &ctx)
+                    .unwrap_or_else(|e| panic!("invalid layer plan {plan}: {e}"))
+            }
+            None => {
+                let spec = resolve_codec_spec(config);
+                registry
+                    .build(&spec, &ctx)
+                    .unwrap_or_else(|e| panic!("invalid compressor spec {spec}: {e}"))
+            }
+        };
         Self {
             id,
             dataset,
             model,
+            layout,
             loader: BatchLoader::new(config.batch_size, false),
             rng,
             codec,
@@ -93,6 +113,12 @@ impl ClientState {
     /// Borrow the local dataset (used by evaluation helpers and tests).
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
+    }
+
+    /// The named layout of this client's flat parameter vector (identical to
+    /// the server's — every replica is built from the same preset and seed).
+    pub fn layout(&self) -> &ParamLayout {
+        &self.layout
     }
 
     /// Run `E` local epochs of SGD starting from the given global parameters
@@ -158,6 +184,17 @@ impl ClientState {
     pub fn residual_norm(&self) -> f64 {
         self.codec.residual_norm()
     }
+}
+
+/// Bridge a model's [`ParamLayout`] into the `(name, len)` segment form
+/// [`fl_compress::LayerPlan::resolve`] consumes — `fl-core` is the one crate
+/// that sees both sides, so this is the single conversion point.
+pub fn segment_defs(layout: &ParamLayout) -> Vec<SegmentDef> {
+    layout
+        .segments()
+        .iter()
+        .map(|s| SegmentDef::new(s.name.clone(), s.len))
+        .collect()
 }
 
 /// Build the model described by a [`ModelPreset`].

@@ -1,7 +1,7 @@
 //! Experiment configuration: one struct that fully determines a run.
 
 use crate::algorithm::Algorithm;
-use fl_compress::{CodecRegistry, CompressorSpec};
+use fl_compress::{CodecRegistry, CompressorSpec, LayerPlan};
 use fl_data::DatasetPreset;
 use fl_netsim::{CostBasis, LinkGenerator};
 use serde::{Deserialize, Serialize};
@@ -28,6 +28,20 @@ impl ModelPreset {
             hidden1: 128,
             hidden2: 64,
         }
+    }
+
+    /// The segment names of this preset's [`fl_nn::ParamLayout`]. They depend
+    /// only on the architecture, not the dataset dimensions, so validation
+    /// can check a layer plan's coverage before any data exists (a probe
+    /// model with unit dimensions is built to stay aligned with the real
+    /// layout derivation).
+    pub fn segment_names(&self) -> Vec<String> {
+        let mut rng = fl_tensor::rng::Xoshiro256::new(0);
+        let probe = crate::client::build_model(self, 1, 1, &mut rng);
+        fl_nn::ParamLayout::of(&probe)
+            .names()
+            .map(String::from)
+            .collect()
     }
 }
 
@@ -118,6 +132,22 @@ pub struct ExperimentConfig {
     /// [`CompressorSpec`] — `"qsgd:8"`, `"threshold:0.01"`, `"topk+qsgd:4"`,
     /// … — runs the same algorithm over that codec instead.
     pub compressor: Option<CompressorSpec>,
+    /// Layer-aware codec plan for the clients' uplink compression. `None`
+    /// (default) keeps the flat, whole-vector codec path. `Some(plan)`
+    /// assigns one codec per named parameter segment of the model's
+    /// [`fl_nn::ParamLayout`] via first-match glob rules —
+    /// `"conv*=topk;*.bias=dense;*=ef-topk+qsgd:4"` — resolved through the
+    /// same [`CodecRegistry`] as flat specs. Mutually exclusive with
+    /// [`compressor`](Self::compressor): a plan *is* the uplink codec
+    /// assignment. A uniform plan (`"*=topk"`) collapses to the flat codec
+    /// and reproduces its records bit for bit; a genuinely mixed plan frames
+    /// per-segment payloads into the `Segmented` wire kind, `RoundRecord`
+    /// gains a per-layer byte breakdown, and the framing overhead is charged
+    /// exactly under [`CostBasis::Encoded`]. The flat pipeline's
+    /// OPWA/overlap restrictions apply **per rule**: any rule whose spec
+    /// decodes dense (pure quantizers) is rejected in combination with OPWA
+    /// algorithms or `record_overlap`.
+    pub layer_compressors: Option<LayerPlan>,
     /// Codec for the server→client broadcast (downlink) leg. `None` (default,
     /// the paper's setting) teleports the global model to the clients for
     /// free, exactly as the analytic reproduction always has. `Some(spec)`
@@ -168,6 +198,7 @@ impl Default for ExperimentConfig {
             dropout_rate: 0.0,
             server_momentum: 0.0,
             compressor: None,
+            layer_compressors: None,
             downlink_compressor: None,
             cost_basis: CostBasis::Analytic,
         }
@@ -266,6 +297,10 @@ impl ExperimentConfig {
                 .validate(spec)
                 .map_err(|e| format!("invalid compressor spec {spec}: {e}"))?;
         }
+        if let Some(plan) = &self.layer_compressors {
+            plan.validate(&registry)
+                .map_err(|e| format!("invalid layer plan {plan}: {e}"))?;
+        }
         if let Some(spec) = &self.downlink_compressor {
             registry
                 .validate(spec)
@@ -284,6 +319,10 @@ impl ExperimentConfig {
                 .validate(spec)
                 .map_err(|e| format!("invalid compressor spec {spec}: {e}"))?;
         }
+        if let Some(plan) = &self.layer_compressors {
+            plan.validate(registry)
+                .map_err(|e| format!("invalid layer plan {plan}: {e}"))?;
+        }
         if let Some(spec) = &self.downlink_compressor {
             registry
                 .validate(spec)
@@ -291,6 +330,7 @@ impl ExperimentConfig {
         }
         let mut without_spec = self.clone();
         without_spec.compressor = None;
+        without_spec.layer_compressors = None;
         without_spec.downlink_compressor = None;
         without_spec.validate()?;
         self.validate_compressor_semantics()
@@ -310,6 +350,47 @@ impl ExperimentConfig {
                     "record_overlap is set, but compressor {spec} decodes to dense \
                      updates with no overlap structure"
                 ));
+            }
+        }
+        if let Some(plan) = &self.layer_compressors {
+            if self.compressor.is_some() {
+                return Err(
+                    "layer_compressors and compressor are mutually exclusive: a layer plan \
+                     is the uplink codec assignment (use a uniform \"*=<spec>\" plan for a \
+                     single codec)"
+                        .into(),
+                );
+            }
+            // Coverage is a validation error, not a construction panic: every
+            // segment of the configured model preset must match some rule.
+            for name in self.model.segment_names() {
+                if plan.spec_for(&name).is_none() {
+                    return Err(format!(
+                        "layer plan {plan} leaves segment {name:?} without a matching \
+                         rule (add a catch-all \"*=<spec>\")"
+                    ));
+                }
+            }
+            // The flat pipeline's restrictions apply per rule: any rule that
+            // could hand a segment a dense-decoding codec breaks the overlap
+            // analysis for the whole update.
+            for rule in &plan.rules {
+                if rule.spec.produces_dense() && self.algorithm.uses_opwa() {
+                    return Err(format!(
+                        "algorithm {} applies the OPWA overlap mask, but layer-plan rule \
+                         {}={} decodes to dense segments with no overlap structure",
+                        self.algorithm.name(),
+                        rule.pattern,
+                        rule.spec
+                    ));
+                }
+                if rule.spec.produces_dense() && self.record_overlap {
+                    return Err(format!(
+                        "record_overlap is set, but layer-plan rule {}={} decodes to \
+                         dense segments with no overlap structure",
+                        rule.pattern, rule.spec
+                    ));
+                }
             }
         }
         Ok(())
@@ -479,6 +560,95 @@ mod tests {
             ..Default::default()
         };
         assert!(composed.validate().is_ok());
+    }
+
+    #[test]
+    fn layer_plan_knob_is_validated() {
+        // A well-formed plan with resolvable specs passes.
+        let good = ExperimentConfig {
+            algorithm: Algorithm::TopK,
+            layer_compressors: Some("*.bias=dense;*=topk".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(good.validate().is_ok());
+        // Unresolvable rule specs are caught with a pointed message.
+        let bad = ExperimentConfig {
+            layer_compressors: Some("*=no-such-codec".parse().unwrap()),
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("layer plan"), "{err}");
+        assert!(err.contains("no-such-codec"), "{err}");
+    }
+
+    #[test]
+    fn layer_plan_without_full_coverage_fails_validation() {
+        // A plan that leaves model segments unmatched must fail `validate()`
+        // up front — not panic later inside session construction (a sweep
+        // worker thread is the worst place to discover it).
+        let gap = ExperimentConfig {
+            algorithm: Algorithm::TopK,
+            layer_compressors: Some("conv*=topk".parse().unwrap()),
+            ..Default::default()
+        };
+        let err = gap.validate().unwrap_err();
+        assert!(err.contains("without a matching rule"), "{err}");
+        assert!(err.contains("linear0"), "{err}");
+        // Preset segment names follow the architecture.
+        assert_eq!(
+            ModelPreset::default_mlp().segment_names(),
+            [
+                "linear0.weight",
+                "linear0.bias",
+                "linear1.weight",
+                "linear1.bias",
+                "linear2.weight",
+                "linear2.bias",
+            ]
+        );
+        assert_eq!(
+            ModelPreset::Linear.segment_names(),
+            ["linear0.weight", "linear0.bias"]
+        );
+    }
+
+    #[test]
+    fn layer_plan_is_mutually_exclusive_with_the_flat_compressor() {
+        let both = ExperimentConfig {
+            algorithm: Algorithm::TopK,
+            compressor: Some("topk".parse().unwrap()),
+            layer_compressors: Some("*=topk".parse().unwrap()),
+            ..Default::default()
+        };
+        let err = both.validate().unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn layer_plan_dense_rules_cannot_pair_with_overlap_machinery() {
+        // Per-rule restriction: a quantizer rule anywhere in the plan is
+        // rejected under OPWA algorithms and overlap recording …
+        let opwa = ExperimentConfig {
+            algorithm: Algorithm::BcrsOpwa,
+            layer_compressors: Some("conv*=topk;*=qsgd:8".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(opwa.validate().unwrap_err().contains("OPWA"));
+        let recording = ExperimentConfig {
+            algorithm: Algorithm::TopK,
+            record_overlap: true,
+            layer_compressors: Some("*.bias=qsgd:4;*=topk".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(recording.validate().unwrap_err().contains("record_overlap"));
+        // … while all-sparse plans (the raw-f32 "dense" codec decodes to a
+        // full-density *sparse* segment) keep the overlap structure.
+        let sparse = ExperimentConfig {
+            algorithm: Algorithm::BcrsOpwa,
+            layer_compressors: Some("*.bias=dense;*=topk+qsgd:4".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(sparse.validate().is_ok());
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod sweep;
 
 pub use algorithm::Algorithm;
 pub use bcrs::{BcrsSchedule, BcrsScheduler};
+pub use client::segment_defs;
 pub use config::{ExperimentConfig, ModelPreset};
 pub use opwa::OpwaMask;
 pub use overlap::{OverlapCounts, OverlapStats};
@@ -68,6 +69,6 @@ pub use policy::{
     UniformRatio, UniformSelector,
 };
 pub use round::RoundOutput;
-pub use runner::{run_experiment, ExperimentResult, RoundRecord};
+pub use runner::{run_experiment, ExperimentResult, LayerBytes, RoundRecord};
 pub use session::{FederatedSession, SessionBuilder};
 pub use sweep::{run_sweep, run_sweep_threaded, SweepGrid};

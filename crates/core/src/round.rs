@@ -28,7 +28,7 @@ use crate::eval::{evaluate, Evaluation};
 use crate::opwa::OpwaMask;
 use crate::overlap::OverlapCounts;
 use crate::policy::{RatioCtx, SelectionCtx};
-use crate::runner::RoundRecord;
+use crate::runner::{LayerBytes, RoundRecord};
 use crate::session::FederatedSession;
 use fl_compress::{CompressedUpdate, SparseUpdate};
 use fl_netsim::{CostBasis, Link, RoundBreakdown, RoundTiming};
@@ -63,16 +63,22 @@ struct Selection {
 }
 
 /// Stage 2 output: the broadcast leg. `wire_bytes` is `None` when no
-/// downlink codec is configured (the broadcast is teleported for free).
+/// downlink codec is configured (the broadcast is teleported for free);
+/// `segment_bytes` carries the broadcast buffer's per-segment payload sizes
+/// when the downlink codec framed it per layer.
 struct DownlinkPhase {
     wire_bytes: Option<usize>,
+    segment_bytes: Option<Vec<usize>>,
     codec_time_s: f64,
 }
 
 /// Stage 3 output: the cohort's decoded updates plus training metrics.
+/// `segment_bytes` sums the per-segment payload sizes across the cohort's
+/// `Segmented` uploads (present only under a genuinely mixed layer plan).
 struct LocalPhase {
     updates: Vec<CompressedUpdate>,
     wire_bytes: Vec<usize>,
+    segment_bytes: Option<Vec<usize>>,
     sample_counts: Vec<usize>,
     train_loss: f64,
     max_train_time: f64,
@@ -149,11 +155,13 @@ impl FederatedSession {
                 let wire = channel.broadcast(&self.global_params);
                 DownlinkPhase {
                     wire_bytes: Some(wire.len()),
+                    segment_bytes: wire.segment_byte_lens(),
                     codec_time_s: start.elapsed().as_secs_f64(),
                 }
             }
             None => DownlinkPhase {
                 wire_bytes: None,
+                segment_bytes: None,
                 codec_time_s: 0.0,
             },
         }
@@ -195,32 +203,48 @@ impl FederatedSession {
             let c_start = std::time::Instant::now();
             let wire = client.encode(&train_out.delta, ratio);
             let wire_len = wire.len();
+            let seg_lens = wire.segment_byte_lens();
             let update = client
                 .decode(&wire)
                 .expect("a codec must decode its own encoding");
             let compress_time = c_start.elapsed().as_secs_f64();
-            (train_out, update, wire_len, compress_time)
+            (train_out, update, wire_len, seg_lens, compress_time)
         });
 
         let cohort_len = outputs.len();
         let mut updates = Vec::with_capacity(cohort_len);
         let mut wire_bytes = Vec::with_capacity(cohort_len);
+        let mut segment_bytes: Option<Vec<usize>> = None;
         let mut sample_counts = Vec::with_capacity(cohort_len);
         let mut loss_sum = 0.0f64;
         let mut max_train_time = 0.0f64;
         let mut total_compress_time = 0.0f64;
-        for (train_out, update, wire_len, compress_time) in outputs {
+        for (train_out, update, wire_len, seg_lens, compress_time) in outputs {
             sample_counts.push(train_out.num_samples);
             loss_sum += train_out.train_loss;
             max_train_time = max_train_time.max(train_out.train_time_s);
             total_compress_time += compress_time;
             updates.push(update);
             wire_bytes.push(wire_len);
+            if let Some(lens) = seg_lens {
+                // Every client runs the same plan, so the frames align; sum
+                // each segment's payload bytes across the cohort.
+                match &mut segment_bytes {
+                    Some(acc) if acc.len() == lens.len() => {
+                        for (a, l) in acc.iter_mut().zip(lens.iter()) {
+                            *a += l;
+                        }
+                    }
+                    Some(_) => {}
+                    None => segment_bytes = Some(lens),
+                }
+            }
         }
 
         LocalPhase {
             updates,
             wire_bytes,
+            segment_bytes,
             sample_counts,
             train_loss: loss_sum / cohort_len as f64,
             max_train_time,
@@ -376,6 +400,31 @@ impl FederatedSession {
             accuracy: f64::NAN,
         });
 
+        // Per-layer byte breakdown, present when any of this round's wires
+        // was a `Segmented` frame whose parts align with the model layout
+        // (i.e. a genuinely mixed layer plan ran on that leg).
+        let names: Vec<&str> = self.layout.names().collect();
+        let aligned = |v: &Option<Vec<usize>>| -> Option<Vec<usize>> {
+            v.as_ref().filter(|v| v.len() == names.len()).cloned()
+        };
+        let layer_bytes = match (
+            aligned(&local.segment_bytes),
+            aligned(&downlink.segment_bytes),
+        ) {
+            (None, None) => None,
+            (up, down) => Some(
+                names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, name)| LayerBytes {
+                        layer: (*name).to_string(),
+                        uplink_bytes: up.as_ref().map_or(0, |v| v[i]),
+                        downlink_bytes: down.as_ref().map_or(0, |v| v[i]),
+                    })
+                    .collect(),
+            ),
+        };
+
         let record = RoundRecord {
             round,
             test_accuracy: eval.accuracy,
@@ -392,6 +441,7 @@ impl FederatedSession {
             cumulative_min_s: self.time_acc.total_min(),
             selected_clients: selection.selected,
             overlap: aggregate.overlap.map(|c| c.stats()),
+            layer_bytes,
         };
         RoundOutput {
             record,
@@ -690,6 +740,120 @@ mod tests {
         config.algorithm = Algorithm::TopK;
         let out = FederatedSession::from_config(&config).run_round();
         assert!(out.schedule.is_none());
+    }
+
+    #[test]
+    fn uniform_layer_plan_is_bit_identical_to_the_flat_codec() {
+        // `"*=topk"` collapses to the flat Top-K codec: every field of every
+        // record — bytes, times, trajectory — matches the flat path exactly,
+        // and no per-layer breakdown appears.
+        let mut flat = ExperimentConfig::quick(Algorithm::TopK);
+        flat.rounds = 3;
+        flat.max_threads = 1;
+        flat.compressor = Some("topk".parse().unwrap());
+        let mut planned = flat.clone();
+        planned.compressor = None;
+        planned.layer_compressors = Some("*=topk".parse().unwrap());
+        let a = FederatedSession::from_config(&flat).run();
+        let b = FederatedSession::from_config(&planned).run();
+        assert_eq!(a.records, b.records);
+        assert!(b.records.iter().all(|r| r.layer_bytes.is_none()));
+    }
+
+    #[test]
+    fn mixed_layer_plan_reports_a_per_layer_breakdown() {
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.rounds = 2;
+        config.max_threads = 1;
+        config.layer_compressors = Some("*.bias=dense;*=topk".parse().unwrap());
+        config.cost_basis = CostBasis::Encoded;
+        let mut session = FederatedSession::from_config(&config);
+        let layout_names: Vec<String> = session.param_layout().names().map(String::from).collect();
+        let out = session.run_round();
+        let breakdown = out.record.layer_bytes.as_ref().expect("mixed plan");
+        // One entry per layout segment, in order, with the uplink totals
+        // summing to less than the honest wire total (the difference is the
+        // segmented framing overhead, which stays charged on the wire).
+        assert_eq!(
+            breakdown
+                .iter()
+                .map(|l| l.layer.clone())
+                .collect::<Vec<_>>(),
+            layout_names
+        );
+        let segments_total: usize = breakdown.iter().map(|l| l.uplink_bytes).sum();
+        assert!(segments_total > 0);
+        assert!(segments_total < out.record.uplink_bytes);
+        // No downlink codec: the downlink side of the breakdown is zero.
+        assert!(breakdown.iter().all(|l| l.downlink_bytes == 0));
+        // Each client's wire carries its framing: overhead grows with the
+        // cohort but stays tiny (a few bytes per segment per client).
+        let overhead = out.record.uplink_bytes - segments_total;
+        let cohort = out.record.selected_clients.len();
+        let per_client = overhead / cohort;
+        assert!(
+            per_client >= 6 && per_client <= 8 + 6 * layout_names.len(),
+            "framing overhead {per_client} bytes/client for {} segments",
+            layout_names.len()
+        );
+        // Bias segments ship dense: 4 bytes per coordinate plus a header.
+        let layout = session.param_layout().clone();
+        for (seg, l) in layout.segments().iter().zip(breakdown.iter()) {
+            if l.layer.ends_with(".bias") {
+                assert!(
+                    l.uplink_bytes >= cohort * seg.len * 4,
+                    "{}: {} bytes for {} coords × {cohort} clients",
+                    l.layer,
+                    l.uplink_bytes,
+                    seg.len
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_layer_plan_encoded_basis_charges_the_framed_bytes_exactly() {
+        // Under the encoded basis every timing quantity is priced from the
+        // exact segmented buffers — framing overhead included (asserted
+        // against `WireUpdate::len()` via the engine's recorded wire sizes).
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.rounds = 1;
+        config.max_threads = 1;
+        config.layer_compressors = Some("*.bias=dense;*=topk".parse().unwrap());
+        config.cost_basis = CostBasis::Encoded;
+        let mut session = FederatedSession::from_config(&config);
+        let out = session.run_round();
+        assert_eq!(
+            out.record.uplink_bytes,
+            out.uplink_wire_bytes.iter().sum::<usize>()
+        );
+        let times: Vec<f64> = out
+            .record
+            .selected_clients
+            .iter()
+            .zip(out.uplink_wire_bytes.iter())
+            .map(|(&cid, &bytes)| {
+                session
+                    .comm
+                    .transfer_time(&session.links[cid], bytes as f64)
+            })
+            .collect();
+        let expected_max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(out.record.comm_actual_s.to_bits(), expected_max.to_bits());
+    }
+
+    #[test]
+    fn mixed_layer_plan_keeps_opwa_overlap_analysis() {
+        // All-sparse plans (dense codec segments decode to full-density
+        // *sparse* runs) keep the overlap machinery available under OPWA.
+        let mut config = ExperimentConfig::quick(Algorithm::TopKOpwa);
+        config.rounds = 1;
+        config.max_threads = 1;
+        config.layer_compressors = Some("*.bias=dense;*=topk".parse().unwrap());
+        assert!(config.validate().is_ok());
+        let out = FederatedSession::from_config(&config).run_round();
+        assert!(out.record.overlap.is_some());
+        assert!(out.record.layer_bytes.is_some());
     }
 
     #[test]

@@ -13,9 +13,26 @@ use crate::overlap::OverlapStats;
 use crate::session::SessionBuilder;
 use fl_data::{Dataset, PartitionStats};
 use fl_netsim::RoundBreakdown;
-use fl_nn::{unflatten_params, Sequential};
+use fl_nn::{try_unflatten_params, LayoutError, Sequential};
 use fl_tensor::rng::Xoshiro256;
 use serde::{Deserialize, Serialize};
+
+/// One layer's share of a round's encoded traffic, reported when the uplink
+/// (or downlink) codec framed its payload per segment — i.e. when a genuinely
+/// mixed [`fl_compress::LayerPlan`] is active. Byte counts are the nested
+/// per-segment wire payloads; the `Segmented` framing overhead is the
+/// difference to the record's total and stays charged on the wire.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerBytes {
+    /// Segment name from the model's [`fl_nn::ParamLayout`]
+    /// (`linear0.weight`, …).
+    pub layer: String,
+    /// Total encoded uplink bytes this round's cohort spent on the segment.
+    pub uplink_bytes: usize,
+    /// Encoded bytes of the segment in this round's broadcast buffer (0
+    /// unless the downlink codec also framed per segment).
+    pub downlink_bytes: usize,
+}
 
 /// Everything recorded about one communication round.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -62,6 +79,10 @@ pub struct RoundRecord {
     /// Degree-of-overlap distribution of this round's sparse updates (present
     /// when OPWA is active or `record_overlap` is set).
     pub overlap: Option<OverlapStats>,
+    /// Per-layer breakdown of this round's encoded bytes, present when a
+    /// mixed layer plan framed the uploads per segment (`None` on the flat
+    /// codec path — including uniform plans, which collapse to it).
+    pub layer_bytes: Option<Vec<LayerBytes>>,
 }
 
 impl PartialEq for RoundRecord {
@@ -92,6 +113,7 @@ impl PartialEq for RoundRecord {
             cumulative_min_s,
             selected_clients,
             overlap,
+            layer_bytes,
         } = other;
         self.round == *round
             && bits(self.test_accuracy) == bits(*test_accuracy)
@@ -108,6 +130,7 @@ impl PartialEq for RoundRecord {
             && bits(self.cumulative_min_s) == bits(*cumulative_min_s)
             && self.selected_clients == *selected_clients
             && self.overlap == *overlap
+            && self.layer_bytes == *layer_bytes
     }
 }
 
@@ -242,7 +265,13 @@ pub fn stream_experiment(
 
 /// Evaluate an externally trained flat parameter vector on a dataset
 /// (convenience for tests and examples that manipulate parameters directly).
-pub fn evaluate_params(config: &ExperimentConfig, params: &[f32], dataset: &Dataset) -> f64 {
+/// A vector that does not match the configuration's model layout is rejected
+/// with a typed [`LayoutError`] instead of a panic.
+pub fn evaluate_params(
+    config: &ExperimentConfig,
+    params: &[f32],
+    dataset: &Dataset,
+) -> Result<f64, LayoutError> {
     let mut rng = Xoshiro256::new(config.seed);
     let mut model: Sequential = build_model(
         &config.model,
@@ -250,8 +279,8 @@ pub fn evaluate_params(config: &ExperimentConfig, params: &[f32], dataset: &Data
         dataset.num_classes(),
         &mut rng,
     );
-    unflatten_params(&mut model, params);
-    evaluate(&mut model, dataset, config.batch_size.max(64)).accuracy
+    try_unflatten_params(&mut model, params)?;
+    Ok(evaluate(&mut model, dataset, config.batch_size.max(64)).accuracy)
 }
 
 #[cfg(test)]

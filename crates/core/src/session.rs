@@ -32,7 +32,7 @@ use crate::runner::{ExperimentResult, RoundRecord};
 use fl_compress::{CodecCtx, CodecRegistry, DownlinkChannel};
 use fl_data::{dirichlet_partition, Dataset, PartitionStats};
 use fl_netsim::{CommModel, Link, RoundBreakdown, TimeAccumulator};
-use fl_nn::{flatten_params, Sequential};
+use fl_nn::{flatten_params, ParamLayout, Sequential};
 use fl_tensor::parallel::default_threads;
 use fl_tensor::rng::Xoshiro256;
 use parking_lot::Mutex;
@@ -159,6 +159,7 @@ impl SessionBuilder {
         let global_params = flatten_params(&global_model);
         let model_params = global_params.len();
         let model_bytes = model_params * 4;
+        let layout = ParamLayout::of(&global_model);
 
         // --- Clients and network ----------------------------------------------
         let mut root_rng = Xoshiro256::new(config.seed ^ 0xC11E);
@@ -224,6 +225,7 @@ impl SessionBuilder {
             global_params,
             model_params,
             model_bytes,
+            layout,
             selector,
             ratio_policy,
             server_opt,
@@ -259,6 +261,7 @@ pub struct FederatedSession {
     pub(crate) global_params: Vec<f32>,
     pub(crate) model_params: usize,
     pub(crate) model_bytes: usize,
+    pub(crate) layout: ParamLayout,
     pub(crate) selector: Box<dyn ClientSelector>,
     pub(crate) ratio_policy: Box<dyn RatioPolicy>,
     pub(crate) server_opt: Box<dyn ServerOpt>,
@@ -308,6 +311,13 @@ impl FederatedSession {
     /// Dense model size in bytes (`V` of the communication model).
     pub fn model_bytes(&self) -> usize {
         self.model_bytes
+    }
+
+    /// The named layout of the flat parameter vector (ordered segments like
+    /// `linear0.weight`), against which layer plans resolve and per-layer
+    /// byte breakdowns are reported.
+    pub fn param_layout(&self) -> &ParamLayout {
+        &self.layout
     }
 
     /// Records of the rounds completed so far.

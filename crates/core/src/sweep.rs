@@ -31,7 +31,7 @@ use crate::algorithm::Algorithm;
 use crate::config::ExperimentConfig;
 use crate::runner::ExperimentResult;
 use crate::session::SessionBuilder;
-use fl_compress::CompressorSpec;
+use fl_compress::{CompressorSpec, LayerPlan};
 use fl_data::{Dataset, DatasetPreset};
 use fl_tensor::parallel::{default_threads, parallel_map};
 use std::collections::HashMap;
@@ -119,6 +119,7 @@ pub struct SweepGrid {
     compression_ratios: Vec<f64>,
     algorithms: Vec<Algorithm>,
     compressors: Vec<Option<CompressorSpec>>,
+    layer_plans: Vec<Option<LayerPlan>>,
     downlink_compressors: Vec<Option<CompressorSpec>>,
     seeds: Vec<u64>,
 }
@@ -132,6 +133,7 @@ impl SweepGrid {
             compression_ratios: vec![base.compression_ratio],
             algorithms: vec![base.algorithm],
             compressors: vec![base.compressor.clone()],
+            layer_plans: vec![base.layer_compressors.clone()],
             downlink_compressors: vec![base.downlink_compressor.clone()],
             seeds: vec![base.seed],
             base,
@@ -169,6 +171,27 @@ impl SweepGrid {
         self
     }
 
+    /// Sweep over these layer-aware codec plans (each becomes the
+    /// configuration's `layer_compressors`; the base's flat `compressor`
+    /// override must be `None` — the two knobs are mutually exclusive). Use
+    /// [`layer_plan_options`](Self::layer_plan_options) to include the flat
+    /// baseline (`None`) in the same grid.
+    pub fn layer_plans(mut self, plans: impl IntoIterator<Item = LayerPlan>) -> Self {
+        self.layer_plans = plans.into_iter().map(Some).collect();
+        self
+    }
+
+    /// Like [`layer_plans`](Self::layer_plans) but taking `Option`s, so a
+    /// grid can compare layer-aware plans against the flat-codec baseline
+    /// side by side.
+    pub fn layer_plan_options(
+        mut self,
+        plans: impl IntoIterator<Item = Option<LayerPlan>>,
+    ) -> Self {
+        self.layer_plans = plans.into_iter().collect();
+        self
+    }
+
     /// Sweep over these broadcast codec specs (each becomes the
     /// configuration's `downlink_compressor`). Use
     /// [`downlink_compressor_options`](Self::downlink_compressor_options) to
@@ -202,6 +225,7 @@ impl SweepGrid {
             * self.compression_ratios.len()
             * self.algorithms.len()
             * self.compressors.len()
+            * self.layer_plans.len()
             * self.downlink_compressors.len()
             * self.seeds.len()
     }
@@ -212,8 +236,8 @@ impl SweepGrid {
     }
 
     /// Materialise the grid, nested dataset → β → ratio → algorithm → codec →
-    /// downlink codec → seed (the paper's table ordering, with codecs as
-    /// extra rows).
+    /// layer plan → downlink codec → seed (the paper's table ordering, with
+    /// codecs and plans as extra rows).
     pub fn configs(&self) -> Vec<ExperimentConfig> {
         let mut out = Vec::with_capacity(self.len());
         for &dataset in &self.datasets {
@@ -221,17 +245,20 @@ impl SweepGrid {
                 for &compression_ratio in &self.compression_ratios {
                     for &algorithm in &self.algorithms {
                         for compressor in &self.compressors {
-                            for downlink in &self.downlink_compressors {
-                                for &seed in &self.seeds {
-                                    let mut c = self.base.clone();
-                                    c.dataset = dataset;
-                                    c.beta = beta;
-                                    c.compression_ratio = compression_ratio;
-                                    c.algorithm = algorithm;
-                                    c.compressor = compressor.clone();
-                                    c.downlink_compressor = downlink.clone();
-                                    c.seed = seed;
-                                    out.push(c);
+                            for plan in &self.layer_plans {
+                                for downlink in &self.downlink_compressors {
+                                    for &seed in &self.seeds {
+                                        let mut c = self.base.clone();
+                                        c.dataset = dataset;
+                                        c.beta = beta;
+                                        c.compression_ratio = compression_ratio;
+                                        c.algorithm = algorithm;
+                                        c.compressor = compressor.clone();
+                                        c.layer_compressors = plan.clone();
+                                        c.downlink_compressor = downlink.clone();
+                                        c.seed = seed;
+                                        out.push(c);
+                                    }
                                 }
                             }
                         }
@@ -331,6 +358,37 @@ mod tests {
         // The default grid keeps the base's (absent) override.
         assert!(SweepGrid::new(quick_base()).configs()[0]
             .compressor
+            .is_none());
+    }
+
+    #[test]
+    fn layer_plan_axis_expands_the_grid() {
+        let grid = SweepGrid::new(quick_base())
+            .layer_plan_options([
+                None,
+                Some("*.bias=dense;*=topk".parse().unwrap()),
+                Some("*=topk+qsgd:4".parse().unwrap()),
+            ])
+            .compression_ratios([0.1, 0.05]);
+        assert_eq!(grid.len(), 6);
+        let configs = grid.configs();
+        assert!(configs[0].layer_compressors.is_none());
+        assert_eq!(
+            configs[1].layer_compressors.as_ref().unwrap().to_string(),
+            "*.bias=dense;*=topk"
+        );
+        assert_eq!(
+            configs[2].layer_compressors.as_ref().unwrap().to_string(),
+            "*=topk+qsgd:4"
+        );
+        assert!(configs.iter().all(|c| c.validate().is_ok()));
+        // The plain builder takes owned plans.
+        let owned = SweepGrid::new(quick_base())
+            .layer_plans(["*=topk".parse::<fl_compress::LayerPlan>().unwrap()]);
+        assert!(owned.configs()[0].layer_compressors.is_some());
+        // The default grid keeps the base's (absent) plan.
+        assert!(SweepGrid::new(quick_base()).configs()[0]
+            .layer_compressors
             .is_none());
     }
 

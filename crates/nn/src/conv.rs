@@ -207,6 +207,10 @@ impl Layer for Conv2d {
     fn name(&self) -> &'static str {
         "Conv2d"
     }
+
+    fn param_names(&self) -> Vec<String> {
+        vec!["weight".into(), "bias".into()]
+    }
 }
 
 /// Global average pooling: `[batch, ch, h, w] -> [batch, ch]`.

@@ -38,6 +38,16 @@ pub trait Layer: Send {
     /// Human-readable layer name for debugging and reports.
     fn name(&self) -> &'static str;
 
+    /// Names of the trainable parameter tensors, aligned with
+    /// [`params`](Self::params). Layers with the classic weight + bias pair
+    /// override this (`["weight", "bias"]`); the default names parameters
+    /// positionally (`p0`, `p1`, …). [`crate::params::ParamLayout`] combines
+    /// these with a per-kind layer counter into segment names like
+    /// `linear0.weight` or `conv2d1.bias`.
+    fn param_names(&self) -> Vec<String> {
+        (0..self.params().len()).map(|i| format!("p{i}")).collect()
+    }
+
     /// Total number of trainable scalars in this layer.
     fn num_params(&self) -> usize {
         self.params().iter().map(|p| p.numel()).sum()

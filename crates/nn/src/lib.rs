@@ -24,4 +24,7 @@ pub use layer::Layer;
 pub use loss::SoftmaxCrossEntropy;
 pub use model::{mlp, small_cnn, small_cnn_flat, Sequential};
 pub use optim::Sgd;
-pub use params::{flatten_params, num_params, unflatten_params};
+pub use params::{
+    flatten_params, num_params, try_unflatten_params, unflatten_params, LayoutError, ParamLayout,
+    ParamSegment,
+};

@@ -91,6 +91,10 @@ impl Layer for Linear {
     fn name(&self) -> &'static str {
         "Linear"
     }
+
+    fn param_names(&self) -> Vec<String> {
+        vec!["weight".into(), "bias".into()]
+    }
 }
 
 #[cfg(test)]

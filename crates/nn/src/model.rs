@@ -86,6 +86,12 @@ impl Sequential {
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()
     }
+
+    /// Iterate over the layers themselves (used by
+    /// [`crate::params::ParamLayout`] to derive named parameter segments).
+    pub fn layers(&self) -> impl Iterator<Item = &dyn Layer> {
+        self.layers.iter().map(|l| l.as_ref())
+    }
 }
 
 impl Default for Sequential {

@@ -1,11 +1,196 @@
 //! Parameter flattening — the bridge between the model and the compression
-//! pipeline.
+//! pipeline — and the [`ParamLayout`] that preserves the layer structure the
+//! flat vector erases.
 //!
 //! Federated compression operates on a single flat vector per client
 //! (the model *delta* `w_t - w_{t,k,E}`); these helpers pack a model's
 //! parameters into that vector and scatter a vector back into the model.
+//! [`ParamLayout`] records, for the same packing order, which slice of the
+//! flat vector belongs to which named parameter tensor (`linear0.weight`,
+//! `conv2d1.bias`, …), so layer-aware codecs can treat each segment
+//! differently without changing the wire-level contract.
 
 use crate::model::Sequential;
+
+/// One named slice of the flat parameter vector: a single parameter tensor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamSegment {
+    /// Segment name, `"{kind}{index}.{param}"` — e.g. `linear0.weight`:
+    /// the lowercased layer kind, a per-kind counter over the layers that
+    /// carry parameters, and the layer's name for the tensor.
+    pub name: String,
+    /// Offset of the segment's first scalar in the flat vector.
+    pub offset: usize,
+    /// Number of scalars in the segment (the tensor's `numel`).
+    pub len: usize,
+}
+
+impl ParamSegment {
+    /// The segment's index range within the flat vector.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.len
+    }
+}
+
+/// The ordered, named segmentation of a model's flat parameter vector,
+/// aligned with [`flatten_params`] / [`unflatten_params`] (layer order, then
+/// tensor order within the layer).
+///
+/// ```
+/// use fl_nn::{mlp, ParamLayout};
+/// use fl_tensor::rng::Xoshiro256;
+///
+/// let mut rng = Xoshiro256::new(1);
+/// let model = mlp(6, &[10], 4, &mut rng);
+/// let layout = ParamLayout::of(&model);
+/// let names: Vec<&str> = layout.names().collect();
+/// assert_eq!(
+///     names,
+///     ["linear0.weight", "linear0.bias", "linear1.weight", "linear1.bias"]
+/// );
+/// assert_eq!(layout.total_len(), model.num_params());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParamLayout {
+    segments: Vec<ParamSegment>,
+    total_len: usize,
+}
+
+impl ParamLayout {
+    /// Derive the layout of a model's flat parameter vector. Layers without
+    /// trainable parameters (activations, pooling) contribute no segments;
+    /// layers of the same kind are numbered in model order (`linear0`,
+    /// `linear1`, …), counting only parameterised layers.
+    pub fn of(model: &Sequential) -> Self {
+        let mut segments = Vec::new();
+        let mut offset = 0usize;
+        let mut kind_counts: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for layer in model.layers() {
+            let params = layer.params();
+            if params.is_empty() {
+                continue;
+            }
+            let kind = layer.name().to_ascii_lowercase();
+            let index = kind_counts.entry(kind.clone()).or_insert(0);
+            let names = layer.param_names();
+            for (i, p) in params.iter().enumerate() {
+                let n = p.numel();
+                if n == 0 {
+                    continue;
+                }
+                let pname = names.get(i).cloned().unwrap_or_else(|| format!("p{i}"));
+                segments.push(ParamSegment {
+                    name: format!("{kind}{index}.{pname}"),
+                    offset,
+                    len: n,
+                });
+                offset += n;
+            }
+            *index += 1;
+        }
+        Self {
+            segments,
+            total_len: offset,
+        }
+    }
+
+    /// Build a layout from explicit `(name, len)` pairs (tests and custom
+    /// models). Offsets are cumulative in iteration order; zero-length
+    /// segments are skipped.
+    pub fn from_segments(segments: impl IntoIterator<Item = (String, usize)>) -> Self {
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        for (name, len) in segments {
+            if len == 0 {
+                continue;
+            }
+            out.push(ParamSegment { name, offset, len });
+            offset += len;
+        }
+        Self {
+            segments: out,
+            total_len: offset,
+        }
+    }
+
+    /// The segments, in flat-vector order.
+    pub fn segments(&self) -> &[ParamSegment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the model has no trainable parameters.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total scalars covered (the model's flat parameter count).
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// Segment names, in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.segments.iter().map(|s| s.name.as_str())
+    }
+
+    /// Check that a flat vector matches this layout's total length.
+    pub fn check(&self, flat: &[f32]) -> Result<(), LayoutError> {
+        if flat.len() == self.total_len {
+            Ok(())
+        } else {
+            Err(LayoutError {
+                expected: self.total_len,
+                got: flat.len(),
+            })
+        }
+    }
+
+    /// The slice of `flat` belonging to segment `i`. Panics if `flat` is
+    /// shorter than the layout or `i` is out of range.
+    pub fn slice<'a>(&self, flat: &'a [f32], i: usize) -> &'a [f32] {
+        let seg = &self.segments[i];
+        &flat[seg.range()]
+    }
+}
+
+impl std::fmt::Display for ParamLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}[{}]", s.name, s.len)?;
+        }
+        Ok(())
+    }
+}
+
+/// A flat parameter vector does not match the model's layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayoutError {
+    /// The model's flat parameter count.
+    pub expected: usize,
+    /// The offered vector's length.
+    pub got: usize,
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flat vector has {} entries but the model layout has {} parameters",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for LayoutError {}
 
 /// Total number of trainable scalars of the model.
 pub fn num_params(model: &Sequential) -> usize {
@@ -14,7 +199,7 @@ pub fn num_params(model: &Sequential) -> usize {
 
 /// Concatenate every parameter tensor into one flat `Vec<f32>` (layer order,
 /// then tensor order within the layer — the same order `unflatten_params`
-/// expects).
+/// expects and [`ParamLayout`] names).
 pub fn flatten_params(model: &Sequential) -> Vec<f32> {
     let mut out = Vec::with_capacity(model.num_params());
     for p in model.params() {
@@ -23,16 +208,32 @@ pub fn flatten_params(model: &Sequential) -> Vec<f32> {
     out
 }
 
-/// Write a flat vector back into the model's parameters. Panics if the length
-/// does not match the model's parameter count.
-pub fn unflatten_params(model: &mut Sequential, flat: &[f32]) {
+/// Write a flat vector back into the model's parameters, rejecting a
+/// length-mismatched vector with a typed [`LayoutError`] instead of writing
+/// anything.
+pub fn try_unflatten_params(model: &mut Sequential, flat: &[f32]) -> Result<(), LayoutError> {
     let expected = model.num_params();
-    assert_eq!(
+    if flat.len() != expected {
+        return Err(LayoutError {
+            expected,
+            got: flat.len(),
+        });
+    }
+    unflatten_params(model, flat);
+    Ok(())
+}
+
+/// Write a flat vector back into the model's parameters. The length check is
+/// a `debug_assert` only — callers on the hot path (the round engine) uphold
+/// the invariant by construction; code accepting externally supplied vectors
+/// should use [`try_unflatten_params`] and surface the [`LayoutError`].
+pub fn unflatten_params(model: &mut Sequential, flat: &[f32]) {
+    debug_assert_eq!(
         flat.len(),
-        expected,
+        model.num_params(),
         "flat vector has {} entries but the model has {} parameters",
         flat.len(),
-        expected
+        model.num_params()
     );
     let mut offset = 0usize;
     for p in model.params_mut() {
@@ -55,7 +256,7 @@ pub fn flatten_grads(model: &Sequential) -> Vec<f32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::mlp;
+    use crate::model::{mlp, small_cnn};
     use fl_tensor::rng::Xoshiro256;
 
     #[test]
@@ -84,10 +285,27 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn unflatten_rejects_wrong_length() {
+    fn unflatten_rejects_wrong_length_in_debug() {
         let mut rng = Xoshiro256::new(3);
         let mut model = mlp(3, &[2], 2, &mut rng);
         unflatten_params(&mut model, &[0.0; 3]);
+    }
+
+    #[test]
+    fn try_unflatten_reports_a_typed_layout_error() {
+        let mut rng = Xoshiro256::new(3);
+        let mut model = mlp(3, &[2], 2, &mut rng);
+        let expected = model.num_params();
+        let before = flatten_params(&model);
+        let err = try_unflatten_params(&mut model, &[0.0; 3]).unwrap_err();
+        assert_eq!(err, LayoutError { expected, got: 3 });
+        assert!(err.to_string().contains("3 entries"));
+        // Nothing was written.
+        assert_eq!(flatten_params(&model), before);
+        // The matching length succeeds.
+        let ok = vec![0.5; expected];
+        try_unflatten_params(&mut model, &ok).unwrap();
+        assert_eq!(flatten_params(&model), ok);
     }
 
     #[test]
@@ -97,5 +315,86 @@ mod tests {
         let grads = flatten_grads(&model);
         assert_eq!(grads.len(), num_params(&model));
         assert!(grads.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn layout_names_and_offsets_align_with_flatten() {
+        let mut rng = Xoshiro256::new(5);
+        let model = mlp(4, &[3, 2], 2, &mut rng);
+        let layout = ParamLayout::of(&model);
+        let names: Vec<&str> = layout.names().collect();
+        assert_eq!(
+            names,
+            [
+                "linear0.weight",
+                "linear0.bias",
+                "linear1.weight",
+                "linear1.bias",
+                "linear2.weight",
+                "linear2.bias",
+            ]
+        );
+        assert_eq!(layout.total_len(), model.num_params());
+        // Segments tile the vector: contiguous, in order, no gaps.
+        let mut offset = 0;
+        for seg in layout.segments() {
+            assert_eq!(seg.offset, offset);
+            offset += seg.len;
+        }
+        assert_eq!(offset, layout.total_len());
+        // Each segment's slice is exactly the corresponding tensor's data.
+        let flat = flatten_params(&model);
+        for (i, p) in model.params().iter().enumerate() {
+            assert_eq!(layout.slice(&flat, i), p.data());
+        }
+    }
+
+    #[test]
+    fn cnn_layout_counts_per_kind() {
+        let mut rng = Xoshiro256::new(6);
+        let model = small_cnn(3, 8, 4, 10, &mut rng);
+        let layout = ParamLayout::of(&model);
+        let names: Vec<&str> = layout.names().collect();
+        assert_eq!(
+            names,
+            [
+                "conv2d0.weight",
+                "conv2d0.bias",
+                "conv2d1.weight",
+                "conv2d1.bias",
+                "linear0.weight",
+                "linear0.bias",
+            ]
+        );
+        assert_eq!(layout.total_len(), model.num_params());
+    }
+
+    #[test]
+    fn layout_check_and_from_segments() {
+        let layout =
+            ParamLayout::from_segments([("a.weight".to_string(), 4), ("a.bias".to_string(), 2)]);
+        assert_eq!(layout.num_segments(), 2);
+        assert_eq!(layout.total_len(), 6);
+        assert_eq!(layout.segments()[1].range(), 4..6);
+        assert!(layout.check(&[0.0; 6]).is_ok());
+        assert_eq!(
+            layout.check(&[0.0; 5]),
+            Err(LayoutError {
+                expected: 6,
+                got: 5
+            })
+        );
+        assert_eq!(layout.to_string(), "a.weight[4] a.bias[2]");
+        // Zero-length segments are dropped.
+        let trimmed = ParamLayout::from_segments([("x".to_string(), 0), ("y".to_string(), 3)]);
+        assert_eq!(trimmed.num_segments(), 1);
+        assert_eq!(trimmed.total_len(), 3);
+    }
+
+    #[test]
+    fn empty_model_has_empty_layout() {
+        let layout = ParamLayout::of(&Sequential::new());
+        assert!(layout.is_empty());
+        assert_eq!(layout.total_len(), 0);
     }
 }

@@ -1,169 +1,156 @@
-//! Plugging a custom codec into the spec-driven compression pipeline.
+//! Layer-aware compression with [`LayerPlan`] — plus a custom codec plugged
+//! into the same registry.
 //!
-//! The paper positions its framework as a foundation that "integrates common
-//! compression techniques". This example shows both extension points:
+//! The paper's framework treats the model delta as one flat vector, but real
+//! models are heterogeneous per layer: big weight matrices tolerate
+//! aggressive Top-K while a handful of bias coordinates collapses under it.
+//! This example shows the three extension points working together:
 //!
-//! 1. **Specs** — parse pipeline descriptions like `"topk"`, `"qsgd:6"`,
-//!    `"ef-topk"` and the composed `"topk+qsgd:6"` into codecs through the
-//!    [`CodecRegistry`], and compare the *real* encoded wire sizes (varint
-//!    delta indices, bit-packed levels) against the dense f32 payload.
-//! 2. **Custom codecs** — implement [`UpdateCodec`], register it under a
-//!    name, and build it from a spec string (`"segmented-topk:5000"`) like
-//!    any built-in. Here we build a layer-aware Top-K that budgets the
-//!    retained coordinates per segment (a common trick to keep small layers
-//!    represented); because it emits the standard sparse wire format, decode,
-//!    overlap analysis and OPWA masking come for free.
+//! 1. **Layouts** — `fl-nn`'s [`ParamLayout`] names each slice of the flat
+//!    vector (`linear0.weight`, `linear0.bias`, …) in the exact order
+//!    `flatten_params` packs it.
+//! 2. **Plans** — a [`LayerPlan`] such as `"*.bias=dense;*=topk"` assigns one
+//!    codec per segment with first-match glob rules. Mixed plans frame their
+//!    per-segment payloads into the `Segmented` wire kind (honest bytes,
+//!    framing included); uniform plans collapse to the flat codec bit for
+//!    bit.
+//! 3. **Custom codecs** — implement [`UpdateCodec`], register it by name, and
+//!    reference it from a plan rule like any built-in. Because it emits the
+//!    standard sparse wire format, decode, overlap analysis and the round
+//!    engine all compose for free.
 //!
 //! Run with `cargo run --release --example custom_compressor`.
 
 use bwfl::prelude::*;
 
-/// Top-K applied independently to fixed-size segments of the vector, so every
-/// segment (think: every layer) keeps its share of coordinates.
-struct SegmentedTopK {
-    segment: usize,
-}
+/// A custom codec: Top-K at *half* the requested ratio — the kind of
+/// per-tenant policy knob a real deployment might register ("this workload
+/// only gets half the budget the scheduler hands out").
+struct HalfBudgetTopK;
 
-impl UpdateCodec for SegmentedTopK {
+impl UpdateCodec for HalfBudgetTopK {
     fn name(&self) -> String {
-        format!("segmented-topk:{}", self.segment)
+        "half-topk".into()
     }
 
     fn encode(&mut self, dense: &[f32], ratio: f64, _rng: &mut Xoshiro256) -> WireUpdate {
-        let inner = TopK::new();
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
-        let mut start = 0usize;
-        while start < dense.len() {
-            let end = (start + self.segment).min(dense.len());
-            let chunk = &dense[start..end];
-            if let Some(s) = inner.compress(chunk, ratio).into_sparse() {
-                for (&i, &v) in s.indices().iter().zip(s.values().iter()) {
-                    indices.push(start as u32 + i);
-                    values.push(v);
-                }
-            }
-            start = end;
-        }
-        let sparse = SparseUpdate::new(indices, values, dense.len());
-        // Emitting the standard sparse wire format means the default
-        // `UpdateCodec::decode` already understands our bytes.
-        fl_compress::wire::encode_sparse(&sparse)
+        let sparse = TopK::new()
+            .compress(dense, (ratio / 2.0).max(1e-6))
+            .into_sparse()
+            .expect("TopK is a sparsifier");
+        // The standard sparse wire format: the default decode, overlap
+        // analysis and OPWA masking all understand our bytes.
+        bwfl::compress::wire::encode_sparse(&sparse)
     }
 }
 
-/// Registry factory: `"segmented-topk:5000"` → a 5000-wide segmented Top-K.
-fn segmented_topk_factory(
+fn half_topk_factory(
     arg: Option<&str>,
     _ctx: &CodecCtx,
 ) -> Result<Box<dyn UpdateCodec>, SpecError> {
-    let segment: usize = match arg {
-        None => 4096,
-        Some(a) => a.parse().map_err(|_| SpecError::BadArg {
-            codec: "segmented-topk".into(),
-            reason: format!("segment size {a:?} is not an integer"),
-        })?,
-    };
-    if segment == 0 {
+    if let Some(a) = arg {
         return Err(SpecError::BadArg {
-            codec: "segmented-topk".into(),
-            reason: "segment size must be positive".into(),
+            codec: "half-topk".into(),
+            reason: format!("takes no argument, got {a:?}"),
         });
     }
-    Ok(Box::new(SegmentedTopK { segment }))
-}
-
-fn reconstruction_error(original: &[f32], decoded: &CompressedUpdate) -> f64 {
-    let rec = decoded.to_dense();
-    let num: f64 = original
-        .iter()
-        .zip(rec.iter())
-        .map(|(a, b)| ((a - b) as f64).powi(2))
-        .sum();
-    let den: f64 = original.iter().map(|&a| (a as f64).powi(2)).sum();
-    (num / den.max(1e-12)).sqrt()
+    Ok(Box::new(HalfBudgetTopK))
 }
 
 fn main() {
-    // A synthetic "model delta": a mixture of a few large coordinates (as
-    // gradient deltas typically have) and broad small noise.
+    // A small model, its flat delta, and the layout naming every slice.
     let mut rng = Xoshiro256::new(5);
-    let n = 50_000usize;
-    let delta: Vec<f32> = (0..n)
-        .map(|i| {
-            let base = (rng.next_f32() - 0.5) * 0.01;
-            if i % 997 == 0 {
-                base + (rng.next_f32() - 0.5) * 2.0
+    let mut model = mlp(128, &[128, 64], 10, &mut rng);
+    let layout = ParamLayout::of(&model);
+    println!("model layout: {layout}");
+
+    // Fake one round of training drift to get a realistic delta.
+    let before = flatten_params(&model);
+    let nudged: Vec<f32> = before
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            w + if i % 37 == 0 {
+                0.05
             } else {
-                base
+                0.0005 * (i % 7) as f32
             }
         })
         .collect();
-    let dense_bytes = n * 4;
+    unflatten_params(&mut model, &nudged);
+    let delta: Vec<f32> = before
+        .iter()
+        .zip(nudged.iter())
+        .map(|(a, b)| a - b)
+        .collect();
+    let dense_bytes = delta.len() * 4;
 
     // One registry serves built-ins and the custom codec alike.
     let mut registry = CodecRegistry::with_builtins();
-    registry.register("segmented-topk", segmented_topk_factory);
-    let ctx = CodecCtx::new(n, 11);
+    registry.register("half-topk", half_topk_factory);
 
+    let segments = segment_defs(&layout);
+    let ctx = CodecCtx::new(delta.len(), 11);
     let ratio = 0.05;
-    let specs = [
-        "topk",
-        "segmented-topk:5000",
-        "randk",
-        "threshold",
-        "qsgd:6",
-        "topk+qsgd:6",
-        "ef-topk",
+
+    let plans = [
+        "*=topk",                                // uniform: collapses to flat topk
+        "*.bias=dense;*=topk",                   // biases exact, weights top-k
+        "*.bias=dense;*=topk+qsgd:6",            // + 6-bit values on the weights
+        "linear0*=half-topk;*=topk",             // custom codec on the first layer
+        "*.bias=dense;linear2*=ef-topk;*=randk", // per-layer EF residuals
     ];
 
-    println!("dense update: {n} parameters, {dense_bytes} bytes, target ratio {ratio}");
     println!(
-        "{:>18} {:>12} {:>12} {:>16}",
-        "codec", "wire bytes", "vs dense", "rel. L2 error"
+        "\ndense delta: {} parameters, {dense_bytes} bytes, target ratio {ratio}",
+        delta.len()
     );
-    for raw in &specs {
-        let spec: CompressorSpec = raw.parse().expect("example specs parse");
-        let mut codec = registry.build(&spec, &ctx).expect("example specs resolve");
+    println!("{:>42} {:>12} {:>10}", "plan", "wire bytes", "vs dense");
+    for raw in &plans {
+        let plan: LayerPlan = raw.parse().expect("example plans parse");
+        let mut codec = plan
+            .resolve(&registry, &segments, &ctx)
+            .expect("example plans resolve");
         let mut stream = Xoshiro256::new(17);
         let wire = codec.encode(&delta, ratio, &mut stream);
-        let decoded = codec.decode(&wire).expect("self-encoded bytes decode");
+        codec.decode(&wire).expect("self-encoded bytes decode");
         println!(
-            "{:>18} {:>12} {:>11.1}x {:>16.4}",
-            codec.name(),
+            "{raw:>42} {:>12} {:>9.1}x",
             wire.len(),
-            dense_bytes as f64 / wire.len() as f64,
-            reconstruction_error(&delta, &decoded)
+            dense_bytes as f64 / wire.len() as f64
         );
+        // Mixed plans are self-describing on the wire: the per-segment byte
+        // split is readable straight from the frame.
+        if let Some(seg_lens) = wire.segment_byte_lens() {
+            for (seg, bytes) in layout.segments().iter().zip(seg_lens.iter()) {
+                println!("{:>42}   {:>6} B  ({} coords)", seg.name, bytes, seg.len);
+            }
+        }
     }
 
-    // The custom codec decodes to a normal SparseUpdate, so OPWA's overlap
-    // analysis applies unchanged.
-    let mut seg = registry
-        .build(&"segmented-topk:5000".parse().unwrap(), &ctx)
-        .unwrap();
-    let clients: Vec<SparseUpdate> = (0..5)
-        .map(|k| {
-            let shifted: Vec<f32> = delta
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| if i % 5 == k { v * 2.0 } else { v })
-                .collect();
-            let mut stream = Xoshiro256::new(100 + k as u64);
-            let wire = seg.encode(&shifted, ratio, &mut stream);
-            seg.decode(&wire).unwrap().into_sparse().unwrap()
-        })
-        .collect();
-    let refs: Vec<&SparseUpdate> = clients.iter().collect();
-    let overlap = OverlapCounts::from_updates(&refs).stats();
+    // The same plan drives the full round engine: set
+    // `config.layer_compressors`, hand the builder the registry with the
+    // custom codec, and the per-layer byte breakdown lands in every record.
+    let mut config = ExperimentConfig::quick(Algorithm::TopK);
+    config.rounds = 2;
+    config.max_threads = 1;
+    config.cost_basis = CostBasis::Encoded;
+    config.layer_compressors = Some("*.bias=dense;linear0*=half-topk;*=topk".parse().unwrap());
+    let result = SessionBuilder::from_config(&config)
+        .codec_registry(registry)
+        .build()
+        .run();
     println!(
-        "\noverlap of 5 simulated clients using the custom codec: {:.1}% singletons",
-        overlap.singleton_fraction() * 100.0
+        "\nround engine with plan {}:",
+        config.layer_compressors.as_ref().unwrap()
     );
-    let mask = OpwaMask::from_overlap(&OverlapCounts::from_updates(&refs), 5.0, 1);
-    println!(
-        "OPWA would enlarge {} of {} retained coordinates",
-        mask.enlarged_count(),
-        overlap.total_retained
-    );
+    for record in &result.records {
+        println!(
+            "  round {}: {} uplink bytes, acc {:.3}",
+            record.round, record.uplink_bytes, record.test_accuracy
+        );
+        for l in record.layer_bytes.as_ref().expect("mixed plan breakdown") {
+            println!("    {:<16} {:>8} B", l.layer, l.uplink_bytes);
+        }
+    }
 }

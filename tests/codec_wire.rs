@@ -18,6 +18,7 @@ fn representative_specs() -> Vec<CompressorSpec> {
         "threshold".parse().unwrap(),
         "threshold:0.05".parse().unwrap(),
         "qsgd:8".parse().unwrap(),
+        "dense".parse().unwrap(),
         "ef-topk".parse().unwrap(),
         "topk+qsgd:6".parse().unwrap(),
         "ef-randk+qsgd:8".parse().unwrap(),
