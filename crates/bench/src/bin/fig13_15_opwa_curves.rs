@@ -5,10 +5,16 @@
 //! Only CIFAR-10-like (Fig. 13) runs by default; `--all-datasets` adds
 //! Figs. 14 and 15.
 //!
+//! The grid runs through [`fl_core::sweep::run_sweep_threaded`] (shared
+//! dataset generation, `--sweep-threads` workers); [`SweepGrid`]'s cartesian
+//! nesting — dataset → β → CR → algorithm — is exactly this binary's
+//! historical loop order, so the CSV rows come out byte-identical to the old
+//! sequential runs.
+//!
 //! `cargo run --release -p fl-bench --bin fig13_15_opwa_curves [-- --all-datasets]`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::{run_experiment, Algorithm};
+use fl_core::{run_sweep_threaded, Algorithm, SweepGrid};
 use fl_data::DatasetPreset;
 
 fn main() {
@@ -22,24 +28,29 @@ fn main() {
     } else {
         vec![DatasetPreset::Cifar10Like]
     };
+    let lineup = Algorithm::paper_lineup();
+    let base = bench_config(lineup[0], datasets[0], 0.1, 0.1, &args);
+    let grid = SweepGrid::new(base)
+        .datasets(datasets.clone())
+        .betas([0.1, 0.5])
+        .compression_ratios([0.1, 0.01])
+        .algorithms(lineup);
+    let configs = grid.configs();
+    let results = run_sweep_threaded(&configs, args.sweep_threads);
+
     println!("dataset,beta,cr,algorithm,round,test_accuracy");
-    for &dataset in &datasets {
-        for &beta in &[0.1, 0.5] {
-            for &cr in &[0.1, 0.01] {
-                for &alg in &Algorithm::paper_lineup() {
-                    let config = bench_config(alg, dataset, beta, cr, &args);
-                    let result = run_experiment(&config);
-                    for r in &result.records {
-                        println!(
-                            "{},{beta},{cr},{},{},{:.4}",
-                            dataset.name(),
-                            alg.name(),
-                            r.round,
-                            r.test_accuracy
-                        );
-                    }
-                }
-            }
+    for result in &results {
+        let c = &result.config;
+        for r in &result.records {
+            println!(
+                "{},{},{},{},{},{:.4}",
+                c.dataset.name(),
+                c.beta,
+                c.compression_ratio,
+                c.algorithm.name(),
+                r.round,
+                r.test_accuracy
+            );
         }
     }
 }

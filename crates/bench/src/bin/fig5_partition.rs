@@ -1,6 +1,12 @@
 //! Fig. 5 — non-IID class allocation across clients for β = 0.5 and β = 0.1
 //! (the client × class heat-map of the CIFAR-10-like dataset).
 //!
+//! This binary intentionally does **not** run through the
+//! [`fl_core::sweep`] driver that the experiment grids use: it executes no
+//! federated rounds at all, only two `dirichlet_partition` calls over one
+//! shared dataset, so there is nothing for `run_sweep_threaded` to
+//! parallelise or deduplicate.
+//!
 //! `cargo run --release -p fl-bench --bin fig5_partition`
 
 use fl_bench::BenchArgs;

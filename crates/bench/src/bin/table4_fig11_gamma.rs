@@ -4,10 +4,17 @@
 //! Prints both the per-γ final accuracies (Table 4) and the full training
 //! curves (Fig. 11) when `--curves` is passed.
 //!
+//! The γ axis is not a [`fl_core::SweepGrid`] dimension, so the grid is built
+//! as an explicit configuration list — per (β, CR) cell the five γ variants
+//! followed by the FedAvg reference — and executed through
+//! [`fl_core::sweep::run_sweep_threaded`] (shared dataset generation,
+//! `--sweep-threads` workers). Results return in input order, which is the
+//! historical printing order, so the CSV is unchanged byte for byte.
+//!
 //! `cargo run --release -p fl-bench --bin table4_fig11_gamma [-- --curves]`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::{run_experiment, Algorithm};
+use fl_core::{run_sweep_threaded, Algorithm};
 use fl_data::DatasetPreset;
 
 fn main() {
@@ -15,18 +22,11 @@ fn main() {
     let gammas = [1.0f32, 3.0, 5.0, 7.0, 8.0];
     let curves = args.has_flag("--curves");
 
-    println!("beta,cr,gamma,final_accuracy,best_accuracy");
-    let mut curve_rows: Vec<String> = Vec::new();
+    // Per (β, CR) cell: the γ sweep rows, then the FedAvg reference row (the
+    // last row of Table 4).
+    let mut configs = Vec::new();
     for &beta in &[0.1, 0.5] {
         for &cr in &[0.1, 0.01] {
-            // FedAvg reference row (the last row of Table 4).
-            let fedavg = run_experiment(&bench_config(
-                Algorithm::FedAvg,
-                DatasetPreset::Cifar10Like,
-                beta,
-                cr,
-                &args,
-            ));
             for &gamma in &gammas {
                 let mut config = bench_config(
                     Algorithm::BcrsOpwa,
@@ -36,7 +36,31 @@ fn main() {
                     &args,
                 );
                 config.gamma = gamma;
-                let result = run_experiment(&config);
+                configs.push(config);
+            }
+            configs.push(bench_config(
+                Algorithm::FedAvg,
+                DatasetPreset::Cifar10Like,
+                beta,
+                cr,
+                &args,
+            ));
+        }
+    }
+    let results = run_sweep_threaded(&configs, args.sweep_threads);
+
+    println!("beta,cr,gamma,final_accuracy,best_accuracy");
+    let mut curve_rows: Vec<String> = Vec::new();
+    for result in &results {
+        let c = &result.config;
+        let (beta, cr) = (c.beta, c.compression_ratio);
+        match c.algorithm {
+            Algorithm::FedAvg => println!(
+                "{beta},{cr},fedavg,{:.4},{:.4}",
+                result.final_accuracy, result.best_accuracy
+            ),
+            _ => {
+                let gamma = c.gamma;
                 println!(
                     "{beta},{cr},{gamma},{:.4},{:.4}",
                     result.final_accuracy, result.best_accuracy
@@ -50,10 +74,6 @@ fn main() {
                     }
                 }
             }
-            println!(
-                "{beta},{cr},fedavg,{:.4},{:.4}",
-                fedavg.final_accuracy, fedavg.best_accuracy
-            );
         }
     }
     if curves {

@@ -50,6 +50,58 @@ impl CodecCtx {
     }
 }
 
+/// A snapshot of a codec's cross-round residual state, detached from the
+/// codec instance that produced it.
+///
+/// This is the seam that lets a simulator keep millions of clients *virtual*:
+/// instead of holding one live codec per client forever (each
+/// [`EfCodec`] owns a model-sized residual vector), the engine extracts the
+/// state with [`UpdateCodec::take_residual`] when a client leaves the active
+/// cohort, parks it in a [`crate::residual_store::ResidualStore`] keyed by
+/// client id, and re-injects it with [`UpdateCodec::restore_residual`] into a
+/// freshly built codec the next time the client is selected.
+///
+/// The snapshot is an ordered list of residual vectors — one per stateful
+/// component, in the codec's canonical component order (a flat [`EfCodec`]
+/// contributes one part; a [`crate::plan::PlannedCodec`] concatenates its
+/// segments' parts in segment order). Stateless codecs produce an empty
+/// snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResidualState {
+    /// Residual vectors in canonical component order.
+    pub parts: Vec<Vec<f32>>,
+}
+
+impl ResidualState {
+    /// A snapshot with no stateful components.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// True when the snapshot carries no information: no parts, or every
+    /// coordinate of every part exactly zero. Restoring such a snapshot is a
+    /// no-op, so stores drop it instead of keeping dead weight.
+    pub fn is_trivial(&self) -> bool {
+        self.parts.iter().all(|p| p.iter().all(|&v| v == 0.0))
+    }
+
+    /// L2 norm over all parts (0 for a trivial snapshot).
+    pub fn l2_norm(&self) -> f64 {
+        self.parts
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|&v| (v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Total number of `f32` scalars held (the snapshot's memory footprint
+    /// in 4-byte units).
+    pub fn num_scalars(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+}
+
 /// A stateful encoder/decoder of model updates with a byte-level wire format.
 ///
 /// Implementations must be deterministic given the same inputs, internal
@@ -73,6 +125,30 @@ pub trait UpdateCodec: Send {
     /// L2 norm of any accumulated residual state (0 for stateless codecs).
     fn residual_norm(&self) -> f64 {
         0.0
+    }
+
+    /// Move the codec's cross-round residual state out, leaving the codec in
+    /// its freshly constructed (all-zero) state. Stateless codecs return an
+    /// empty snapshot. Taking the state and immediately
+    /// [`restore_residual`](Self::restore_residual)-ing it must round-trip
+    /// bit-exactly — the session engine relies on this to keep virtualized
+    /// clients indistinguishable from always-resident ones.
+    fn take_residual(&mut self) -> ResidualState {
+        ResidualState::empty()
+    }
+
+    /// Re-inject a residual snapshot previously produced by
+    /// [`take_residual`](Self::take_residual) on an identically configured
+    /// codec. Restoring an empty snapshot is a no-op (the codec keeps its
+    /// fresh all-zero state). Implementations panic on a structurally
+    /// incompatible snapshot — that is a wiring bug, not a runtime condition.
+    fn restore_residual(&mut self, state: ResidualState) {
+        assert!(
+            state.parts.is_empty(),
+            "stateless codec {} cannot restore a {}-part residual snapshot",
+            self.name(),
+            state.parts.len()
+        );
     }
 }
 
@@ -258,6 +334,14 @@ impl UpdateCodec for ComposedCodec {
     fn residual_norm(&self) -> f64 {
         self.sparsifier.residual_norm()
     }
+
+    fn take_residual(&mut self) -> ResidualState {
+        self.sparsifier.take_residual()
+    }
+
+    fn restore_residual(&mut self, state: ResidualState) {
+        self.sparsifier.restore_residual(state);
+    }
 }
 
 /// Error-feedback wrapper around any codec: the part of the update the inner
@@ -327,6 +411,31 @@ impl UpdateCodec for EfCodec {
             .map(|&v| (v as f64).powi(2))
             .sum::<f64>()
             .sqrt()
+    }
+
+    fn take_residual(&mut self) -> ResidualState {
+        let len = self.residual.len();
+        ResidualState {
+            parts: vec![std::mem::replace(&mut self.residual, vec![0.0; len])],
+        }
+    }
+
+    fn restore_residual(&mut self, state: ResidualState) {
+        if state.parts.is_empty() {
+            return;
+        }
+        assert_eq!(
+            state.parts.len(),
+            1,
+            "ef codec residual snapshot must have exactly one part"
+        );
+        let part = state.parts.into_iter().next().unwrap();
+        assert_eq!(
+            part.len(),
+            self.residual.len(),
+            "ef codec residual snapshot length changed between checkouts"
+        );
+        self.residual = part;
     }
 }
 
@@ -466,6 +575,68 @@ mod tests {
                 assert!((lhs - rhs).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn ef_residual_snapshot_moves_between_instances() {
+        // take → restore into a fresh codec must continue the trajectory
+        // bit-for-bit: this is the contract client virtualization relies on.
+        let d = delta(200);
+        let mut persistent = EfCodec::new(Box::new(TopKCodec), d.len());
+        let _ = persistent.encode(&d, 0.05, &mut rng());
+        let _ = persistent.encode(&d, 0.05, &mut rng());
+
+        let mut first = EfCodec::new(Box::new(TopKCodec), d.len());
+        let _ = first.encode(&d, 0.05, &mut rng());
+        let snapshot = first.take_residual();
+        assert_eq!(snapshot.parts.len(), 1);
+        assert!(first.residual().iter().all(|&v| v == 0.0), "take resets");
+        let mut second = EfCodec::new(Box::new(TopKCodec), d.len());
+        second.restore_residual(snapshot);
+        let wire_resumed = second.encode(&d, 0.05, &mut rng());
+        let wire_straight = {
+            let mut reference = EfCodec::new(Box::new(TopKCodec), d.len());
+            let _ = reference.encode(&d, 0.05, &mut rng());
+            reference.encode(&d, 0.05, &mut rng())
+        };
+        assert_eq!(wire_resumed.as_bytes(), wire_straight.as_bytes());
+        assert!((second.residual_norm() - persistent.residual_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stateless_codecs_snapshot_empty() {
+        let mut codec = TopKCodec;
+        assert!(codec.take_residual().parts.is_empty());
+        codec.restore_residual(ResidualState::empty());
+        let mut composed = ComposedCodec::new(Box::new(TopKCodec), QsgdCodec::new(8));
+        assert!(composed.take_residual().parts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stateless codec")]
+    fn stateless_codecs_reject_nontrivial_snapshots() {
+        TopKCodec.restore_residual(ResidualState {
+            parts: vec![vec![1.0]],
+        });
+    }
+
+    #[test]
+    fn composed_codec_delegates_residual_to_sparsifier() {
+        let d = delta(120);
+        let mut composed = ComposedCodec::new(
+            Box::new(EfCodec::new(Box::new(TopKCodec), d.len())),
+            QsgdCodec::new(8),
+        );
+        let mut stream = rng();
+        let _ = composed.encode(&d, 0.1, &mut stream);
+        let snap = composed.take_residual();
+        assert_eq!(snap.parts.len(), 1);
+        assert!(
+            (composed.residual_norm() - 0.0).abs() < 1e-12,
+            "take resets"
+        );
+        composed.restore_residual(snap);
+        assert!(composed.residual_norm() > 0.0);
     }
 
     #[test]

@@ -23,7 +23,14 @@
 //!   codec per named parameter segment, resolved into a
 //!   [`plan::PlannedCodec`] that frames per-segment payloads into the
 //!   [`wire::KIND_SEGMENTED`] wire kind (uniform plans collapse to the flat
-//!   codec, bit for bit).
+//!   codec, bit for bit);
+//! * [`residual_store::ResidualStore`] — sharded, population-scale
+//!   persistence of error-feedback residuals keyed by client id. Codecs
+//!   snapshot their residuals through
+//!   [`codec::UpdateCodec::take_residual`]/`restore_residual`, so a round
+//!   engine can rebuild a client's codec from scratch on selection and hand
+//!   its carried-over mass back, keeping per-client state O(selected), not
+//!   O(population).
 //!
 //! **The primitives** codecs are built from:
 //!
@@ -44,6 +51,7 @@ pub mod plan;
 pub mod quantize;
 pub mod randk;
 pub mod registry;
+pub mod residual_store;
 pub mod sparse;
 pub mod spec;
 pub mod threshold;
@@ -51,8 +59,8 @@ pub mod topk;
 pub mod wire;
 
 pub use codec::{
-    CodecCtx, ComposedCodec, DenseCodec, EfCodec, QsgdCodec, RandKCodec, ThresholdCodec, TopKCodec,
-    UpdateCodec,
+    CodecCtx, ComposedCodec, DenseCodec, EfCodec, QsgdCodec, RandKCodec, ResidualState,
+    ThresholdCodec, TopKCodec, UpdateCodec,
 };
 pub use compressor::{CompressedUpdate, Compressor};
 pub use downlink::DownlinkChannel;
@@ -61,6 +69,7 @@ pub use plan::{glob_match, LayerPlan, PlanRule, PlannedCodec, SegmentDef};
 pub use quantize::Qsgd;
 pub use randk::RandK;
 pub use registry::{CodecFactory, CodecRegistry};
+pub use residual_store::ResidualStore;
 pub use sparse::SparseUpdate;
 pub use spec::{CodecStage, CompressorSpec, SpecError};
 pub use threshold::Threshold;

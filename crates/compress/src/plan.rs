@@ -33,7 +33,7 @@
 //! round-trip, so they travel through configuration freely without consulting
 //! the registry.
 
-use crate::codec::{CodecCtx, UpdateCodec};
+use crate::codec::{CodecCtx, ResidualState, UpdateCodec};
 use crate::registry::CodecRegistry;
 use crate::spec::{CompressorSpec, SpecError};
 use crate::wire::{encode_segmented, WireUpdate};
@@ -347,6 +347,46 @@ impl UpdateCodec for PlannedCodec {
             .sum::<f64>()
             .sqrt()
     }
+
+    fn take_residual(&mut self) -> ResidualState {
+        // Concatenate every segment codec's parts in layout order; restore
+        // walks the same order, so the flattened list is unambiguous.
+        let mut parts = Vec::new();
+        for seg in &mut self.segments {
+            parts.extend(seg.codec.take_residual().parts);
+        }
+        ResidualState { parts }
+    }
+
+    fn restore_residual(&mut self, state: ResidualState) {
+        if state.parts.is_empty() {
+            return;
+        }
+        let mut remaining = state.parts.into_iter();
+        for seg in &mut self.segments {
+            // Probe how many parts this (freshly built) segment codec owns by
+            // taking its pristine residual state — harmless, since restore
+            // only runs on just-constructed codecs — then feed it that many
+            // parts from the flattened snapshot.
+            let want = seg.codec.take_residual().parts.len();
+            if want == 0 {
+                continue;
+            }
+            let parts: Vec<Vec<f32>> = remaining.by_ref().take(want).collect();
+            assert_eq!(
+                parts.len(),
+                want,
+                "planned codec residual snapshot ran out of parts for segment {}",
+                seg.name
+            );
+            seg.codec.restore_residual(ResidualState { parts });
+        }
+        let leftover = remaining.count();
+        assert_eq!(
+            leftover, 0,
+            "planned codec residual snapshot has {leftover} unconsumed parts"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -558,6 +598,37 @@ mod tests {
         assert!(quant.any_rule_produces_dense());
         let sparse: LayerPlan = "*.bias=dense;*=topk".parse().unwrap();
         assert!(!sparse.any_rule_produces_dense());
+    }
+
+    #[test]
+    fn planned_residual_snapshot_moves_between_instances() {
+        // Two EF segments around a stateless dense one: the flattened
+        // snapshot must carry both parts, in segment order, and restoring it
+        // into a freshly resolved codec must continue the trajectory
+        // bit-for-bit.
+        let plan: LayerPlan = "*.bias=dense;*=ef-topk".parse().unwrap();
+        let registry = CodecRegistry::with_builtins();
+        let layout = segs(&[("a.weight", 100), ("a.bias", 4), ("b.weight", 50)]);
+        let build = || {
+            plan.resolve(&registry, &layout, &CodecCtx::new(154, 5))
+                .unwrap()
+        };
+        let d = delta(154);
+
+        let mut persistent = build();
+        let _ = persistent.encode(&d, 0.05, &mut rng());
+        let second_wire = persistent.encode(&d, 0.05, &mut rng());
+
+        let mut first = build();
+        let _ = first.encode(&d, 0.05, &mut rng());
+        let snap = first.take_residual();
+        assert_eq!(snap.parts.len(), 2, "one part per EF segment");
+        assert_eq!(snap.parts[0].len(), 100);
+        assert_eq!(snap.parts[1].len(), 50);
+        let mut resumed = build();
+        resumed.restore_residual(snap);
+        let resumed_wire = resumed.encode(&d, 0.05, &mut rng());
+        assert_eq!(resumed_wire.as_bytes(), second_wire.as_bytes());
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! A sharded, population-scale store for client error-feedback residuals.
+//!
+//! Error feedback is the only per-client codec state that must persist across
+//! rounds: everything else in a client (model view, data shard, codec
+//! instance) is rebuilt deterministically when the client is selected. Keeping
+//! residuals *outside* the codec instances is what makes client
+//! virtualization possible — a population of 10^6 clients holds residual
+//! vectors only for clients that have actually been selected under an
+//! error-feedback spec and dropped mass, not for everyone.
+//!
+//! The store maps `client id → ResidualState` across a fixed number of
+//! mutex-guarded shards so concurrent round workers checking clients in and
+//! out rarely contend. Trivial (all-zero) snapshots are dropped on `put`, so
+//! populations running stateless codecs cost nothing here.
+
+use crate::codec::ResidualState;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Number of independently locked shards. A power of two so the shard index
+/// is a cheap mask; 64 is far beyond any realistic worker count.
+const SHARDS: usize = 64;
+
+/// Sharded map from client id to that client's persisted error-feedback
+/// [`ResidualState`].
+///
+/// The round engine takes a client's residual out when the client is checked
+/// out for local training (restoring it into the freshly built codec) and
+/// puts the updated residual back at check-in. Clients that were never
+/// selected, or whose codecs are stateless, occupy no memory.
+///
+/// ```
+/// use fl_compress::{ResidualState, ResidualStore};
+///
+/// let store = ResidualStore::new();
+/// store.put(42, ResidualState { parts: vec![vec![0.5, -0.25]] });
+/// assert_eq!(store.len(), 1);
+/// let back = store.take(42).expect("persisted");
+/// assert_eq!(back.parts[0], vec![0.5, -0.25]);
+/// assert!(store.is_empty(), "take removes the entry");
+/// ```
+pub struct ResidualStore {
+    shards: Vec<Mutex<HashMap<u64, ResidualState>>>,
+}
+
+impl ResidualStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, client_id: u64) -> &Mutex<HashMap<u64, ResidualState>> {
+        // Spread sequential ids across shards (they arrive as 0..N).
+        let mixed = client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 58) as usize & (SHARDS - 1)]
+    }
+
+    /// Remove and return `client_id`'s residual, if one is stored.
+    pub fn take(&self, client_id: u64) -> Option<ResidualState> {
+        self.shard(client_id)
+            .lock()
+            .expect("residual store shard poisoned")
+            .remove(&client_id)
+    }
+
+    /// Persist `client_id`'s residual. All-zero (trivial) states are dropped
+    /// instead of stored — they restore identically to a fresh codec — so the
+    /// store only grows with clients that have real carried-over mass.
+    pub fn put(&self, client_id: u64, state: ResidualState) {
+        if state.is_trivial() {
+            return;
+        }
+        self.shard(client_id)
+            .lock()
+            .expect("residual store shard poisoned")
+            .insert(client_id, state);
+    }
+
+    /// Number of clients with a stored residual.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("residual store shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no client has a stored residual.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The L2 norm over every stored residual scalar — a cheap global
+    /// health metric (how much dropped mass the population is carrying).
+    pub fn total_norm(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("residual store shard poisoned")
+                    .values()
+                    .map(|r| r.l2_norm().powi(2))
+                    .sum::<f64>()
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Default for ResidualStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(vals: &[f32]) -> ResidualState {
+        ResidualState {
+            parts: vec![vals.to_vec()],
+        }
+    }
+
+    #[test]
+    fn take_of_missing_client_is_none() {
+        let store = ResidualStore::new();
+        assert!(store.take(7).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn put_then_take_roundtrips_and_removes() {
+        let store = ResidualStore::new();
+        store.put(3, state(&[1.0, -2.0]));
+        store.put(900_000, state(&[0.5]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.take(3).unwrap(), state(&[1.0, -2.0]));
+        assert_eq!(store.len(), 1);
+        assert!(store.take(3).is_none(), "take removes");
+        assert_eq!(store.take(900_000).unwrap(), state(&[0.5]));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn trivial_states_are_not_stored() {
+        let store = ResidualStore::new();
+        store.put(1, ResidualState::empty());
+        store.put(2, state(&[0.0, 0.0, 0.0]));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn total_norm_accumulates_across_clients() {
+        let store = ResidualStore::new();
+        store.put(1, state(&[3.0]));
+        store.put(2, state(&[4.0]));
+        assert!((store.total_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_puts_and_takes_are_safe() {
+        let store = ResidualStore::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        let id = t * 1000 + i;
+                        store.put(id, state(&[id as f32 + 1.0]));
+                        assert_eq!(store.take(id).unwrap(), state(&[id as f32 + 1.0]));
+                    }
+                });
+            }
+        });
+        assert!(store.is_empty());
+    }
+}

@@ -5,7 +5,8 @@
 use crate::config::{ExperimentConfig, ModelPreset};
 use crate::policy::resolve_codec_spec;
 use fl_compress::{
-    CodecCtx, CodecRegistry, CompressedUpdate, SegmentDef, UpdateCodec, WireError, WireUpdate,
+    CodecCtx, CodecRegistry, CompressedUpdate, ResidualState, SegmentDef, UpdateCodec, WireError,
+    WireUpdate,
 };
 use fl_data::{BatchLoader, Dataset};
 use fl_nn::{
@@ -183,6 +184,26 @@ impl ClientState {
     /// Current L2 norm of the codec's residual state (0 for stateless codecs).
     pub fn residual_norm(&self) -> f64 {
         self.codec.residual_norm()
+    }
+
+    /// Take the codec's residual snapshot, resetting it to zero — the
+    /// check-in half of the [`crate::roster::ClientRoster`] seam. Stateless
+    /// codecs return an empty (trivial) snapshot.
+    pub fn take_residual(&mut self) -> ResidualState {
+        self.codec.take_residual()
+    }
+
+    /// Restore a residual snapshot taken from an earlier instance of this
+    /// client's codec — the checkout half of the
+    /// [`crate::roster::ClientRoster`] seam. An empty snapshot is a no-op.
+    pub fn restore_residual(&mut self, state: ResidualState) {
+        self.codec.restore_residual(state);
+    }
+
+    /// Consume the client, returning its (advanced) RNG stream so a roster
+    /// can persist it across rounds while the rest of the state is dropped.
+    pub fn into_rng(self) -> Xoshiro256 {
+        self.rng
     }
 }
 

@@ -29,19 +29,32 @@
 //! # The round engine
 //!
 //! Under the hood every experiment is a [`session::FederatedSession`]: the
-//! long-lived state (clients, links, global parameters, RNG streams, time
-//! accumulators) built by [`session::SessionBuilder`], advanced one round at
-//! a time through the explicit stages of [`round`]
-//! (`select → local → aggregate → timing → eval`). Three policy seams make
-//! the engine pluggable without touching the loop ([`policy`]):
+//! long-lived state (the client roster, links, global parameters, RNG
+//! streams, time accumulators) built by [`session::SessionBuilder`],
+//! advanced one round at a time through the explicit stages of [`round`]
+//! (`select → downlink → local → aggregate → timing → eval`). Three policy
+//! seams make the engine pluggable without touching the loop ([`policy`]):
 //!
 //! * [`policy::ClientSelector`] — uniform sampling (paper) or
 //!   availability/dropout-aware selection;
 //! * [`policy::RatioPolicy`] — a uniform ratio or the BCRS scheduler;
 //! * [`policy::ServerOpt`] — plain SGD update (paper) or server momentum.
 //!
+//! # Population scale
+//!
+//! Clients are virtualized ([`roster::ClientRoster`]): only each client's
+//! persistent state — its RNG stream and error-feedback residual, parked in
+//! a sharded `fl_compress::ResidualStore` — survives between rounds, and a
+//! full `ClientState` is materialised per *selected* client per round, so
+//! peak client memory is O(cohort) rather than O(population). The
+//! [`aggregate`] tree reduces cohorts in fixed 32-client shards whose
+//! partial sums merge in a fixed order, keeping records bit-identical
+//! across thread counts. Populations of 10^5–10^6 clients are practical;
+//! see the repository's ARCHITECTURE.md and the `fig12_scale` harness.
+//!
 //! Whole experiment grids run in parallel with shared dataset generation via
-//! [`sweep::run_sweep`] / [`sweep::SweepGrid`].
+//! [`sweep::run_sweep`] / [`sweep::SweepGrid`] (population is a grid axis:
+//! [`sweep::SweepGrid::client_counts`]).
 
 pub mod aggregate;
 pub mod algorithm;
@@ -52,6 +65,7 @@ pub mod eval;
 pub mod opwa;
 pub mod overlap;
 pub mod policy;
+pub mod roster;
 pub mod round;
 pub mod runner;
 pub mod session;
@@ -68,6 +82,7 @@ pub use policy::{
     MomentumServer, RatioCtx, RatioDecision, RatioPolicy, SelectionCtx, ServerOpt, SgdServer,
     UniformRatio, UniformSelector,
 };
+pub use roster::ClientRoster;
 pub use round::RoundOutput;
 pub use runner::{run_experiment, ExperimentResult, LayerBytes, RoundRecord};
 pub use session::{FederatedSession, SessionBuilder};

@@ -58,6 +58,13 @@ pub trait ClientSelector: Send {
 
 /// The paper's selector: `cohort_size` clients uniformly at random without
 /// replacement (Alg. 1 line 3).
+///
+/// Cost at population scale: one partial Fisher–Yates over an index vector,
+/// i.e. O(N) time and memory per round. At the N = 10^5–10^6 populations the
+/// virtualized [`crate::roster::ClientRoster`] supports this is a single
+/// `usize` vector — negligible next to client training, and nothing about
+/// the draw instantiates client state (only the `cohort_size` *selected*
+/// clients are ever materialised).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct UniformSelector;
 
@@ -79,6 +86,9 @@ impl ClientSelector for UniformSelector {
 /// fell back to a *full* target-size cohort, i.e. the rounds where the most
 /// clients were down were the ones with the largest cohorts, and downstream
 /// per-client averages were computed over clients that never participated.
+///
+/// Like [`UniformSelector`] this is O(N) per round (one availability draw
+/// per client), which stays cheap even at roster-scale populations.
 #[derive(Clone, Copy, Debug)]
 pub struct AvailabilitySelector {
     /// Per-round, per-client probability of being unavailable, in `[0, 1)`.

@@ -1,0 +1,279 @@
+//! Virtualized client population: lazy [`ClientState`] construction keyed by
+//! client id, so a session over 10^5–10^6 clients instantiates only the
+//! selected cohort each round.
+//!
+//! The legacy engine materialized every client's [`ClientState`] — model
+//! replica, data shard, codec instance — up front, making session memory
+//! O(population). But almost none of that state actually persists across
+//! rounds: a client entering a round overwrites its model replica from the
+//! broadcast parameters, rebuilds its optimizer, and re-reads its immutable
+//! data shard. Only two things carry over:
+//!
+//! 1. **the client's RNG stream** (batch shuffling, Rand-K draws, QSGD
+//!    rounding) — tiny: four `u64`s per client;
+//! 2. **error-feedback residuals** — stored in a sharded
+//!    [`fl_compress::ResidualStore`] keyed by client id, populated only for
+//!    clients that have been selected under an EF codec and carried mass.
+//!
+//! [`ClientRoster`] keeps exactly those two, plus the shared immutable
+//! inputs (training data, partitions, config, codec registry), and
+//! materializes a full [`ClientState`] on demand:
+//!
+//! * [`checkout`](ClientRoster::checkout) builds the client — dataset shard
+//!   from its partition, model from the experiment seed, codec from the
+//!   registry — hands it its persistent RNG stream and restores any stored
+//!   residual;
+//! * [`checkin`](ClientRoster::checkin) takes the (advanced) stream and the
+//!   codec's residual snapshot back and drops everything else.
+//!
+//! Because [`ClientState`] construction draws nothing from the client's own
+//! stream, a checkout/train/checkin cycle replays the exact draw sequence of
+//! a permanently resident client: the virtualized engine's records are
+//! bit-identical to the eager engine's.
+//!
+//! The roster also counts instantiations (see
+//! [`round_instantiated`](ClientRoster::round_instantiated) and
+//! [`peak_resident`](ClientRoster::peak_resident)) so tests and the scaling
+//! harness can assert the O(cohort) property instead of trusting it.
+
+use crate::client::ClientState;
+use crate::config::ExperimentConfig;
+use fl_compress::{CodecRegistry, ResidualStore};
+use fl_data::{ClientPartition, Dataset};
+use fl_tensor::rng::Xoshiro256;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The persistent, population-wide client substrate of a
+/// [`crate::session::FederatedSession`]: per-client RNG streams, the
+/// error-feedback [`ResidualStore`], and everything needed to rebuild a
+/// [`ClientState`] deterministically when its id is selected.
+pub struct ClientRoster {
+    train: Arc<Dataset>,
+    partitions: Arc<Vec<ClientPartition>>,
+    config: ExperimentConfig,
+    registry: CodecRegistry,
+    /// One persistent RNG stream per client, forked from the session's client
+    /// root in id order at build time (the same fork loop — and therefore the
+    /// same streams — as the legacy eager construction).
+    streams: Vec<Mutex<Xoshiro256>>,
+    residuals: ResidualStore,
+    resident: AtomicUsize,
+    peak_resident: AtomicUsize,
+    round_instantiated: AtomicUsize,
+    total_instantiated: AtomicUsize,
+}
+
+impl ClientRoster {
+    /// Build the roster for a population. `root_rng` is the session's client
+    /// root stream (`seed ^ 0xC11E`); each client's persistent stream is
+    /// forked from it in partition order, exactly as the eager engine did.
+    pub fn new(
+        train: Arc<Dataset>,
+        partitions: Arc<Vec<ClientPartition>>,
+        config: ExperimentConfig,
+        registry: CodecRegistry,
+        root_rng: &mut Xoshiro256,
+    ) -> Self {
+        let streams = partitions
+            .iter()
+            .map(|p| Mutex::new(root_rng.fork(p.client_id as u64)))
+            .collect();
+        Self {
+            train,
+            partitions,
+            config,
+            registry,
+            streams,
+            residuals: ResidualStore::new(),
+            resident: AtomicUsize::new(0),
+            peak_resident: AtomicUsize::new(0),
+            round_instantiated: AtomicUsize::new(0),
+            total_instantiated: AtomicUsize::new(0),
+        }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True for an empty population (never the case in a valid session).
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Materialise client `id` for one round of work: build its
+    /// [`ClientState`] from the shared inputs, hand it its persistent RNG
+    /// stream and restore its stored error-feedback residual (if any).
+    ///
+    /// Every checkout must be paired with a [`checkin`](Self::checkin);
+    /// checking the same id out twice concurrently would fork its stream and
+    /// is a caller bug (cohorts are selected without replacement).
+    pub fn checkout(&self, id: usize) -> ClientState {
+        let stream = self.streams[id].lock().clone();
+        let local = self.partitions[id].dataset(&self.train);
+        let mut client =
+            ClientState::with_registry(id, local, &self.config, stream, &self.registry);
+        if let Some(state) = self.residuals.take(id as u64) {
+            client.restore_residual(state);
+        }
+        let resident = self.resident.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_resident.fetch_max(resident, Ordering::SeqCst);
+        self.round_instantiated.fetch_add(1, Ordering::SeqCst);
+        self.total_instantiated.fetch_add(1, Ordering::SeqCst);
+        client
+    }
+
+    /// Return a client after its round of work: persist the codec's residual
+    /// snapshot into the store (all-zero snapshots are dropped), write the
+    /// advanced RNG stream back, and drop the rest of the state.
+    pub fn checkin(&self, mut client: ClientState) {
+        let id = client.id;
+        self.residuals.put(id as u64, client.take_residual());
+        *self.streams[id].lock() = client.into_rng();
+        self.resident.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Number of `ClientState`s currently checked out (resident in memory).
+    pub fn resident(&self) -> usize {
+        self.resident.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of concurrently resident `ClientState`s over the
+    /// session's lifetime — bounded by the worker-thread count, never the
+    /// population.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident.load(Ordering::SeqCst)
+    }
+
+    /// Number of checkouts since the last
+    /// [`begin_round`](Self::begin_round) — equal to the cohort size after a
+    /// round completes (each selected client is instantiated exactly once).
+    pub fn round_instantiated(&self) -> usize {
+        self.round_instantiated.load(Ordering::SeqCst)
+    }
+
+    /// Total checkouts over the session's lifetime.
+    pub fn total_instantiated(&self) -> usize {
+        self.total_instantiated.load(Ordering::SeqCst)
+    }
+
+    /// Reset the per-round instantiation counter (called by the round engine
+    /// at the start of each local phase).
+    pub fn begin_round(&self) {
+        self.round_instantiated.store(0, Ordering::SeqCst);
+    }
+
+    /// Number of clients with a stored error-feedback residual.
+    pub fn residual_clients(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// L2 norm over every stored residual scalar (the population's total
+    /// carried-over compression error).
+    pub fn residual_total_norm(&self) -> f64 {
+        self.residuals.total_norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+    use fl_data::dirichlet_partition;
+    use fl_nn::flatten_params;
+
+    fn build_roster(algorithm: Algorithm, num_clients: usize) -> (ClientRoster, Vec<f32>) {
+        let mut config = ExperimentConfig::quick(algorithm);
+        config.num_clients = num_clients;
+        let (train, _) = config
+            .dataset
+            .spec(config.dataset_scale)
+            .generate(config.seed);
+        let train = Arc::new(train);
+        let partitions = Arc::new(dirichlet_partition(
+            &train,
+            config.num_clients,
+            config.beta,
+            2,
+            config.seed ^ 0xD1A1,
+        ));
+        let mut model_rng = Xoshiro256::new(config.seed);
+        let model = crate::client::build_model(
+            &config.model,
+            train.feature_dim(),
+            train.num_classes(),
+            &mut model_rng,
+        );
+        let global = flatten_params(&model);
+        let mut root_rng = Xoshiro256::new(config.seed ^ 0xC11E);
+        let roster = ClientRoster::new(
+            train,
+            partitions,
+            config,
+            CodecRegistry::with_builtins(),
+            &mut root_rng,
+        );
+        (roster, global)
+    }
+
+    #[test]
+    fn checkout_checkin_replays_a_resident_client_exactly() {
+        // Two checkout/train/encode/checkin cycles of the same client must
+        // produce the same wire bytes as one client living through both
+        // rounds — stream handback and residual persistence are exact.
+        let (roster, global) = build_roster(Algorithm::EfTopK, 4);
+        let mut resident = roster.checkout(1);
+        let mut resident_wires = Vec::new();
+        for _ in 0..2 {
+            let out = resident.local_update(&global);
+            resident_wires.push(resident.encode(&out.delta, 0.05).as_bytes().to_vec());
+        }
+        drop(resident); // never checked in: the roster's stream is untouched
+
+        let (roster2, _) = build_roster(Algorithm::EfTopK, 4);
+        for expected in &resident_wires {
+            let mut client = roster2.checkout(1);
+            let out = client.local_update(&global);
+            let wire = client.encode(&out.delta, 0.05);
+            assert_eq!(wire.as_bytes(), expected.as_slice());
+            roster2.checkin(client);
+        }
+        assert_eq!(roster2.residual_clients(), 1, "EF residual persisted");
+        assert!(roster2.residual_total_norm() > 0.0);
+    }
+
+    #[test]
+    fn counters_track_residency_and_instantiation() {
+        let (roster, _) = build_roster(Algorithm::TopK, 4);
+        roster.begin_round();
+        let a = roster.checkout(0);
+        let b = roster.checkout(2);
+        assert_eq!(roster.resident(), 2);
+        roster.checkin(a);
+        roster.checkin(b);
+        assert_eq!(roster.resident(), 0);
+        assert_eq!(roster.peak_resident(), 2);
+        assert_eq!(roster.round_instantiated(), 2);
+        roster.begin_round();
+        assert_eq!(roster.round_instantiated(), 0);
+        assert_eq!(roster.total_instantiated(), 2);
+        assert_eq!(roster.residual_clients(), 0, "top-k stores no residual");
+    }
+
+    #[test]
+    fn streams_are_the_legacy_fork_sequence() {
+        // The roster forks client streams exactly like the eager engine:
+        // root.fork(0), root.fork(1), … in partition order.
+        let (roster, _) = build_roster(Algorithm::TopK, 3);
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.num_clients = 3;
+        let mut root = Xoshiro256::new(config.seed ^ 0xC11E);
+        for id in 0..3 {
+            let expected = root.fork(id as u64);
+            assert_eq!(*roster.streams[id as usize].lock(), expected);
+        }
+    }
+}

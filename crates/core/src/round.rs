@@ -22,7 +22,9 @@
 //! [`FederatedSession::run_round`] threads the stage outputs through in
 //! order and returns a [`RoundOutput`].
 
-use crate::aggregate::{aggregate_compressed, aggregate_sparse, data_fractions};
+use crate::aggregate::{
+    aggregate_compressed_sharded, aggregate_sparse_sharded, data_fractions_or_uniform,
+};
 use crate::bcrs::BcrsSchedule;
 use crate::eval::{evaluate, Evaluation};
 use crate::opwa::OpwaMask;
@@ -196,9 +198,14 @@ impl FederatedSession {
             Some(channel) => channel.view(),
             None => &self.global_params,
         };
-        let clients_ref = &self.clients;
+        // Each selected client is materialized from the roster only for its
+        // own train/encode/decode slice of the round and checked back in
+        // immediately, so at most `threads` full `ClientState`s exist at any
+        // instant — the cohort streams through, the population never loads.
+        let roster = &self.roster;
+        roster.begin_round();
         let outputs = parallel_map(work, self.threads, move |(client_idx, ratio)| {
-            let mut client = clients_ref[client_idx].lock();
+            let mut client = roster.checkout(client_idx);
             let train_out = client.local_update(global_ref);
             let c_start = std::time::Instant::now();
             let wire = client.encode(&train_out.delta, ratio);
@@ -208,6 +215,7 @@ impl FederatedSession {
                 .decode(&wire)
                 .expect("a codec must decode its own encoding");
             let compress_time = c_start.elapsed().as_secs_f64();
+            roster.checkin(client);
             (train_out, update, wire_len, seg_lens, compress_time)
         });
 
@@ -260,8 +268,17 @@ impl FederatedSession {
     /// the global parameters. Overlap analysis and OPWA apply when the whole
     /// cohort decoded to sparse updates (quantized codecs retain every
     /// coordinate, so overlap degrees are not defined for them).
+    ///
+    /// Aggregation reduces over a fixed-shard tree
+    /// ([`crate::aggregate::AGG_SHARD`] clients per shard): shard partials
+    /// compute in parallel and merge in shard order, so the result is
+    /// invariant to the thread count and — for cohorts of at most one shard —
+    /// bit-identical to the legacy serial fold.
     fn aggregate_phase(&mut self, local: &LocalPhase) -> AggregatePhase {
-        let fractions = data_fractions(&local.sample_counts);
+        // At population scale whole cohorts can own zero samples (bounded
+        // synthetic dataset, 10^5+ clients); they fall back to uniform
+        // weights instead of 0/0.
+        let fractions = data_fractions_or_uniform(&local.sample_counts);
         let coefficients: Vec<f64> =
             match (&local.schedule, self.config.disable_coefficient_adjustment) {
                 (Some(s), false) => s.adjusted_coefficients(&fractions, self.config.alpha),
@@ -288,11 +305,15 @@ impl FederatedSession {
             } else {
                 None
             };
-            let aggregated = aggregate_sparse(&sparse_refs, &coefficients, mask.as_ref());
+            let aggregated =
+                aggregate_sparse_sharded(&sparse_refs, &coefficients, mask.as_ref(), self.threads);
             (overlap, aggregated)
         } else {
             let refs: Vec<&CompressedUpdate> = local.updates.iter().collect();
-            (None, aggregate_compressed(&refs, &coefficients, None))
+            (
+                None,
+                aggregate_compressed_sharded(&refs, &coefficients, None, self.threads),
+            )
         };
         self.server_opt
             .apply(&mut self.global_params, &aggregated, self.config.server_lr);

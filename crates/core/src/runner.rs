@@ -3,7 +3,7 @@
 //! The round-by-round mechanics live in the [`crate::session`] /
 //! [`crate::round`] engine; this module keeps the stable public surface —
 //! [`run_experiment`], the per-round [`RoundRecord`] and the aggregate
-//! [`ExperimentResult`] — as thin wrappers over a [`FederatedSession`] built
+//! [`ExperimentResult`] — as thin wrappers over a [`crate::session::FederatedSession`] built
 //! with the configuration's default policies.
 
 use crate::client::build_model;

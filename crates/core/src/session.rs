@@ -21,13 +21,14 @@
 //! assert_eq!(result.records.len(), 2);
 //! ```
 
-use crate::client::{build_model, ClientState};
+use crate::client::build_model;
 use crate::config::ExperimentConfig;
 use crate::eval::Evaluation;
 use crate::policy::{
     default_ratio_policy, default_selector, default_server_opt, ClientSelector, RatioPolicy,
     ServerOpt,
 };
+use crate::roster::ClientRoster;
 use crate::runner::{ExperimentResult, RoundRecord};
 use fl_compress::{CodecCtx, CodecRegistry, DownlinkChannel};
 use fl_data::{dirichlet_partition, Dataset, PartitionStats};
@@ -35,7 +36,6 @@ use fl_netsim::{CommModel, Link, RoundBreakdown, TimeAccumulator};
 use fl_nn::{flatten_params, ParamLayout, Sequential};
 use fl_tensor::parallel::default_threads;
 use fl_tensor::rng::Xoshiro256;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Builds a [`FederatedSession`] from a configuration, optionally overriding
@@ -137,8 +137,16 @@ impl SessionBuilder {
                 (Arc::new(train), Arc::new(test))
             }
         };
-        let min_samples =
-            (config.batch_size / 4).clamp(2, (train.len() / config.num_clients).max(1));
+        // Guarantee every client a fraction of a batch — until the population
+        // outgrows the dataset (train.len()/N < 2), where forcing a floor is
+        // impossible and `min_samples = 0` lets the raw Dirichlet draw stand
+        // (clients may legitimately own zero samples at 10^5+ clients).
+        let per_client_cap = (train.len() / config.num_clients).max(1);
+        let min_samples = if per_client_cap < 2 {
+            0
+        } else {
+            (config.batch_size / 4).clamp(2, per_client_cap)
+        };
         let partitions = dirichlet_partition(
             &train,
             config.num_clients,
@@ -162,21 +170,19 @@ impl SessionBuilder {
         let layout = ParamLayout::of(&global_model);
 
         // --- Clients and network ----------------------------------------------
+        // Clients are virtualized: the roster keeps only each client's
+        // persistent RNG stream (forked here, in the same order the eager
+        // engine used) plus the shared inputs, and materializes a full
+        // `ClientState` per selected client per round. Peak client memory is
+        // O(cohort), not O(population).
         let mut root_rng = Xoshiro256::new(config.seed ^ 0xC11E);
-        let clients: Vec<Mutex<ClientState>> = partitions
-            .iter()
-            .map(|p| {
-                let local = p.dataset(&train);
-                let client_rng = root_rng.fork(p.client_id as u64);
-                Mutex::new(ClientState::with_registry(
-                    p.client_id,
-                    local,
-                    &config,
-                    client_rng,
-                    &registry,
-                ))
-            })
-            .collect();
+        let roster = ClientRoster::new(
+            Arc::clone(&train),
+            Arc::new(partitions),
+            config.clone(),
+            registry.clone(),
+            &mut root_rng,
+        );
         let links: Vec<Link> = config
             .links
             .generate(config.num_clients, config.seed ^ 0x11C5);
@@ -218,7 +224,7 @@ impl SessionBuilder {
             config,
             test,
             partition_stats,
-            clients,
+            roster,
             links,
             comm,
             global_model,
@@ -254,7 +260,7 @@ pub struct FederatedSession {
     pub(crate) config: ExperimentConfig,
     pub(crate) test: Arc<Dataset>,
     pub(crate) partition_stats: PartitionStats,
-    pub(crate) clients: Vec<Mutex<ClientState>>,
+    pub(crate) roster: ClientRoster,
     pub(crate) links: Vec<Link>,
     pub(crate) comm: CommModel,
     pub(crate) global_model: Sequential,
@@ -334,6 +340,14 @@ impl FederatedSession {
             Some(channel) => channel.view(),
             None => &self.global_params,
         }
+    }
+
+    /// The virtualized client population behind this session: checkout
+    /// counters, residency high-water marks and the error-feedback residual
+    /// store (see [`ClientRoster`]). The scaling harness and the O(cohort)
+    /// memory tests read their evidence from here.
+    pub fn roster(&self) -> &ClientRoster {
+        &self.roster
     }
 
     /// L2 norm of the downlink codec's server-side residual state (0 when no

@@ -114,6 +114,7 @@ pub fn run_sweep(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
 #[derive(Clone, Debug)]
 pub struct SweepGrid {
     base: ExperimentConfig,
+    client_counts: Vec<usize>,
     datasets: Vec<DatasetPreset>,
     betas: Vec<f64>,
     compression_ratios: Vec<f64>,
@@ -128,6 +129,7 @@ impl SweepGrid {
     /// A single-point grid at the base configuration.
     pub fn new(base: ExperimentConfig) -> Self {
         Self {
+            client_counts: vec![base.num_clients],
             datasets: vec![base.dataset],
             betas: vec![base.beta],
             compression_ratios: vec![base.compression_ratio],
@@ -138,6 +140,16 @@ impl SweepGrid {
             seeds: vec![base.seed],
             base,
         }
+    }
+
+    /// Sweep over these population sizes `N` (each becomes the
+    /// configuration's `num_clients`; `participation` stays at the base
+    /// value, so the cohort grows with `N`). The outermost axis: the session
+    /// roster virtualizes client state, so grids over 10^5+ clients cost
+    /// O(population) only in partition bookkeeping, not client state.
+    pub fn client_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.client_counts = counts.into_iter().collect();
+        self
     }
 
     /// Sweep over these datasets.
@@ -220,7 +232,8 @@ impl SweepGrid {
 
     /// Number of configurations in the grid.
     pub fn len(&self) -> usize {
-        self.datasets.len()
+        self.client_counts.len()
+            * self.datasets.len()
             * self.betas.len()
             * self.compression_ratios.len()
             * self.algorithms.len()
@@ -235,29 +248,32 @@ impl SweepGrid {
         self.len() == 0
     }
 
-    /// Materialise the grid, nested dataset → β → ratio → algorithm → codec →
-    /// layer plan → downlink codec → seed (the paper's table ordering, with
-    /// codecs and plans as extra rows).
+    /// Materialise the grid, nested population → dataset → β → ratio →
+    /// algorithm → codec → layer plan → downlink codec → seed (the paper's
+    /// table ordering, with populations, codecs and plans as extra rows).
     pub fn configs(&self) -> Vec<ExperimentConfig> {
         let mut out = Vec::with_capacity(self.len());
-        for &dataset in &self.datasets {
-            for &beta in &self.betas {
-                for &compression_ratio in &self.compression_ratios {
-                    for &algorithm in &self.algorithms {
-                        for compressor in &self.compressors {
-                            for plan in &self.layer_plans {
-                                for downlink in &self.downlink_compressors {
-                                    for &seed in &self.seeds {
-                                        let mut c = self.base.clone();
-                                        c.dataset = dataset;
-                                        c.beta = beta;
-                                        c.compression_ratio = compression_ratio;
-                                        c.algorithm = algorithm;
-                                        c.compressor = compressor.clone();
-                                        c.layer_compressors = plan.clone();
-                                        c.downlink_compressor = downlink.clone();
-                                        c.seed = seed;
-                                        out.push(c);
+        for &num_clients in &self.client_counts {
+            for &dataset in &self.datasets {
+                for &beta in &self.betas {
+                    for &compression_ratio in &self.compression_ratios {
+                        for &algorithm in &self.algorithms {
+                            for compressor in &self.compressors {
+                                for plan in &self.layer_plans {
+                                    for downlink in &self.downlink_compressors {
+                                        for &seed in &self.seeds {
+                                            let mut c = self.base.clone();
+                                            c.num_clients = num_clients;
+                                            c.dataset = dataset;
+                                            c.beta = beta;
+                                            c.compression_ratio = compression_ratio;
+                                            c.algorithm = algorithm;
+                                            c.compressor = compressor.clone();
+                                            c.layer_compressors = plan.clone();
+                                            c.downlink_compressor = downlink.clone();
+                                            c.seed = seed;
+                                            out.push(c);
+                                        }
                                     }
                                 }
                             }
@@ -303,6 +319,28 @@ mod tests {
         assert_eq!(configs[1].algorithm, Algorithm::TopK);
         assert_eq!(configs[2].compression_ratio, 0.01);
         assert_eq!(configs[4].beta, 0.5);
+    }
+
+    #[test]
+    fn client_count_axis_is_the_outermost_loop() {
+        let grid = SweepGrid::new(quick_base())
+            .client_counts([10, 1_000])
+            .algorithms([Algorithm::FedAvg, Algorithm::TopK]);
+        assert_eq!(grid.len(), 4);
+        let configs = grid.configs();
+        assert_eq!(configs[0].num_clients, 10);
+        assert_eq!(configs[1].num_clients, 10);
+        assert_eq!(configs[2].num_clients, 1_000);
+        assert_eq!(configs[2].algorithm, Algorithm::FedAvg);
+        assert_eq!(configs[3].algorithm, Algorithm::TopK);
+        // Participation is untouched, so the cohort scales with N.
+        assert_eq!(configs[0].participation, configs[2].participation);
+        assert!(configs.iter().all(|c| c.validate().is_ok()));
+        // The default grid keeps the base population.
+        assert_eq!(
+            SweepGrid::new(quick_base()).configs()[0].num_clients,
+            quick_base().num_clients
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Probability distributions built on top of the [`Rng`](crate::rng::Rng) trait.
+//! Probability distributions built on top of the [`Rng`] trait.
 //!
 //! The simulator needs: Uniform and Normal draws for the network model
 //! (bandwidth ~ N(1 Mbit/s, 0.2), latency ~ U(50 ms, 200 ms]), Gamma/Dirichlet

@@ -72,6 +72,36 @@ where
         .collect()
 }
 
+/// Evaluate `f(start, end)` over fixed-size shards `[0, s)`, `[s, 2s)`, …
+/// covering `0..len`, possibly in parallel, and return the per-shard results
+/// **in shard order**.
+///
+/// Unlike [`parallel_chunks`], the shard boundaries depend only on
+/// `shard_size` — never on the thread count — so a reduction that folds
+/// within each shard and then merges the returned partials left to right
+/// produces bit-identical results on any machine. This is the primitive the
+/// round engine's sharded aggregation tree is built on: floating-point
+/// accumulation is non-associative, so determinism requires the *reduction
+/// shape*, not just the item order, to be fixed.
+///
+/// `len == 0` returns an empty vector. Panics if `shard_size == 0`.
+pub fn parallel_fixed_shards<A, F>(
+    len: usize,
+    shard_size: usize,
+    max_threads: usize,
+    f: F,
+) -> Vec<A>
+where
+    A: Send,
+    F: Fn(usize, usize) -> A + Sync,
+{
+    assert!(shard_size > 0, "shard_size must be positive");
+    let bounds: Vec<(usize, usize)> = (0..len.div_ceil(shard_size))
+        .map(|s| (s * shard_size, ((s + 1) * shard_size).min(len)))
+        .collect();
+    parallel_map(bounds, max_threads, |(start, end)| f(start, end))
+}
+
 /// Run `f(start, end)` over disjoint index ranges covering `0..len`, possibly
 /// in parallel. Useful for chunked in-place updates where the caller handles
 /// the split of mutable state.
@@ -123,6 +153,32 @@ mod tests {
         let empty: Vec<usize> = vec![];
         assert!(parallel_map(empty, 4, |x| x).is_empty());
         assert_eq!(parallel_map(vec![7], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn fixed_shards_are_thread_count_invariant() {
+        // The shard boundaries must depend only on the shard size: the same
+        // (start, end) pairs come back in the same order for any thread cap.
+        let reference = parallel_fixed_shards(103, 32, 1, |s, e| (s, e));
+        assert_eq!(reference, vec![(0, 32), (32, 64), (64, 96), (96, 103)]);
+        for threads in [2, 4, 16] {
+            assert_eq!(
+                parallel_fixed_shards(103, 32, threads, |s, e| (s, e)),
+                reference
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_shards_empty_and_single() {
+        assert!(parallel_fixed_shards(0, 32, 4, |s, e| (s, e)).is_empty());
+        assert_eq!(parallel_fixed_shards(5, 32, 4, |s, e| (s, e)), vec![(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fixed_shards_reject_zero_shard_size() {
+        parallel_fixed_shards(10, 0, 1, |s, e| (s, e));
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl Rng for SplitMix64 {
 }
 
 /// xoshiro256** — the workhorse generator for data and simulation sampling.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares the full generator state: two equal streams produce
+/// the same draw sequence forever (used by the session roster's stream
+/// handback tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Xoshiro256 {
     s: [u64; 4],
 }

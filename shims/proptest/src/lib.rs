@@ -135,7 +135,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Number of elements a [`vec`] strategy may produce.
+    /// Number of elements a [`vec()`] strategy may produce.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -101,17 +101,18 @@ pub use fl_tensor as tensor;
 pub mod prelude {
     pub use fl_compress::{
         CodecCtx, CodecRegistry, CodecStage, CompressedUpdate, Compressor, CompressorSpec,
-        DownlinkChannel, ErrorFeedback, LayerPlan, PlanRule, PlannedCodec, Qsgd, RandK, SegmentDef,
-        SparseUpdate, SpecError, Threshold, TopK, UpdateCodec, WireError, WireUpdate,
+        DownlinkChannel, ErrorFeedback, LayerPlan, PlanRule, PlannedCodec, Qsgd, RandK,
+        ResidualState, ResidualStore, SegmentDef, SparseUpdate, SpecError, Threshold, TopK,
+        UpdateCodec, WireError, WireUpdate,
     };
     pub use fl_core::runner::{evaluate_params, run_experiment_with, stream_experiment};
     pub use fl_core::{
         default_codec_spec, resolve_codec_spec, run_experiment, run_sweep, run_sweep_threaded,
         segment_defs, Algorithm, AvailabilitySelector, BcrsRatioPolicy, BcrsSchedule,
-        BcrsScheduler, ClientSelector, ExperimentConfig, ExperimentResult, FederatedSession,
-        LayerBytes, ModelPreset, MomentumServer, OpwaMask, OverlapCounts, OverlapStats,
-        RatioDecision, RatioPolicy, RoundOutput, RoundRecord, ServerOpt, SessionBuilder, SgdServer,
-        SweepGrid, UniformRatio, UniformSelector,
+        BcrsScheduler, ClientRoster, ClientSelector, ExperimentConfig, ExperimentResult,
+        FederatedSession, LayerBytes, ModelPreset, MomentumServer, OpwaMask, OverlapCounts,
+        OverlapStats, RatioDecision, RatioPolicy, RoundOutput, RoundRecord, ServerOpt,
+        SessionBuilder, SgdServer, SweepGrid, UniformRatio, UniformSelector,
     };
     pub use fl_data::{
         dirichlet_partition, BatchLoader, ClientPartition, Dataset, DatasetPreset, PartitionStats,

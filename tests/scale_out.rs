@@ -1,0 +1,175 @@
+//! Scale-out guarantees of the virtualized round engine: the sharded
+//! aggregation tree is thread-count invariant for every algorithm, client
+//! instantiation is O(cohort) — not O(population) — at 10^5 clients, and
+//! error-feedback residuals survive in the roster's store across
+//! non-consecutive selections.
+
+use bwfl::core::policy::SelectionCtx;
+use bwfl::prelude::*;
+
+fn quick(algorithm: Algorithm) -> ExperimentConfig {
+    let mut c = ExperimentConfig::quick(algorithm);
+    c.rounds = 3;
+    c
+}
+
+const ALL_ALGORITHMS: [Algorithm; 7] = [
+    Algorithm::FedAvg,
+    Algorithm::TopK,
+    Algorithm::EfTopK,
+    Algorithm::RandK,
+    Algorithm::TopKOpwa,
+    Algorithm::Bcrs,
+    Algorithm::BcrsOpwa,
+];
+
+#[test]
+fn records_are_thread_count_invariant_for_every_algorithm() {
+    // The fixed-shard aggregation tree must make every algorithm's records —
+    // losses, accuracies, byte counts, timings, all of it — bit-identical
+    // between a serial and a heavily threaded run.
+    for algorithm in ALL_ALGORITHMS {
+        let mut config = quick(algorithm);
+        config.num_clients = 16;
+        let serial = SessionBuilder::from_config(&config)
+            .threads(1)
+            .build()
+            .run();
+        let threaded = SessionBuilder::from_config(&config)
+            .threads(8)
+            .build()
+            .run();
+        assert_eq!(
+            serial.records,
+            threaded.records,
+            "{} diverges across thread counts",
+            algorithm.name()
+        );
+    }
+}
+
+#[test]
+fn records_are_thread_count_invariant_across_shard_boundaries() {
+    // A cohort larger than one aggregation shard (32 clients) exercises the
+    // partial-sum merge: 80 clients at 50% participation is a 40-client
+    // cohort, i.e. two shards.
+    let mut config = quick(Algorithm::TopK);
+    config.num_clients = 80;
+    let serial = SessionBuilder::from_config(&config)
+        .threads(1)
+        .build()
+        .run();
+    let threaded = SessionBuilder::from_config(&config)
+        .threads(8)
+        .build()
+        .run();
+    assert_eq!(serial.records, threaded.records);
+}
+
+#[test]
+fn client_instantiation_is_bounded_by_the_cohort_at_1e5_clients() {
+    // 10^5 clients, 64 selected per round: the roster must materialise
+    // exactly the cohort each round and never hold more resident than that.
+    let mut config = ExperimentConfig::quick(Algorithm::EfTopK);
+    config.model = ModelPreset::Linear;
+    config.num_clients = 100_000;
+    config.participation = 64.0 / 100_000.0;
+    config.rounds = 2;
+    config.eval_every = 2;
+    assert_eq!(config.clients_per_round(), 64);
+
+    let mut session = SessionBuilder::from_config(&config).build();
+    while !session.is_finished() {
+        session.run_round();
+    }
+    let roster = session.roster();
+    assert_eq!(roster.len(), 100_000);
+    let selected = session.records().last().unwrap().selected_clients.len();
+    assert_eq!(
+        roster.round_instantiated(),
+        selected,
+        "the final round instantiated clients it did not select"
+    );
+    assert!(
+        roster.peak_resident() <= 64,
+        "peak resident clients {} exceeded the cohort",
+        roster.peak_resident()
+    );
+    assert_eq!(roster.resident(), 0, "clients leaked past checkin");
+    assert_eq!(roster.total_instantiated(), 2 * 64);
+}
+
+/// Selects a fixed cohort per round: {0, 1}, then {2, 3}, then {0, 1} again.
+struct ScriptedSelector {
+    round: usize,
+}
+
+impl ClientSelector for ScriptedSelector {
+    fn select(&mut self, _ctx: &SelectionCtx<'_>, _rng: &mut Xoshiro256) -> Vec<usize> {
+        let cohort = match self.round {
+            0 | 2 => vec![0, 1],
+            _ => vec![2, 3],
+        };
+        self.round += 1;
+        cohort
+    }
+
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+#[test]
+fn residuals_persist_across_non_consecutive_selections() {
+    // Error-feedback residuals belong to the *client*, not to the round: a
+    // client selected in rounds 0 and 2 (but not 1) must resume round 2 from
+    // the residual it accumulated in round 0.
+    let mut config = quick(Algorithm::EfTopK);
+    config.num_clients = 4;
+    config.rounds = 3;
+
+    let mut session = SessionBuilder::from_config(&config)
+        .selector(Box::new(ScriptedSelector { round: 0 }))
+        .build();
+
+    session.run_round();
+    let roster_norm_after_0 = session.roster().residual_total_norm();
+    assert_eq!(
+        session.roster().residual_clients(),
+        2,
+        "both round-0 clients should have parked a residual"
+    );
+    assert!(roster_norm_after_0 > 0.0);
+
+    session.run_round();
+    // Round 1 selected {2, 3}; clients 0 and 1's residuals are untouched and
+    // still parked in the store alongside the new ones.
+    assert_eq!(session.roster().residual_clients(), 4);
+
+    session.run_round();
+    // Round 2 re-selected {0, 1}: their residuals were taken out, updated and
+    // re-parked — the store still covers all four clients but the total norm
+    // moved, which it could only do if checkout restored the old state.
+    assert_eq!(session.roster().residual_clients(), 4);
+    assert_ne!(session.roster().residual_total_norm(), roster_norm_after_0);
+}
+
+#[test]
+fn sweep_grid_population_axis_runs_end_to_end() {
+    // A small population sweep through the shared-data driver: same dataset,
+    // growing N, cohort growing with it (participation fixed).
+    let mut base = ExperimentConfig::quick(Algorithm::TopK);
+    base.model = ModelPreset::Linear;
+    base.rounds = 2;
+    base.eval_every = 2;
+    let grid = SweepGrid::new(base).client_counts([10, 200]);
+    let results = run_sweep_threaded(&grid.configs(), 2);
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].config.num_clients, 10);
+    assert_eq!(results[1].config.num_clients, 200);
+    assert_eq!(results[0].records.len(), 2);
+    assert_eq!(results[1].records.len(), 2);
+    // 50% participation: cohorts of 5 and 100 respectively.
+    assert_eq!(results[0].records[0].selected_clients.len(), 5);
+    assert_eq!(results[1].records[0].selected_clients.len(), 100);
+}
