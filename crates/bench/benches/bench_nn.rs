@@ -2,7 +2,7 @@
 //! default experiment model, parameter flattening, and evaluation — the
 //! components that dominate the simulator's wall-clock time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fl_data::{BatchLoader, DatasetPreset};
 use fl_nn::{flatten_params, mlp, unflatten_params, Sgd, SoftmaxCrossEntropy};
 use fl_tensor::rng::Xoshiro256;
@@ -48,6 +48,42 @@ fn bench_param_flattening(c: &mut Criterion) {
     });
 }
 
+/// Matmul shape grid over the three kernels the training loop calls:
+/// `matmul` (forward), `matmul_at_b` (dW), `matmul_a_bt` (dX / conv). The
+/// square shapes are the committed `BENCH_matmul.json` reference points; the
+/// rectangular one is the forward pass of the default experiment MLP.
+fn bench_matmul(c: &mut Criterion) {
+    use fl_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+    use fl_tensor::{Shape, Tensor};
+    let mut rng = Xoshiro256::new(7);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &(m, k, n) in &[
+        (64usize, 3072usize, 128usize),
+        (256, 256, 256),
+        (512, 512, 512),
+    ] {
+        let a = Tensor::rand_uniform(Shape::matrix(m, k), -1.0, 1.0, &mut rng);
+        let b_mk = Tensor::rand_uniform(Shape::matrix(k, n), -1.0, 1.0, &mut rng);
+        group.bench_function(BenchmarkId::new("matmul", format!("{m}x{k}x{n}")), |be| {
+            be.iter(|| black_box(matmul(black_box(&a), black_box(&b_mk))))
+        });
+        // A^T B: A is [k, m] so the product is again [m, .] x [., n].
+        let a_t = Tensor::rand_uniform(Shape::matrix(k, m), -1.0, 1.0, &mut rng);
+        group.bench_function(
+            BenchmarkId::new("matmul_at_b", format!("{m}x{k}x{n}")),
+            |be| be.iter(|| black_box(matmul_at_b(black_box(&a_t), black_box(&b_mk)))),
+        );
+        // A B^T: B is [n, k] so the product is [m, n].
+        let b_nk = Tensor::rand_uniform(Shape::matrix(n, k), -1.0, 1.0, &mut rng);
+        group.bench_function(
+            BenchmarkId::new("matmul_a_bt", format!("{m}x{k}x{n}")),
+            |be| be.iter(|| black_box(matmul_a_bt(black_box(&a), black_box(&b_nk)))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_evaluation(c: &mut Criterion) {
     let spec = DatasetPreset::Cifar10Like.spec(0.1);
     let (_, test) = spec.generate(3);
@@ -68,6 +104,6 @@ fn fast_criterion() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast_criterion();
-    targets = bench_training_step, bench_param_flattening, bench_evaluation
+    targets = bench_training_step, bench_param_flattening, bench_matmul, bench_evaluation
 }
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! `cargo run --release -p fl-bench --bin fig10_time_curves`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::sweep::{run_sweep_threaded, SweepGrid};
+use fl_core::sweep::{run_sweep_threaded_progress, SweepGrid};
 use fl_core::Algorithm;
 use fl_data::DatasetPreset;
 
@@ -31,7 +31,7 @@ fn main() {
     .betas([0.1, 0.5])
     .compression_ratios([0.1, 0.01])
     .algorithms(algorithms);
-    let results = run_sweep_threaded(&grid.configs(), args.sweep_threads);
+    let results = run_sweep_threaded_progress(&grid.configs(), args.sweep_threads, args.progress);
 
     println!("beta,cr,algorithm,round,cumulative_comm_s,test_accuracy");
     for result in &results {

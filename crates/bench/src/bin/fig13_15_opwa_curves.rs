@@ -14,7 +14,7 @@
 //! `cargo run --release -p fl-bench --bin fig13_15_opwa_curves [-- --all-datasets]`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::{run_sweep_threaded, Algorithm, SweepGrid};
+use fl_core::{run_sweep_threaded_progress, Algorithm, SweepGrid};
 use fl_data::DatasetPreset;
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
         .compression_ratios([0.1, 0.01])
         .algorithms(lineup);
     let configs = grid.configs();
-    let results = run_sweep_threaded(&configs, args.sweep_threads);
+    let results = run_sweep_threaded_progress(&configs, args.sweep_threads, args.progress);
 
     println!("dataset,beta,cr,algorithm,round,test_accuracy");
     for result in &results {

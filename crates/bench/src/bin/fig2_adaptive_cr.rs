@@ -14,7 +14,7 @@
 //! `cargo run --release -p fl-bench --bin fig2_adaptive_cr [-- --ablation --measured]`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::sweep::run_sweep_threaded;
+use fl_core::sweep::run_sweep_threaded_progress;
 use fl_core::{Algorithm, BcrsScheduler};
 use fl_data::DatasetPreset;
 use fl_netsim::{CommModel, LinkGenerator};
@@ -62,7 +62,7 @@ fn main() {
                 c
             })
             .collect();
-        let results = run_sweep_threaded(&configs, args.sweep_threads);
+        let results = run_sweep_threaded_progress(&configs, args.sweep_threads, args.progress);
         if !args.csv {
             eprintln!("# measured per-round mean CR from BCRS experiments (sweep driver)");
         }

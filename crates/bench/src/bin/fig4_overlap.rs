@@ -10,7 +10,7 @@
 //! `cargo run --release -p fl-bench --bin fig4_overlap`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::sweep::{run_sweep_threaded, SweepGrid};
+use fl_core::sweep::{run_sweep_threaded_progress, SweepGrid};
 use fl_core::Algorithm;
 use fl_data::DatasetPreset;
 
@@ -28,7 +28,7 @@ fn main() {
     let grid = SweepGrid::new(base)
         .betas([0.1, 0.5])
         .compression_ratios([0.01, 0.1]);
-    let results = run_sweep_threaded(&grid.configs(), args.sweep_threads);
+    let results = run_sweep_threaded_progress(&grid.configs(), args.sweep_threads, args.progress);
 
     println!("beta,cr,degree,count,fraction");
     for result in &results {

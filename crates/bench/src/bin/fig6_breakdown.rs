@@ -16,7 +16,7 @@
 //! `cargo run --release -p fl-bench --bin fig6_breakdown`
 
 use fl_bench::{bench_config, BenchArgs};
-use fl_core::sweep::{run_sweep_threaded, SweepGrid};
+use fl_core::sweep::{run_sweep_threaded_progress, SweepGrid};
 use fl_core::Algorithm;
 use fl_data::DatasetPreset;
 
@@ -31,7 +31,7 @@ fn main() {
     );
     base.rounds = args.effective_rounds(10);
     let grid = SweepGrid::new(base).compression_ratios([0.01, 0.1]);
-    let results = run_sweep_threaded(&grid.configs(), args.sweep_threads);
+    let results = run_sweep_threaded_progress(&grid.configs(), args.sweep_threads, args.progress);
 
     println!("cr,compress_s,training_s,uncompressed_comm_s,bcrs_comm_s,downlink_comm_s");
     for result in &results {

@@ -28,7 +28,7 @@
 
 use fl_bench::{bench_config, summarize, BenchArgs};
 use fl_compress::CompressorSpec;
-use fl_core::sweep::{run_sweep_threaded, SweepGrid};
+use fl_core::sweep::{run_sweep_threaded_progress, SweepGrid};
 use fl_core::Algorithm;
 use fl_data::DatasetPreset;
 use fl_netsim::CostBasis;
@@ -66,7 +66,7 @@ fn main() {
     .compression_ratios(ratios)
     .algorithms(algorithms);
     let configs = grid.configs();
-    let results = run_sweep_threaded(&configs, args.sweep_threads);
+    let results = run_sweep_threaded_progress(&configs, args.sweep_threads, args.progress);
 
     // The ablation reruns EF-Top-K at each BCRS run's achieved mean CR, so it
     // depends on the main grid; collect its configs and sweep them too.
@@ -84,13 +84,13 @@ fn main() {
                 ef
             })
             .collect();
-        run_sweep_threaded(&ef_configs, args.sweep_threads)
+        run_sweep_threaded_progress(&ef_configs, args.sweep_threads, args.progress)
     } else {
         Vec::new()
     };
     let mut ablation_iter = ablation_results.iter();
 
-    println!("dataset,beta,cr,algorithm,final_accuracy,best_accuracy,cum_comm_s");
+    println!("dataset,beta,cr,algorithm,final_accuracy,best_accuracy,cum_comm_s,uplink_bytes");
     // One (dataset, beta, cr) block per `algorithms.len()` results.
     for block in results.chunks(algorithms.len()) {
         let (dataset, beta, cr) = (
@@ -101,12 +101,13 @@ fn main() {
         for result in block {
             let last = result.records.last().unwrap();
             println!(
-                "{},{beta},{cr},{},{:.4},{:.4},{:.1}",
+                "{},{beta},{cr},{},{:.4},{:.4},{:.1},{}",
                 dataset.name(),
                 result.config.algorithm.name(),
                 result.final_accuracy,
                 result.best_accuracy,
-                last.cumulative_actual_s
+                last.cumulative_actual_s,
+                total_uplink_bytes(result)
             );
             if !args.csv {
                 eprintln!("# {}", summarize(result));
@@ -123,11 +124,12 @@ fn main() {
         }
         if let Some(result) = ablation_iter.next() {
             println!(
-                "{},{beta},{cr},eftopk@bcrs-cr,{:.4},{:.4},{:.1}",
+                "{},{beta},{cr},eftopk@bcrs-cr,{:.4},{:.4},{:.1},{}",
                 dataset.name(),
                 result.final_accuracy,
                 result.best_accuracy,
-                result.records.last().unwrap().cumulative_actual_s
+                result.records.last().unwrap().cumulative_actual_s,
+                total_uplink_bytes(result)
             );
         }
     }
@@ -172,7 +174,8 @@ fn main() {
                     .configs(),
             );
         }
-        let codec_results = run_sweep_threaded(&codec_configs, args.sweep_threads);
+        let codec_results =
+            run_sweep_threaded_progress(&codec_configs, args.sweep_threads, args.progress);
         for result in &codec_results {
             let last = result.records.last().unwrap();
             let spec = result
@@ -186,12 +189,13 @@ fn main() {
                 result.config.compression_ratio.to_string()
             };
             println!(
-                "{},{},{cr_cell},{spec}@{basis_tag},{:.4},{:.4},{:.1}",
+                "{},{},{cr_cell},{spec}@{basis_tag},{:.4},{:.4},{:.1},{}",
                 result.config.dataset.name(),
                 result.config.beta,
                 result.final_accuracy,
                 result.best_accuracy,
-                last.cumulative_actual_s
+                last.cumulative_actual_s,
+                total_uplink_bytes(result)
             );
             if !args.csv {
                 let total_mb = result
@@ -233,7 +237,8 @@ fn main() {
             grid = grid.compression_ratios(ratios);
         }
         let plan_configs = grid.configs();
-        let plan_results = run_sweep_threaded(&plan_configs, args.sweep_threads);
+        let plan_results =
+            run_sweep_threaded_progress(&plan_configs, args.sweep_threads, args.progress);
         for result in &plan_results {
             let last = result.records.last().unwrap();
             let cr_cell = if ratio_free {
@@ -242,12 +247,13 @@ fn main() {
                 result.config.compression_ratio.to_string()
             };
             println!(
-                "{},{},{cr_cell},{plan}@{basis_tag},{:.4},{:.4},{:.1}",
+                "{},{},{cr_cell},{plan}@{basis_tag},{:.4},{:.4},{:.1},{}",
                 result.config.dataset.name(),
                 result.config.beta,
                 result.final_accuracy,
                 result.best_accuracy,
-                last.cumulative_actual_s
+                last.cumulative_actual_s,
+                total_uplink_bytes(result)
             );
             if !args.csv {
                 eprintln!("# plan {plan}: {}", summarize(result));
@@ -275,6 +281,13 @@ fn main() {
             }
         }
     }
+}
+
+/// Total uplink bytes a run transferred, summed over its rounds — the
+/// trailing CSV column. Under `CostBasis::Encoded` this is the exact encoded
+/// byte count, which is what the CI smoke step compares across codecs.
+fn total_uplink_bytes(result: &fl_core::ExperimentResult) -> u64 {
+    result.records.iter().map(|r| r.uplink_bytes as u64).sum()
 }
 
 /// The label suffix naming the basis a scenario row's times were priced

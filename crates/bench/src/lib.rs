@@ -49,6 +49,9 @@ pub struct BenchArgs {
     pub full: bool,
     /// Emit CSV only.
     pub csv: bool,
+    /// Print one stderr line per completed sweep run (`--progress`); long
+    /// grids otherwise run silently until the whole table is ready.
+    pub progress: bool,
     /// Evaluate the global model every N rounds (None = config default).
     pub eval_every: Option<usize>,
     /// Worker threads for the parallel sweep driver (0 = auto).
@@ -75,6 +78,7 @@ impl Default for BenchArgs {
             quick: false,
             full: false,
             csv: false,
+            progress: false,
             eval_every: None,
             sweep_threads: 0,
             cost_basis: None,
@@ -111,6 +115,7 @@ impl BenchArgs {
                 "--quick" => out.quick = true,
                 "--full" => out.full = true,
                 "--csv" => out.csv = true,
+                "--progress" => out.progress = true,
                 "--eval-every" => {
                     out.eval_every = it.next().and_then(|v| v.parse().ok());
                 }

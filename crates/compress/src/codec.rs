@@ -26,7 +26,8 @@ use crate::sparse::SparseUpdate;
 use crate::threshold::Threshold;
 use crate::topk::TopK;
 use crate::wire::{
-    encode_dense, encode_quantized, encode_sparse, encode_sparse_quantized, WireError, WireUpdate,
+    encode_dense, encode_quantized, encode_quantized_rc, encode_sparse, encode_sparse_quantized,
+    encode_sparse_quantized_rc, WireError, WireUpdate,
 };
 use fl_tensor::rng::{Rng, Xoshiro256};
 
@@ -257,19 +258,37 @@ impl UpdateCodec for ThresholdCodec {
 }
 
 /// QSGD stochastic quantization at a fixed bit width: every coordinate is
-/// transmitted as a sign plus `bits − 1` level bits, bit-packed on the wire.
+/// transmitted as a sign plus `bits − 1` level bits, bit-packed on the wire
+/// — or, with the `:rc` suffix (`"qsgd:4:rc"`), entropy-coded through the
+/// adaptive range coder, which never expands past the bit-packed size.
 /// The target ratio is ignored (the compression factor is `32 / bits`).
 #[derive(Clone, Copy, Debug)]
 pub struct QsgdCodec {
     /// Bits per coordinate including the sign bit, in `2..=16`.
     pub bits: u8,
+    /// Entropy-code the levels ([`crate::wire::KIND_ENTROPY`]) instead of
+    /// bit-packing them. Quantization itself — levels, norm, RNG draws — is
+    /// identical either way; only the byte layout (and count) changes.
+    pub entropy: bool,
 }
 
 impl QsgdCodec {
-    /// New QSGD codec at the given bit width. Panics unless `bits ∈ 2..=16`.
+    /// New bit-packing QSGD codec at the given bit width. Panics unless
+    /// `bits ∈ 2..=16`.
     pub fn new(bits: u8) -> Self {
         let _ = max_level_for_bits(bits); // validates the range
-        Self { bits }
+        Self {
+            bits,
+            entropy: false,
+        }
+    }
+
+    /// New entropy-coding QSGD codec (`"qsgd:<bits>:rc"`).
+    pub fn new_entropy(bits: u8) -> Self {
+        Self {
+            entropy: true,
+            ..Self::new(bits)
+        }
     }
 
     /// Quantize a value slice, returning `(norm, signed levels)`.
@@ -280,12 +299,20 @@ impl QsgdCodec {
 
 impl UpdateCodec for QsgdCodec {
     fn name(&self) -> String {
-        format!("qsgd:{}", self.bits)
+        if self.entropy {
+            format!("qsgd:{}:rc", self.bits)
+        } else {
+            format!("qsgd:{}", self.bits)
+        }
     }
 
     fn encode(&mut self, dense: &[f32], _ratio: f64, rng: &mut Xoshiro256) -> WireUpdate {
         let (norm, levels) = self.quantize(dense, rng);
-        encode_quantized(dense.len(), self.bits, norm, &levels)
+        if self.entropy {
+            encode_quantized_rc(dense.len(), self.bits, norm, &levels)
+        } else {
+            encode_quantized(dense.len(), self.bits, norm, &levels)
+        }
     }
 }
 
@@ -322,13 +349,23 @@ impl UpdateCodec for ComposedCodec {
             .and_then(CompressedUpdate::into_sparse)
             .expect("the first stage of a composed codec must produce a sparse update");
         let (norm, levels) = self.quantizer.quantize(sparse.values(), rng);
-        encode_sparse_quantized(
-            sparse.dense_len(),
-            sparse.indices(),
-            self.quantizer.bits,
-            norm,
-            &levels,
-        )
+        if self.quantizer.entropy {
+            encode_sparse_quantized_rc(
+                sparse.dense_len(),
+                sparse.indices(),
+                self.quantizer.bits,
+                norm,
+                &levels,
+            )
+        } else {
+            encode_sparse_quantized(
+                sparse.dense_len(),
+                sparse.indices(),
+                self.quantizer.bits,
+                norm,
+                &levels,
+            )
+        }
     }
 
     fn residual_norm(&self) -> f64 {
@@ -351,6 +388,10 @@ impl UpdateCodec for ComposedCodec {
 pub struct EfCodec {
     inner: Box<dyn UpdateCodec>,
     residual: Vec<f32>,
+    /// Reusable scratch for the corrected (`dense + residual`) vector: one
+    /// model-sized buffer allocated at construction instead of one fresh
+    /// `Vec` per round per client.
+    scratch: Vec<f32>,
 }
 
 impl EfCodec {
@@ -359,6 +400,7 @@ impl EfCodec {
         Self {
             inner,
             residual: vec![0.0; dense_len],
+            scratch: vec![0.0; dense_len],
         }
     }
 
@@ -379,24 +421,35 @@ impl UpdateCodec for EfCodec {
             self.residual.len(),
             "update length changed between rounds"
         );
-        let corrected: Vec<f32> = dense
-            .iter()
+        for ((c, &d), &r) in self
+            .scratch
+            .iter_mut()
+            .zip(dense.iter())
             .zip(self.residual.iter())
-            .map(|(d, r)| d + r)
-            .collect();
-        let wire = self.inner.encode(&corrected, ratio, rng);
+        {
+            *c = d + r;
+        }
+        let wire = self.inner.encode(&self.scratch, ratio, rng);
         let sent = self
             .inner
             .decode(&wire)
-            .expect("a codec must decode its own encoding")
-            .into_dense();
-        for ((res, &corr), &s) in self
-            .residual
-            .iter_mut()
-            .zip(corrected.iter())
-            .zip(sent.iter())
-        {
-            *res = corr - s;
+            .expect("a codec must decode its own encoding");
+        // New residual = corrected − sent. For coordinates a sparse encode
+        // dropped, sent is 0.0 and `corr − 0.0` is bitwise `corr`, so start
+        // from a copy of the corrected vector and subtract only at the
+        // retained coordinates — no densified `sent` allocation.
+        self.residual.copy_from_slice(&self.scratch);
+        match sent {
+            CompressedUpdate::Sparse(s) => {
+                for (&i, &v) in s.indices().iter().zip(s.values().iter()) {
+                    self.residual[i as usize] = self.scratch[i as usize] - v;
+                }
+            }
+            CompressedUpdate::Quantized { values, .. } => {
+                for (res, &v) in self.residual.iter_mut().zip(values.iter()) {
+                    *res -= v;
+                }
+            }
         }
         wire
     }
@@ -643,10 +696,62 @@ mod tests {
     fn names_compose() {
         assert_eq!(TopKCodec.name(), "topk");
         assert_eq!(QsgdCodec::new(4).name(), "qsgd:4");
+        assert_eq!(QsgdCodec::new_entropy(4).name(), "qsgd:4:rc");
         assert_eq!(
             ComposedCodec::new(Box::new(TopKCodec), QsgdCodec::new(4)).name(),
             "topk+qsgd:4"
         );
+        assert_eq!(
+            ComposedCodec::new(Box::new(TopKCodec), QsgdCodec::new_entropy(6)).name(),
+            "topk+qsgd:6:rc"
+        );
         assert_eq!(EfCodec::new(Box::new(TopKCodec), 1).name(), "ef-topk");
+    }
+
+    #[test]
+    fn entropy_qsgd_shrinks_bytes_without_changing_values() {
+        // Same bit width, same RNG stream: the entropy codec must produce
+        // the same lossy values as the bit-packing codec (quantization is
+        // identical) in strictly fewer bytes on gradient-like data.
+        let d = delta(4096);
+        let packed = QsgdCodec::new(4).encode(&d, 1.0, &mut rng());
+        let entropy = QsgdCodec::new_entropy(4).encode(&d, 1.0, &mut rng());
+        assert_eq!(entropy.kind().unwrap(), crate::wire::KIND_ENTROPY);
+        assert!(
+            entropy.len() < packed.len(),
+            "entropy {} >= packed {}",
+            entropy.len(),
+            packed.len()
+        );
+        let a = packed.decode().unwrap().into_dense();
+        let b = entropy.decode().unwrap().into_dense();
+        assert!(a
+            .iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn composed_entropy_qsgd_shrinks_sparse_quantized_bytes() {
+        let d = delta(4096);
+        let mut packed = ComposedCodec::new(Box::new(TopKCodec), QsgdCodec::new(6));
+        let mut entropy = ComposedCodec::new(Box::new(TopKCodec), QsgdCodec::new_entropy(6));
+        let wp = packed.encode(&d, 0.05, &mut rng());
+        let we = entropy.encode(&d, 0.05, &mut rng());
+        assert_eq!(we.kind().unwrap(), crate::wire::KIND_ENTROPY);
+        assert!(
+            we.len() < wp.len(),
+            "entropy {} >= packed {}",
+            we.len(),
+            wp.len()
+        );
+        let a = wp.decode().unwrap().into_sparse().unwrap();
+        let b = we.decode().unwrap().into_sparse().unwrap();
+        assert_eq!(a.indices(), b.indices());
+        assert!(a
+            .values()
+            .iter()
+            .zip(b.values().iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

@@ -50,6 +50,7 @@ pub mod error_feedback;
 pub mod plan;
 pub mod quantize;
 pub mod randk;
+pub mod rc;
 pub mod registry;
 pub mod residual_store;
 pub mod sparse;
@@ -75,3 +76,5 @@ pub use spec::{CodecStage, CompressorSpec, SpecError};
 pub use threshold::Threshold;
 pub use topk::TopK;
 pub use wire::{WireError, WireUpdate};
+
+pub use wire::{encode_quantized_rc, encode_sparse_quantized_rc, KIND_ENTROPY};

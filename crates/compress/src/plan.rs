@@ -550,6 +550,38 @@ mod tests {
     }
 
     #[test]
+    fn entropy_rule_resolves_and_matches_bitpacked_plan_values() {
+        // An `:rc` spec inside a plan rule resolves through the registry like
+        // any other, frames kind-5 segments, and (same bit width, same RNG)
+        // dequantizes bit-identically to the bit-packed plan in fewer bytes.
+        let rc_plan: LayerPlan = "*.weight=qsgd:4:rc;*=dense".parse().unwrap();
+        assert_eq!(rc_plan.to_string(), "*.weight=qsgd:4:rc;*=dense");
+        let packed_plan: LayerPlan = "*.weight=qsgd:4;*=dense".parse().unwrap();
+        let registry = CodecRegistry::with_builtins();
+        let layout = segs(&[("a.weight", 3000), ("a.bias", 8)]);
+        let ctx = CodecCtx::new(3008, 5);
+        let mut rc = rc_plan.resolve(&registry, &layout, &ctx).unwrap();
+        assert_eq!(rc.name(), "*.weight=qsgd:4:rc;*=dense");
+        let mut packed = packed_plan.resolve(&registry, &layout, &ctx).unwrap();
+        let d = delta(3008);
+        let wr = rc.encode(&d, 1.0, &mut rng());
+        let wp = packed.encode(&d, 1.0, &mut rng());
+        assert_eq!(wr.kind().unwrap(), KIND_SEGMENTED);
+        assert!(
+            wr.len() < wp.len(),
+            "rc {} >= packed {}",
+            wr.len(),
+            wp.len()
+        );
+        let a = wr.decode().unwrap().into_dense();
+        let b = wp.decode().unwrap().into_dense();
+        assert!(a
+            .iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
     fn planned_ef_segments_keep_their_own_residuals() {
         let plan: LayerPlan = "*.bias=dense;*=ef-topk".parse().unwrap();
         let registry = CodecRegistry::with_builtins();

@@ -1,0 +1,342 @@
+//! Adaptive binary range coder — the entropy back end of the
+//! [`KIND_ENTROPY`](crate::wire::KIND_ENTROPY) wire kind.
+//!
+//! This is the classic LZMA-style arithmetic coder specialised to binary
+//! decisions: a 32-bit `range` register is split proportionally to an 11-bit
+//! adaptive probability (scale 2048), the chosen half becomes the new range,
+//! and the probability moves 1/32 of the way toward the observed symbol.
+//! Probabilities therefore stay inside roughly `[31, 2017]`, which bounds the
+//! cost of the *cheapest* decision at ~0.022 bits — the fact the wire
+//! decoder's allocation guard is built on.
+//!
+//! On top of raw bits the module offers the two standard composites the wire
+//! format uses:
+//!
+//! * [`BitTree`] — an adaptive binary tree over a small alphabet (QSGD
+//!   magnitude levels, gap bit-lengths), one probability per internal node;
+//! * direct bits — equiprobable range halving for the low bits of index gaps,
+//!   where modelling would buy nothing.
+//!
+//! Encoding is exact: the encoder's final [`RangeEncoder::finish`] flushes
+//! five bytes and the decoder's [`RangeDecoder::new`] consumes five, so a
+//! stream of `n` coded decisions reads back in exactly the bytes that were
+//! written. The decoder is strict about truncation — running out of bytes
+//! mid-stream is a hard [`WireError::Truncated`], never junk output.
+
+use crate::wire::WireError;
+
+/// Probability scale: 11 bits, `P(bit = 0) = prob / 2048`.
+const PROB_BITS: u32 = 11;
+const PROB_ONE: u16 = 1 << PROB_BITS;
+/// Adaptation shift: probabilities move `1/32` of the gap per update.
+const MOVE_BITS: u32 = 5;
+/// Renormalisation threshold for the 32-bit range register.
+const TOP: u32 = 1 << 24;
+
+/// Initial (maximally uncertain) probability for a fresh context.
+pub const PROB_INIT: u16 = PROB_ONE / 2;
+
+/// Range encoder writing to an owned byte vector.
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// A fresh encoder. The first output byte is always `0` (the flushed
+    /// initial carry cache); the decoder accounts for it.
+    pub fn new() -> Self {
+        Self {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn shift_low(&mut self) {
+        if (self.low >> 24) as u32 != 0xFF || self.low > u32::MAX as u64 {
+            let carry = (self.low >> 32) as u8;
+            let mut byte = self.cache;
+            loop {
+                self.out.push(byte.wrapping_add(carry));
+                byte = 0xFF;
+                self.cache_size -= 1;
+                if self.cache_size == 0 {
+                    break;
+                }
+            }
+            self.cache = (self.low >> 24) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & u32::MAX as u64;
+    }
+
+    /// Encode one bit under the adaptive probability `prob` (of the bit
+    /// being 0), updating the model.
+    #[inline]
+    pub fn encode_bit(&mut self, prob: &mut u16, bit: bool) {
+        let bound = (self.range >> PROB_BITS) * *prob as u32;
+        if !bit {
+            self.range = bound;
+            *prob += (PROB_ONE - *prob) >> MOVE_BITS;
+        } else {
+            self.low += bound as u64;
+            self.range -= bound;
+            *prob -= *prob >> MOVE_BITS;
+        }
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Encode the low `nbits` of `value` MSB-first as equiprobable bits.
+    pub fn encode_direct(&mut self, value: u32, nbits: u32) {
+        for shift in (0..nbits).rev() {
+            self.range >>= 1;
+            if (value >> shift) & 1 != 0 {
+                self.low += self.range as u64;
+            }
+            while self.range < TOP {
+                self.range <<= 8;
+                self.shift_low();
+            }
+        }
+    }
+
+    /// Flush the pending state and return the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+
+    /// Bytes emitted so far (the final stream is this plus the 5-byte flush).
+    pub fn bytes_written(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// Range decoder reading from a borrowed byte slice — decoding never copies
+/// the input.
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Initialise from an encoded stream, consuming the 5 priming bytes.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, WireError> {
+        let mut d = Self {
+            code: 0,
+            range: u32::MAX,
+            bytes,
+            pos: 0,
+        };
+        for _ in 0..5 {
+            d.code = (d.code << 8) | d.next_byte()? as u32;
+        }
+        Ok(d)
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> Result<u8, WireError> {
+        let b = *self.bytes.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Decode one bit under the adaptive probability `prob`, updating the
+    /// model exactly as the encoder did.
+    #[inline]
+    pub fn decode_bit(&mut self, prob: &mut u16) -> Result<bool, WireError> {
+        let bound = (self.range >> PROB_BITS) * *prob as u32;
+        let bit = if self.code < bound {
+            self.range = bound;
+            *prob += (PROB_ONE - *prob) >> MOVE_BITS;
+            false
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            *prob -= *prob >> MOVE_BITS;
+            true
+        };
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | self.next_byte()? as u32;
+        }
+        Ok(bit)
+    }
+
+    /// Decode `nbits` equiprobable bits MSB-first.
+    pub fn decode_direct(&mut self, nbits: u32) -> Result<u32, WireError> {
+        let mut value = 0u32;
+        for _ in 0..nbits {
+            self.range >>= 1;
+            let bit = self.code >= self.range;
+            if bit {
+                self.code -= self.range;
+            }
+            value = (value << 1) | bit as u32;
+            while self.range < TOP {
+                self.range <<= 8;
+                self.code = (self.code << 8) | self.next_byte()? as u32;
+            }
+        }
+        Ok(value)
+    }
+}
+
+/// An adaptive bit-tree model over `2^nbits` symbols: one probability per
+/// internal node of the full binary tree, coded MSB-first (the LZMA
+/// bit-tree). Small alphabets only — the wire format's widest tree is 15
+/// bits (QSGD magnitudes at 16-bit width).
+#[derive(Clone)]
+pub struct BitTree {
+    probs: Vec<u16>,
+    nbits: u32,
+}
+
+impl BitTree {
+    /// A fresh tree over `2^nbits` symbols, all contexts maximally uncertain.
+    pub fn new(nbits: u32) -> Self {
+        assert!((1..=15).contains(&nbits), "bit-tree width out of range");
+        Self {
+            probs: vec![PROB_INIT; 1 << nbits],
+            nbits,
+        }
+    }
+
+    /// Encode `symbol` (must be `< 2^nbits`).
+    pub fn encode(&mut self, enc: &mut RangeEncoder, symbol: u32) {
+        debug_assert!(symbol < 1 << self.nbits);
+        let mut node = 1usize;
+        for shift in (0..self.nbits).rev() {
+            let bit = (symbol >> shift) & 1 != 0;
+            enc.encode_bit(&mut self.probs[node], bit);
+            node = (node << 1) | bit as usize;
+        }
+    }
+
+    /// Decode one symbol.
+    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> Result<u32, WireError> {
+        let mut node = 1usize;
+        for _ in 0..self.nbits {
+            let bit = dec.decode_bit(&mut self.probs[node])?;
+            node = (node << 1) | bit as usize;
+        }
+        Ok(node as u32 - (1 << self.nbits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip_exactly() {
+        // A mixed stream of modelled and direct bits survives the trip.
+        let pattern: Vec<bool> = (0..4000).map(|i| (i * 7) % 13 < 4).collect();
+        let mut enc = RangeEncoder::new();
+        let mut p = PROB_INIT;
+        for &b in &pattern {
+            enc.encode_bit(&mut p, b);
+        }
+        enc.encode_direct(0xDEAD_BEEF, 32);
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        let mut q = PROB_INIT;
+        for &b in &pattern {
+            assert_eq!(dec.decode_bit(&mut q).unwrap(), b);
+        }
+        assert_eq!(dec.decode_direct(32).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn skewed_bits_compress_below_one_bit_each() {
+        // 4096 bits that are almost always false: the adaptive model should
+        // push the cost far below the 512 bytes of a raw bitmap.
+        let mut enc = RangeEncoder::new();
+        let mut p = PROB_INIT;
+        for i in 0..4096 {
+            enc.encode_bit(&mut p, i % 128 == 0);
+        }
+        let bytes = enc.finish();
+        assert!(
+            bytes.len() < 100,
+            "skewed stream took {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn bit_tree_roundtrip_all_symbols() {
+        let mut tree = BitTree::new(5);
+        let symbols: Vec<u32> = (0..500).map(|i| (i * i) % 32).collect();
+        let mut enc = RangeEncoder::new();
+        for &s in &symbols {
+            tree.encode(&mut enc, s);
+        }
+        let bytes = enc.finish();
+        let mut tree = BitTree::new(5);
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for &s in &symbols {
+            assert_eq!(tree.decode(&mut dec).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn truncated_streams_error_instead_of_fabricating_bits() {
+        let mut enc = RangeEncoder::new();
+        let mut p = PROB_INIT;
+        for i in 0..512 {
+            enc.encode_bit(&mut p, i % 3 == 0);
+        }
+        let bytes = enc.finish();
+        for cut in [0, 2, 4, bytes.len() - 1] {
+            let mut q = PROB_INIT;
+            let result = RangeDecoder::new(&bytes[..cut]).and_then(|mut dec| {
+                for _ in 0..512 {
+                    dec.decode_bit(&mut q)?;
+                }
+                Ok(())
+            });
+            assert_eq!(result, Err(WireError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn carry_propagation_is_handled() {
+        // Long runs of bit = 1 at a high probability of 0 drive `low` toward
+        // all-ones, exercising the pending-0xFF carry path.
+        let mut enc = RangeEncoder::new();
+        let mut probs = [PROB_INIT; 4];
+        for i in 0..10_000u32 {
+            enc.encode_bit(&mut probs[(i % 4) as usize], i % 5 != 0);
+        }
+        let bytes = enc.finish();
+        let mut probs = [PROB_INIT; 4];
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for i in 0..10_000u32 {
+            assert_eq!(
+                dec.decode_bit(&mut probs[(i % 4) as usize]).unwrap(),
+                i % 5 != 0,
+                "bit {i}"
+            );
+        }
+    }
+}

@@ -161,23 +161,37 @@ fn no_arg(codec: &str, arg: Option<&str>) -> Result<(), SpecError> {
 }
 
 fn parse_qsgd(arg: Option<&str>) -> Result<QsgdCodec, SpecError> {
-    let bits: u8 = arg
-        .ok_or_else(|| SpecError::BadArg {
-            codec: "qsgd".into(),
-            reason: "needs a bit width, e.g. \"qsgd:8\"".into(),
-        })?
-        .parse()
-        .map_err(|_| SpecError::BadArg {
-            codec: "qsgd".into(),
-            reason: "bit width must be an integer".into(),
-        })?;
+    let arg = arg.ok_or_else(|| SpecError::BadArg {
+        codec: "qsgd".into(),
+        reason: "needs a bit width, e.g. \"qsgd:8\"".into(),
+    })?;
+    // `"4"` bit-packs; `"4:rc"` entropy-codes the levels with the adaptive
+    // range coder (same quantization, never-expanding byte layout).
+    let (width, entropy) = match arg.split_once(':') {
+        None => (arg, false),
+        Some((width, "rc")) => (width, true),
+        Some((_, other)) => {
+            return Err(SpecError::BadArg {
+                codec: "qsgd".into(),
+                reason: format!("unknown coding mode {other:?}, expected \"rc\""),
+            })
+        }
+    };
+    let bits: u8 = width.parse().map_err(|_| SpecError::BadArg {
+        codec: "qsgd".into(),
+        reason: "bit width must be an integer".into(),
+    })?;
     if !(2..=16).contains(&bits) {
         return Err(SpecError::BadArg {
             codec: "qsgd".into(),
             reason: format!("bit width {bits} out of range 2..=16"),
         });
     }
-    Ok(QsgdCodec::new(bits))
+    Ok(if entropy {
+        QsgdCodec::new_entropy(bits)
+    } else {
+        QsgdCodec::new(bits)
+    })
 }
 
 #[cfg(test)]
@@ -198,10 +212,13 @@ mod tests {
             "threshold",
             "threshold:0.5",
             "qsgd:8",
+            "qsgd:4:rc",
             "dense",
             "ef-topk",
             "topk+qsgd:4",
+            "topk+qsgd:4:rc",
             "ef-randk+qsgd:6",
+            "ef-topk+qsgd:6:rc",
         ] {
             let spec: CompressorSpec = raw.parse().unwrap();
             let codec = r.build(&spec, &ctx()).unwrap();
@@ -226,6 +243,8 @@ mod tests {
         for raw in [
             "qsgd:99",
             "qsgd:x",
+            "qsgd:4:huffman",
+            "qsgd:rc",
             "topk:3",
             "threshold:-1",
             "threshold:abc",

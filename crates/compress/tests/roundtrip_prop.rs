@@ -1,0 +1,191 @@
+//! Property-based encode → decode round-trips over the public codec surface.
+//!
+//! Random gradients are pushed through every wire kind the stack can emit —
+//! sparse, bit-packed quantized, composed sparse+quantized, raw dense, the
+//! entropy-coded kind 5, and `Segmented` frames from layer plans — and the
+//! decoded updates are checked against the exactness guarantees each format
+//! makes. Error-feedback plans additionally check the take/restore residual
+//! snapshot contract the session engine relies on.
+
+use fl_compress::{
+    CodecCtx, CodecRegistry, CompressorSpec, LayerPlan, SegmentDef, UpdateCodec, WireUpdate,
+};
+use fl_tensor::rng::{Rng, Xoshiro256};
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+/// Build a flat codec for `spec` sized for `n` coordinates.
+fn build(spec: &str, n: usize) -> Box<dyn UpdateCodec> {
+    let spec: CompressorSpec = spec.parse().expect("test spec parses");
+    CodecRegistry::with_builtins()
+        .build(&spec, &CodecCtx::new(n, 1))
+        .expect("test spec resolves")
+}
+
+/// A gradient-shaped vector: zero-mean, mixed magnitudes, fully finite.
+fn gradient(seed: u64, n: usize) -> Vec<f32> {
+    let mut rng = Xoshiro256::new(seed);
+    (0..n)
+        .map(|_| (rng.next_f32() - 0.5) * (1.0 + rng.next_f32() * 9.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every flat builtin spec round-trips through bytes: re-parsing the
+    /// encoded buffer decodes to the same update the producing codec frames,
+    /// with the dense length preserved and every value finite.
+    #[test]
+    fn prop_flat_specs_roundtrip(seed in 0u64..1 << 32, n in 1usize..600, ratio_pct in 1u32..100) {
+        let ratio = ratio_pct as f64 / 100.0;
+        let d = gradient(seed, n);
+        for spec in [
+            "topk", "randk", "qsgd:4", "qsgd:8", "qsgd:8:rc",
+            "topk+qsgd:6", "topk+qsgd:6:rc", "ef-topk", "dense",
+        ] {
+            let mut codec = build(spec, n);
+            let wire = codec.encode(&d, ratio, &mut Xoshiro256::new(seed ^ 1));
+            let reparsed = WireUpdate::from_bytes(wire.as_bytes().to_vec().into());
+            prop_assert_eq!(&reparsed, &wire, "byte re-parse differs for {}", spec);
+            let dense = wire.decode().expect("own bytes decode").into_dense();
+            prop_assert_eq!(dense.len(), n, "length drift for {}", spec);
+            prop_assert!(dense.iter().all(|v| v.is_finite()), "non-finite decode for {}", spec);
+            if spec == "dense" {
+                prop_assert!(
+                    dense.iter().zip(d.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "dense codec must be lossless"
+                );
+            }
+        }
+    }
+
+    /// The entropy twin of a bit-packed quantizer decodes bit-identically
+    /// (same levels, same dequantization) and its frame is never larger:
+    /// when the range coder cannot beat bit-packing it falls back to it.
+    #[test]
+    fn prop_entropy_twin_bit_identical_never_larger(
+        seed in 0u64..1 << 32,
+        n in 1usize..2000,
+        bits in 2u8..9,
+    ) {
+        let d = gradient(seed, n);
+        let mut rc = build(&format!("qsgd:{bits}:rc"), n);
+        let mut packed = build(&format!("qsgd:{bits}"), n);
+        let wr = rc.encode(&d, 1.0, &mut Xoshiro256::new(seed ^ 2));
+        let wp = packed.encode(&d, 1.0, &mut Xoshiro256::new(seed ^ 2));
+        prop_assert!(wr.len() <= wp.len(), "entropy frame expanded: {} > {}", wr.len(), wp.len());
+        let a = wr.decode().expect("rc decodes").into_dense();
+        let b = wp.decode().expect("packed decodes").into_dense();
+        prop_assert!(
+            a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "entropy decode drifted from bit-packed twin"
+        );
+    }
+
+    /// Same twin property through the sparse composed path: identical
+    /// retained indices, bit-identical values, never more bytes.
+    #[test]
+    fn prop_sparse_entropy_twin(
+        seed in 0u64..1 << 32,
+        n in 20usize..2000,
+        bits in 2u8..9,
+        ratio_pct in 1u32..100,
+    ) {
+        let ratio = ratio_pct as f64 / 100.0;
+        let d = gradient(seed, n);
+        let mut rc = build(&format!("topk+qsgd:{bits}:rc"), n);
+        let mut packed = build(&format!("topk+qsgd:{bits}"), n);
+        let wr = rc.encode(&d, ratio, &mut Xoshiro256::new(seed ^ 3));
+        let wp = packed.encode(&d, ratio, &mut Xoshiro256::new(seed ^ 3));
+        prop_assert!(wr.len() <= wp.len(), "sparse entropy frame expanded");
+        let a = wr.decode().expect("rc decodes").into_sparse().expect("sparse kind");
+        let b = wp.decode().expect("packed decodes").into_sparse().expect("sparse kind");
+        prop_assert_eq!(a.indices(), b.indices());
+        prop_assert!(
+            a.values().iter().zip(b.values().iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "sparse entropy values drifted from bit-packed twin"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mixed layer plans frame `Segmented` updates whose decode preserves the
+    /// total length, keeps dense-coded segments bit-exact, and round-trips
+    /// through a byte re-parse. Entropy rules inside a plan stay bit-identical
+    /// to their bit-packed twin plan.
+    #[test]
+    fn prop_segmented_plan_roundtrip(
+        seed in 0u64..1 << 32,
+        w0 in 8usize..400,
+        b0 in 1usize..40,
+        w1 in 8usize..400,
+        bits in 2u8..9,
+    ) {
+        let layout = vec![
+            SegmentDef::new("l0.weight", w0),
+            SegmentDef::new("l0.bias", b0),
+            SegmentDef::new("l1.weight", w1),
+        ];
+        let n = w0 + b0 + w1;
+        let ctx = CodecCtx::new(n, 1);
+        let registry = CodecRegistry::with_builtins();
+        let rc_plan: LayerPlan =
+            format!("*.bias=dense;*=qsgd:{bits}:rc").parse().expect("plan parses");
+        let packed_plan: LayerPlan =
+            format!("*.bias=dense;*=qsgd:{bits}").parse().expect("plan parses");
+        let mut rc = rc_plan.resolve(&registry, &layout, &ctx).expect("plan resolves");
+        let mut packed = packed_plan.resolve(&registry, &layout, &ctx).expect("plan resolves");
+        let d = gradient(seed, n);
+        let wr = rc.encode(&d, 1.0, &mut Xoshiro256::new(seed ^ 4));
+        let wp = packed.encode(&d, 1.0, &mut Xoshiro256::new(seed ^ 4));
+        prop_assert!(wr.len() <= wp.len(), "segmented entropy plan expanded");
+        let reparsed = WireUpdate::from_bytes(wr.as_bytes().to_vec().into());
+        prop_assert_eq!(&reparsed, &wr);
+        let a = wr.decode().expect("rc plan decodes").into_dense();
+        let b = wp.decode().expect("packed plan decodes").into_dense();
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(
+            a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "segmented entropy decode drifted from bit-packed twin plan"
+        );
+        // The dense-coded bias segment is lossless in both plans.
+        prop_assert!(
+            a[w0..w0 + b0].iter().zip(d[w0..w0 + b0].iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "dense bias segment must round-trip exactly"
+        );
+    }
+
+    /// Error-feedback plans: taking the residual snapshot and restoring it
+    /// between rounds is invisible — a twin codec fed the same inputs without
+    /// the snapshot round-trip emits byte-identical frames every round.
+    #[test]
+    fn prop_ef_plan_snapshot_roundtrip(
+        seed in 0u64..1 << 32,
+        w in 8usize..300,
+        b in 1usize..30,
+        rounds in 1usize..4,
+    ) {
+        let layout = vec![SegmentDef::new("l.weight", w), SegmentDef::new("l.bias", b)];
+        let n = w + b;
+        let ctx = CodecCtx::new(n, 1);
+        let registry = CodecRegistry::with_builtins();
+        let plan: LayerPlan = "*.bias=dense;*=ef-topk".parse().expect("plan parses");
+        let mut snapshotted = plan.resolve(&registry, &layout, &ctx).expect("plan resolves");
+        let mut straight = plan.resolve(&registry, &layout, &ctx).expect("plan resolves");
+        let mut rng_a = Xoshiro256::new(seed ^ 5);
+        let mut rng_b = Xoshiro256::new(seed ^ 5);
+        for round in 0..rounds {
+            let d = gradient(seed.wrapping_add(round as u64), n);
+            let state = snapshotted.take_residual();
+            snapshotted.restore_residual(state);
+            let wa = snapshotted.encode(&d, 0.25, &mut rng_a);
+            let wb = straight.encode(&d, 0.25, &mut rng_b);
+            prop_assert_eq!(&wa, &wb, "snapshot round-trip changed round {} frame", round);
+        }
+        prop_assert!(snapshotted.residual_norm().is_finite());
+        prop_assert_eq!(snapshotted.residual_norm(), straight.residual_norm());
+    }
+}

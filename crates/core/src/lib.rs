@@ -86,4 +86,4 @@ pub use roster::ClientRoster;
 pub use round::RoundOutput;
 pub use runner::{run_experiment, ExperimentResult, LayerBytes, RoundRecord};
 pub use session::{FederatedSession, SessionBuilder};
-pub use sweep::{run_sweep, run_sweep_threaded, SweepGrid};
+pub use sweep::{run_sweep, run_sweep_threaded, run_sweep_threaded_progress, SweepGrid};

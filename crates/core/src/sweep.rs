@@ -59,6 +59,18 @@ pub fn run_sweep_threaded(
     configs: &[ExperimentConfig],
     sweep_threads: usize,
 ) -> Vec<ExperimentResult> {
+    run_sweep_threaded_progress(configs, sweep_threads, false)
+}
+
+/// [`run_sweep_threaded`] with opt-in progress reporting: when `progress` is
+/// true, one `# sweep i/total: …` line is printed to stderr as each run
+/// completes (completion order, not input order — runs finish as the workers
+/// drain the grid). Stdout is untouched, so `--csv` output stays clean.
+pub fn run_sweep_threaded_progress(
+    configs: &[ExperimentConfig],
+    sweep_threads: usize,
+    progress: bool,
+) -> Vec<ExperimentResult> {
     let threads = if sweep_threads == 0 {
         default_threads()
     } else {
@@ -90,7 +102,11 @@ pub fn run_sweep_threaded(
         });
     let cache: HashMap<DataKey, SharedData> = generated.into_iter().collect();
 
-    parallel_map(configs.to_vec(), threads, |config| {
+    let total = configs.len();
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let done = &done;
+    parallel_map(configs.to_vec(), threads, move |config| {
+        let start = std::time::Instant::now();
         let (train, test) = cache
             .get(&data_key(&config))
             .expect("every config's dataset was pre-generated")
@@ -99,7 +115,24 @@ pub fn run_sweep_threaded(
         if config.max_threads == 0 {
             builder = builder.threads(inner_threads);
         }
-        builder.build().run()
+        let result = builder.build().run();
+        if progress {
+            let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            let codec = match (&config.compressor, &config.layer_compressors) {
+                (Some(spec), _) => format!(" codec={spec}"),
+                (None, Some(plan)) => format!(" plan={plan}"),
+                (None, None) => String::new(),
+            };
+            eprintln!(
+                "# sweep {n}/{total}: {} {} beta={} cr={}{codec} done in {:.1}s",
+                config.algorithm.name(),
+                config.dataset.name(),
+                config.beta,
+                config.compression_ratio,
+                start.elapsed().as_secs_f64(),
+            );
+        }
+        result
     })
 }
 

@@ -1,33 +1,62 @@
 //! Matrix multiplication and related linear-algebra kernels.
 //!
-//! The kernels are written as straightforward cache-friendly loops (ikj order
-//! with a blocked inner loop) — fast enough to train the simulator's models on
-//! CPU while staying dependency-free and easy to audit.
+//! The three matmul entry points share one cache-blocked, register-tiled
+//! kernel: a 6×16 output tile is accumulated in registers while the k
+//! dimension streams through it, and large products are parallelised over
+//! disjoint row blocks of the output via [`crate::parallel`]. Both gradient
+//! variants reduce to the same kernel through an explicit (blocked)
+//! transpose of one operand.
+//!
+//! Determinism contract: every output element accumulates its `k`
+//! contributions in ascending order into a single `f32` accumulator —
+//! exactly the order the original scalar loops used — and row blocks are
+//! disjoint, so results are bit-identical for any thread count and to the
+//! pre-tiled kernels. `matmul` / `matmul_at_b` keep their historical
+//! skip of zero `A` entries; `matmul_a_bt` (which never skipped) does not.
 
+use crate::parallel::{default_threads, parallel_row_blocks};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+/// Register-tile height (output rows held in accumulators at once).
+const MR: usize = 6;
+/// Register-tile width (output columns held in accumulators at once).
+const NR: usize = 16;
+/// Cache-block depth: the `k` range a register tile consumes before its
+/// partial sums return to the output buffer. A `KC`×`NR` stripe of `B`
+/// (16 KiB) stays L1-resident for the whole stripe of row tiles.
+const KC: usize = 256;
+/// Cache-block width: columns of `B` processed per pass, keeping the
+/// `KC`×`NC` panel (128 KiB) L2-resident across all row tiles.
+const NC: usize = 128;
+/// Products with at least this many multiply–accumulates fan out over the
+/// worker pool; smaller ones (every per-client training step at the default
+/// model sizes) stay sequential, because clients already train in parallel.
+const PAR_MIN_MACS: usize = 1 << 25;
+
+fn auto_threads(m: usize, k: usize, n: usize) -> usize {
+    if m.saturating_mul(k).saturating_mul(n) >= PAR_MIN_MACS {
+        default_threads()
+    } else {
+        1
+    }
+}
 
 /// `C = A @ B` where `A` is `[m, k]` and `B` is `[k, n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = as_matrix_dims(a, "matmul lhs");
+    let (_, n) = as_matrix_dims(b, "matmul rhs");
+    matmul_with_threads(a, b, auto_threads(m, k, n))
+}
+
+/// [`matmul`] with an explicit thread cap (the auto-picked count is a pure
+/// performance choice; results are bit-identical for any value).
+pub fn matmul_with_threads(a: &Tensor, b: &Tensor, max_threads: usize) -> Tensor {
+    let (m, k) = as_matrix_dims(a, "matmul lhs");
     let (k2, n) = as_matrix_dims(b, "matmul rhs");
     assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &bd[p * n..(p + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_ip * b_pj;
-            }
-        }
-    }
+    nt_parallel::<true, false>(a.data(), k, k, b.data(), n, &mut out, max_threads);
     Tensor::from_vec(Shape::matrix(m, n), out)
 }
 
@@ -35,27 +64,23 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// gradients (`dW = X^T @ dY`).
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = as_matrix_dims(a, "matmul_at_b lhs");
+    let (_, n) = as_matrix_dims(b, "matmul_at_b rhs");
+    matmul_at_b_with_threads(a, b, auto_threads(m, k, n))
+}
+
+/// [`matmul_at_b`] with an explicit thread cap.
+pub fn matmul_at_b_with_threads(a: &Tensor, b: &Tensor, max_threads: usize) -> Tensor {
+    let (k, m) = as_matrix_dims(a, "matmul_at_b lhs");
     let (k2, n) = as_matrix_dims(b, "matmul_at_b rhs");
     assert_eq!(
         k, k2,
         "matmul_at_b: leading dimensions differ ({k} vs {k2})"
     );
+    // The kernel reads `A` in its stored `[k, m]` layout (`AT = true`), so
+    // no transposed copy is materialised: per tile that is six strided
+    // scalar loads per `p`, the same load count as the contiguous case.
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for p in 0..k {
-        let a_row = &ad[p * m..(p + 1) * m];
-        let b_row = &bd[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_pi * b_pj;
-            }
-        }
-    }
+    nt_parallel::<true, true>(a.data(), m, k, b.data(), n, &mut out, max_threads);
     Tensor::from_vec(Shape::matrix(m, n), out)
 }
 
@@ -63,34 +88,252 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 /// gradients (`dX = dY @ W^T` with `W` stored `[in, out]` transposed access).
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = as_matrix_dims(a, "matmul_a_bt lhs");
+    let (n, _) = as_matrix_dims(b, "matmul_a_bt rhs");
+    matmul_a_bt_with_threads(a, b, auto_threads(m, k, n))
+}
+
+/// [`matmul_a_bt`] with an explicit thread cap.
+pub fn matmul_a_bt_with_threads(a: &Tensor, b: &Tensor, max_threads: usize) -> Tensor {
+    let (m, k) = as_matrix_dims(a, "matmul_a_bt lhs");
     let (n, k2) = as_matrix_dims(b, "matmul_a_bt rhs");
     assert_eq!(k, k2, "matmul_a_bt: inner dimensions differ ({k} vs {k2})");
+    // `B^T` is materialised once (O(nk), vs O(mnk) multiply work) because
+    // the register tile needs `NR` consecutive output columns of `B`-row
+    // data per load. The historical per-element dot product never skipped
+    // zero entries, so the non-skipping kernel keeps results bit-identical
+    // even for non-finite operands (0.0 * inf must still produce NaN here).
+    let bt = transpose(b);
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
-    }
+    nt_parallel::<false, false>(a.data(), k, k, bt.data(), n, &mut out, max_threads);
     Tensor::from_vec(Shape::matrix(m, n), out)
 }
 
-/// Matrix transpose of a `[m, n]` tensor.
+/// Element `A[row, p]` under the kernel's two storage modes: `AT = false`
+/// reads a row-major `[rows, k]` matrix with `a_stride = k`; `AT = true`
+/// reads the logical transpose straight out of a `[k, m]` matrix with
+/// `a_stride = m` (no transposed copy).
+#[inline(always)]
+fn a_at<const AT: bool>(ad: &[f32], a_stride: usize, row: usize, p: usize) -> f32 {
+    if AT {
+        ad[p * a_stride + row]
+    } else {
+        ad[row * a_stride + p]
+    }
+}
+
+/// Split `out` into contiguous row blocks and run the row-major kernel on
+/// each; blocks write disjoint output so any schedule is bit-identical.
+fn nt_parallel<const SKIP: bool, const AT: bool>(
+    ad: &[f32],
+    a_stride: usize,
+    k: usize,
+    bd: &[f32],
+    n: usize,
+    out: &mut [f32],
+    max_threads: usize,
+) {
+    if n == 0 || out.is_empty() {
+        return;
+    }
+    parallel_row_blocks(out, n, max_threads, |row0, chunk| {
+        nt_rows::<SKIP, AT>(ad, a_stride, row0, k, bd, n, chunk);
+    });
+}
+
+/// `out_block = A[row0..row0+rows] @ b` over row-major operands.
+///
+/// Structure: `NC`-column × `KC`-deep cache blocks around an `MR`×`NR`
+/// register tile. A tile's accumulators resume from the partial sums in
+/// `out_block` and return there after each `k` block, and the `k` blocks run
+/// in ascending order — so every output element still receives its `k`
+/// contributions in exactly the ascending single-accumulator order of the
+/// plain ikj loop, regardless of the blocking.
+fn nt_rows<const SKIP: bool, const AT: bool>(
+    ad: &[f32],
+    a_stride: usize,
+    row0: usize,
+    k: usize,
+    bd: &[f32],
+    n: usize,
+    out_block: &mut [f32],
+) {
+    let rows = out_block.len() / n;
+    let rows_main = rows - rows % MR;
+    let n_main = n - n % NR;
+    // `B` panel packed per (`jc`, `kb`) block: each register tile's stripe
+    // becomes one contiguous `NR`-wide run, so the hot loop streams L1
+    // lines in order instead of hopping `n`-strided rows. Pure copies —
+    // the arithmetic and its order are untouched.
+    let mut bpack = vec![0.0f32; KC * NC];
+    // `A` panel packed per (`i`, `kb`) tile in the transposed-read mode:
+    // the `[k, m]` layout makes each `A` load an `m`-strided column walk, so
+    // gathering the `MR`×`kb_len` panel once (reads are contiguous `MR` runs
+    // along `m`) replaces one strided pass per `j` tile with a single copy.
+    // Pure data movement — values and accumulation order are untouched.
+    let mut apack = [0.0f32; MR * KC];
+    for jc in (0..n_main).step_by(NC) {
+        let jc_end = (jc + NC).min(n_main);
+        for kb in (0..k).step_by(KC) {
+            let kb_end = (kb + KC).min(k);
+            let kb_len = kb_end - kb;
+            for (jt, j) in (jc..jc_end).step_by(NR).enumerate() {
+                for p in kb..kb_end {
+                    let src = &bd[p * n + j..p * n + j + NR];
+                    let at = (jt * kb_len + (p - kb)) * NR;
+                    bpack[at..at + NR].copy_from_slice(src);
+                }
+            }
+            for i in (0..rows_main).step_by(MR) {
+                if AT {
+                    for (pi, p) in (kb..kb_end).enumerate() {
+                        let src = &ad[p * a_stride + row0 + i..p * a_stride + row0 + i + MR];
+                        for (r, &v) in src.iter().enumerate() {
+                            apack[r * kb_len + pi] = v;
+                        }
+                    }
+                }
+                // Hoisted zero scan: when the `MR`×`KC` panel of `A` is
+                // zero-free (the overwhelmingly common case for real
+                // activations), the register tile runs branch-free; the
+                // skip only changes results for non-finite `B` entries,
+                // and only where a zero actually occurs.
+                let panel_has_zero = SKIP
+                    && if AT {
+                        apack[..MR * kb_len].contains(&0.0)
+                    } else {
+                        (0..MR).any(|r| {
+                            (kb..kb_end).any(|p| a_at::<AT>(ad, a_stride, row0 + i + r, p) == 0.0)
+                        })
+                    };
+                for (jt, j) in (jc..jc_end).step_by(NR).enumerate() {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for (r, acc_row) in acc.iter_mut().enumerate() {
+                        let at = (i + r) * n + j;
+                        acc_row.copy_from_slice(&out_block[at..at + NR]);
+                    }
+                    let stripe = &bpack[jt * kb_len * NR..(jt + 1) * kb_len * NR];
+                    // In the transposed mode the tile reads the packed panel
+                    // as an ordinary row-major `[MR, kb_len]` block (stride
+                    // `kb_len`, row 0, `p` offset 0).
+                    match (AT, panel_has_zero) {
+                        (true, true) => {
+                            nt_tile::<true, false>(&apack, kb_len, 0, 0, stripe, &mut acc)
+                        }
+                        (true, false) => {
+                            nt_tile::<false, false>(&apack, kb_len, 0, 0, stripe, &mut acc)
+                        }
+                        (false, true) => {
+                            nt_tile::<true, AT>(ad, a_stride, row0 + i, kb, stripe, &mut acc)
+                        }
+                        (false, false) => {
+                            nt_tile::<false, AT>(ad, a_stride, row0 + i, kb, stripe, &mut acc)
+                        }
+                    }
+                    for (r, acc_row) in acc.iter().enumerate() {
+                        let at = (i + r) * n + j;
+                        out_block[at..at + NR].copy_from_slice(acc_row);
+                    }
+                }
+            }
+        }
+    }
+    if n_main < n {
+        for r in 0..rows_main {
+            nt_row_tail::<SKIP, AT>(
+                ad,
+                a_stride,
+                row0 + r,
+                k,
+                bd,
+                n,
+                n_main,
+                &mut out_block[r * n..(r + 1) * n],
+            );
+        }
+    }
+    for r in rows_main..rows {
+        nt_row_tail::<SKIP, AT>(
+            ad,
+            a_stride,
+            row0 + r,
+            k,
+            bd,
+            n,
+            0,
+            &mut out_block[r * n..(r + 1) * n],
+        );
+    }
+}
+
+/// The register tile's `p` loop over one packed `B` stripe (`kb_len`
+/// consecutive `NR`-wide rows). `CHECK` selects the zero-skipping variant,
+/// used only when the hoisted panel scan actually found a zero.
+#[inline(always)]
+fn nt_tile<const CHECK: bool, const AT: bool>(
+    ad: &[f32],
+    a_stride: usize,
+    row: usize,
+    kb: usize,
+    stripe: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    for (pi, b_run) in stripe.chunks_exact(NR).enumerate() {
+        let b_tile: &[f32; NR] = b_run.try_into().unwrap();
+        let p = kb + pi;
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let a_ip = a_at::<AT>(ad, a_stride, row + r, p);
+            if CHECK && a_ip == 0.0 {
+                continue;
+            }
+            for (o, &b_pj) in acc_row.iter_mut().zip(b_tile) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Single-row fallback covering columns `j0..n`: the plain ikj loop, i.e.
+/// the same p-ascending single-accumulator order as the register tile.
+#[allow(clippy::too_many_arguments)]
+fn nt_row_tail<const SKIP: bool, const AT: bool>(
+    ad: &[f32],
+    a_stride: usize,
+    row: usize,
+    k: usize,
+    bd: &[f32],
+    n: usize,
+    j0: usize,
+    out_row: &mut [f32],
+) {
+    for p in 0..k {
+        let a_ip = a_at::<AT>(ad, a_stride, row, p);
+        if SKIP && a_ip == 0.0 {
+            continue;
+        }
+        let b_row = &bd[p * n + j0..(p + 1) * n];
+        for (o, &b_pj) in out_row[j0..].iter_mut().zip(b_row) {
+            *o += a_ip * b_pj;
+        }
+    }
+}
+
+/// Matrix transpose of a `[m, n]` tensor, copied tile by tile so both the
+/// read and the write side stay cache-resident.
 pub fn transpose(a: &Tensor) -> Tensor {
+    const TB: usize = 32;
     let (m, n) = as_matrix_dims(a, "transpose");
     let ad = a.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = ad[i * n + j];
+    for i0 in (0..m).step_by(TB) {
+        let i_end = (i0 + TB).min(m);
+        for j0 in (0..n).step_by(TB) {
+            let j_end = (j0 + TB).min(n);
+            for i in i0..i_end {
+                let row = &ad[i * n..(i + 1) * n];
+                for j in j0..j_end {
+                    out[j * m + i] = row[j];
+                }
+            }
         }
     }
     Tensor::from_vec(Shape::matrix(n, m), out)
@@ -98,13 +341,12 @@ pub fn transpose(a: &Tensor) -> Tensor {
 
 /// Add a row vector `bias` (`[n]`) to every row of a `[m, n]` matrix in place.
 pub fn add_bias_rows(a: &mut Tensor, bias: &Tensor) {
-    let (m, n) = as_matrix_dims(a, "add_bias_rows matrix");
+    let (_, n) = as_matrix_dims(a, "add_bias_rows matrix");
     assert_eq!(bias.numel(), n, "bias length must equal column count");
     let bd = bias.data().to_vec();
-    let ad = a.data_mut();
-    for i in 0..m {
-        for j in 0..n {
-            ad[i * n + j] += bd[j];
+    for row in a.data_mut().chunks_exact_mut(n) {
+        for (o, &bv) in row.iter_mut().zip(bd.iter()) {
+            *o += bv;
         }
     }
 }
@@ -112,12 +354,11 @@ pub fn add_bias_rows(a: &mut Tensor, bias: &Tensor) {
 /// Sum over rows of a `[m, n]` matrix, producing a `[n]` vector
 /// (used for bias gradients).
 pub fn sum_rows(a: &Tensor) -> Tensor {
-    let (m, n) = as_matrix_dims(a, "sum_rows");
-    let ad = a.data();
+    let (_, n) = as_matrix_dims(a, "sum_rows");
     let mut out = vec![0.0f32; n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j] += ad[i * n + j];
+    for row in a.data().chunks_exact(n) {
+        for (o, &v) in out.iter_mut().zip(row.iter()) {
+            *o += v;
         }
     }
     Tensor::from_vec(Shape::vector(n), out)
@@ -137,9 +378,56 @@ fn as_matrix_dims(t: &Tensor, what: &str) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Xoshiro256;
 
     fn mat(rows: usize, cols: usize, data: &[f32]) -> Tensor {
         Tensor::from_vec(Shape::matrix(rows, cols), data.to_vec())
+    }
+
+    /// Reference kernels: the pre-tiled scalar loops, verbatim. The tiled
+    /// kernels must reproduce them bit for bit at every shape.
+    fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = as_matrix_dims(a, "matmul lhs");
+        let (k2, n) = as_matrix_dims(b, "matmul rhs");
+        assert_eq!(k, k2);
+        let mut out = vec![0.0f32; m * n];
+        let ad = a.data();
+        let bd = b.data();
+        for i in 0..m {
+            let a_row = &ad[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+        Tensor::from_vec(Shape::matrix(m, n), out)
+    }
+
+    fn a_bt_reference(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = as_matrix_dims(a, "lhs");
+        let (n, k2) = as_matrix_dims(b, "rhs");
+        assert_eq!(k, k2);
+        let mut out = vec![0.0f32; m * n];
+        let ad = a.data();
+        let bd = b.data();
+        for i in 0..m {
+            let a_row = &ad[i * k..(i + 1) * k];
+            for (j, o) in out[i * n..(i + 1) * n].iter_mut().enumerate() {
+                let b_row = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(Shape::matrix(m, n), out)
     }
 
     #[test]
@@ -157,6 +445,65 @@ mod tests {
         let eye = mat(2, 2, &[1.0, 0.0, 0.0, 1.0]);
         assert_eq!(matmul(&a, &eye).data(), a.data());
         assert_eq!(matmul(&eye, &a).data(), a.data());
+    }
+
+    #[test]
+    fn tiled_kernels_are_bit_identical_to_scalar_reference() {
+        // Shapes straddling every tile boundary: sub-tile, exact multiples
+        // of (MR, NR), and ragged remainders in both directions.
+        let shapes = [
+            (1, 1, 1),
+            (3, 5, 7),
+            (6, 8, 16),
+            (7, 9, 17),
+            (12, 33, 32),
+            (13, 4, 49),
+            (25, 31, 19),
+        ];
+        let mut rng = Xoshiro256::new(11);
+        for &(m, k, n) in &shapes {
+            let mut a = Tensor::rand_uniform(Shape::matrix(m, k), -2.0, 2.0, &mut rng);
+            // Sprinkle exact zeros so the skip path is exercised.
+            for v in a.data_mut().iter_mut().step_by(3) {
+                *v = 0.0;
+            }
+            let b = Tensor::rand_uniform(Shape::matrix(k, n), -2.0, 2.0, &mut rng);
+            let reference = matmul_reference(&a, &b);
+            assert_eq!(
+                matmul(&a, &b).data(),
+                reference.data(),
+                "matmul {m}x{k}x{n} diverged from the scalar kernel"
+            );
+            let b_nk = Tensor::rand_uniform(Shape::matrix(n, k), -2.0, 2.0, &mut rng);
+            assert_eq!(
+                matmul_a_bt(&a, &b_nk).data(),
+                a_bt_reference(&a, &b_nk).data(),
+                "matmul_a_bt {m}x{k}x{n} diverged from the scalar kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let mut rng = Xoshiro256::new(5);
+        let a = Tensor::rand_uniform(Shape::matrix(37, 23), -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(Shape::matrix(23, 41), -1.0, 1.0, &mut rng);
+        let b_nk = Tensor::rand_uniform(Shape::matrix(41, 23), -1.0, 1.0, &mut rng);
+        let a_t = Tensor::rand_uniform(Shape::matrix(23, 37), -1.0, 1.0, &mut rng);
+        let one = matmul_with_threads(&a, &b, 1);
+        let one_bt = matmul_a_bt_with_threads(&a, &b_nk, 1);
+        let one_at = matmul_at_b_with_threads(&a_t, &b, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(matmul_with_threads(&a, &b, threads).data(), one.data());
+            assert_eq!(
+                matmul_a_bt_with_threads(&a, &b_nk, threads).data(),
+                one_bt.data()
+            );
+            assert_eq!(
+                matmul_at_b_with_threads(&a_t, &b, threads).data(),
+                one_at.data()
+            );
+        }
     }
 
     #[test]
@@ -187,6 +534,21 @@ mod tests {
         let tt = transpose(&transpose(&a));
         assert_eq!(tt.data(), a.data());
         assert_eq!(tt.shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn transpose_tiled_matches_naive_at_ragged_shapes() {
+        let mut rng = Xoshiro256::new(9);
+        for &(m, n) in &[(1usize, 1usize), (31, 33), (32, 32), (65, 7), (5, 100)] {
+            let a = Tensor::rand_uniform(Shape::matrix(m, n), -1.0, 1.0, &mut rng);
+            let t = transpose(&a);
+            assert_eq!(t.shape().dims(), &[n, m]);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(t.data()[j * m + i], a.data()[i * n + j]);
+                }
+            }
+        }
     }
 
     #[test]

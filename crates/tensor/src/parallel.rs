@@ -102,6 +102,46 @@ where
     parallel_map(bounds, max_threads, |(start, end)| f(start, end))
 }
 
+/// Split a row-major buffer into contiguous blocks of whole rows and run
+/// `f(first_row, block)` on each, possibly in parallel.
+///
+/// The blocks are disjoint `&mut` views, so this is the primitive for
+/// writing independent output rows (matmul) without interior mutability.
+/// Block boundaries depend only on `max_threads` through *which* rows land
+/// together — never on what `f` computes per row — so any kernel whose rows
+/// are independent is bit-identical for every thread count.
+///
+/// `data.len()` must be a multiple of `row_len`. Panics if `row_len == 0`
+/// (unless `data` is empty, which is a no-op).
+pub fn parallel_row_blocks<T, F>(data: &mut [T], row_len: usize, max_threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "buffer length must be a whole number of rows"
+    );
+    let rows = data.len() / row_len;
+    let threads = max_threads.max(1).min(rows);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let block_rows = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (b, chunk) in data.chunks_mut(block_rows * row_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(b * block_rows, chunk));
+        }
+    });
+}
+
 /// Run `f(start, end)` over disjoint index ranges covering `0..len`, possibly
 /// in parallel. Useful for chunked in-place updates where the caller handles
 /// the split of mutable state.
@@ -179,6 +219,32 @@ mod tests {
     #[should_panic]
     fn fixed_shards_reject_zero_shard_size() {
         parallel_fixed_shards(10, 0, 1, |s, e| (s, e));
+    }
+
+    #[test]
+    fn row_blocks_cover_all_rows_disjointly() {
+        let mut data = vec![0u32; 7 * 5];
+        parallel_row_blocks(&mut data, 5, 3, |first_row, block| {
+            for (r, row) in block.chunks_exact_mut(5).enumerate() {
+                for v in row {
+                    *v += (first_row + r) as u32 + 1;
+                }
+            }
+        });
+        for (r, row) in data.chunks_exact(5).enumerate() {
+            assert!(row.iter().all(|&v| v == r as u32 + 1), "row {r}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn row_blocks_empty_and_single_thread() {
+        let mut empty: Vec<u8> = vec![];
+        parallel_row_blocks(&mut empty, 4, 8, |_, _| panic!("no rows, no calls"));
+        let mut data = vec![1u8; 12];
+        parallel_row_blocks(&mut data, 4, 1, |first_row, block| {
+            assert_eq!(first_row, 0);
+            assert_eq!(block.len(), 12);
+        });
     }
 
     #[test]

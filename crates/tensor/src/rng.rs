@@ -58,6 +58,10 @@ pub trait Rng {
             idx.swap(i, j);
         }
         idx.truncate(k);
+        // Truncation keeps the O(n) capacity; callers store the draw long
+        // term (round records hold the selected cohort), so hand back a
+        // buffer sized to k rather than to the whole population.
+        idx.shrink_to_fit();
         idx
     }
 }

@@ -63,9 +63,15 @@ pub trait BufMut {
 }
 
 /// An immutable, cheaply cloneable byte buffer (an `Arc`-backed slice view).
+///
+/// Backed by an `Arc<Vec<u8>>` rather than an `Arc<[u8]>` so that
+/// [`BytesMut::freeze`] (and `Bytes::from(Vec<u8>)`) is a pointer move —
+/// converting a `Vec` into an `Arc<[u8]>` would copy every byte into a fresh
+/// allocation, which on the encode hot path meant copying every wire buffer
+/// once more than necessary.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -127,7 +133,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Self {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }

@@ -25,6 +25,12 @@ impl BenchmarkId {
     }
 }
 
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> Self {
+        id.full
+    }
+}
+
 /// Passed to the benchmark closure; `iter` runs and times the payload.
 pub struct Bencher<'a> {
     iters: u64,
@@ -102,6 +108,13 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
+    /// Override the sample count for the benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
     pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
