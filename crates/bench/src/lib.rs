@@ -24,7 +24,11 @@
 //! * `--layer-compressors PLAN` — assign uplink codecs per model layer with a
 //!   first-match glob plan (e.g. `'conv*=topk;*.bias=dense;*=qsgd:8'`).
 //!   Applied to every run `bench_config` builds; `table2_main` instead adds
-//!   dedicated plan rows so its OPWA grid rows stay valid.
+//!   dedicated plan rows so its OPWA grid rows stay valid;
+//! * `--scenario SPEC`   — run the fleet through a dynamic scenario
+//!   (`diurnal`, `churn:leave=0.1`, `towers:groups=4`, `tiered`,
+//!   `trace:path.trace`, …) instead of the paper's static always-on fleet.
+//!   `fig14_scenarios` instead uses it to replace its dynamic scenario rows.
 //!
 //! The Criterion benches under `benches/` cover the micro-performance of the
 //! building blocks (compression, aggregation, scheduling, training step).
@@ -32,7 +36,7 @@
 use fl_compress::{CompressorSpec, LayerPlan};
 use fl_core::{Algorithm, ExperimentConfig, ExperimentResult, ModelPreset};
 use fl_data::DatasetPreset;
-use fl_netsim::CostBasis;
+use fl_netsim::{CostBasis, ScenarioSpec};
 
 /// Command-line arguments shared by every experiment binary.
 #[derive(Clone, Debug)]
@@ -65,6 +69,9 @@ pub struct BenchArgs {
     /// Layer-aware uplink codec plan (`--layer-compressors PLAN`); `None`
     /// keeps the flat codec path.
     pub layer_compressors: Option<LayerPlan>,
+    /// Fleet scenario (`--scenario NAME[:k=v,...]`, e.g. `diurnal:period=8`
+    /// or `trace:runs/fleet.trace`); `None` keeps the static fleet.
+    pub scenario: Option<ScenarioSpec>,
     /// Extra flags not recognised by the common parser (binary-specific).
     pub extra: Vec<String>,
 }
@@ -84,6 +91,7 @@ impl Default for BenchArgs {
             cost_basis: None,
             downlink: None,
             layer_compressors: None,
+            scenario: None,
             extra: Vec::new(),
         }
     }
@@ -151,6 +159,16 @@ impl BenchArgs {
                     out.layer_compressors = Some(value.parse().unwrap_or_else(|e| {
                         panic!("--layer-compressors: cannot parse {value:?}: {e}")
                     }));
+                }
+                "--scenario" => {
+                    let value = it.next().unwrap_or_else(|| {
+                        panic!("--scenario needs a spec, e.g. diurnal or churn:leave=0.1")
+                    });
+                    out.scenario = Some(
+                        value
+                            .parse()
+                            .unwrap_or_else(|e| panic!("--scenario: cannot parse {value:?}: {e}")),
+                    );
                 }
                 other => out.extra.push(other.to_string()),
             }
@@ -230,6 +248,9 @@ pub fn bench_config(
     }
     if let Some(plan) = &args.layer_compressors {
         config.layer_compressors = Some(plan.clone());
+    }
+    if let Some(spec) = &args.scenario {
+        config.scenario = Some(spec.clone());
     }
     config
 }
@@ -364,6 +385,32 @@ mod tests {
         assert_eq!(d.layer_compressors, None);
         let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &d);
         assert_eq!(c.layer_compressors, None);
+    }
+
+    #[test]
+    fn parses_scenario_flag() {
+        let a = parse(&["--scenario", "churn:leave=0.1,join=0.4"]);
+        assert_eq!(
+            a.scenario.as_ref().unwrap().to_string(),
+            "churn:leave=0.1,join=0.4"
+        );
+        let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &a);
+        assert_eq!(
+            c.scenario.as_ref().unwrap().to_string(),
+            "churn:leave=0.1,join=0.4"
+        );
+        assert!(c.validate().is_ok());
+        // Unset keeps the static fleet.
+        let d = parse(&[]);
+        assert_eq!(d.scenario, None);
+        let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &d);
+        assert_eq!(c.scenario, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scenario")]
+    fn bad_scenario_spec_panics() {
+        parse(&["--scenario", "blizzard"]);
     }
 
     #[test]

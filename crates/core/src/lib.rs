@@ -40,6 +40,16 @@
 //! * [`policy::RatioPolicy`] — a uniform ratio or the BCRS scheduler;
 //! * [`policy::ServerOpt`] — plain SGD update (paper) or server momentum.
 //!
+//! An optional fourth seam layers trace-driven fleet dynamics on top:
+//! [`config::ExperimentConfig::scenario`] names a generator (diurnal
+//! participation waves, Poisson churn, tiered link jitter, correlated tower
+//! outages) or a recorded trace file, and [`scenario::ScenarioHandle`]
+//! advances the resulting per-round `fl_netsim::FleetEvent` stream exactly
+//! once per round — cohorts come from the reachable clients, transfers are
+//! priced over the scenario's link overrides, and each
+//! [`runner::RoundRecord`] carries participation/churn telemetry. With
+//! `scenario: None` every record is bit-identical to pre-scenario builds.
+//!
 //! # Population scale
 //!
 //! Clients are virtualized ([`roster::ClientRoster`]): only each client's
@@ -68,6 +78,7 @@ pub mod policy;
 pub mod roster;
 pub mod round;
 pub mod runner;
+pub mod scenario;
 pub mod session;
 pub mod sweep;
 
@@ -85,5 +96,6 @@ pub use policy::{
 pub use roster::ClientRoster;
 pub use round::RoundOutput;
 pub use runner::{run_experiment, ExperimentResult, LayerBytes, RoundRecord};
+pub use scenario::{record_scenario_trace, scenario_seed, ScenarioHandle, ScenarioSelector};
 pub use session::{FederatedSession, SessionBuilder};
 pub use sweep::{run_sweep, run_sweep_threaded, run_sweep_threaded_progress, SweepGrid};

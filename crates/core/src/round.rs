@@ -130,6 +130,13 @@ impl FederatedSession {
     /// loss/ratio averages, the straggler `max` and any per-client byte
     /// arithmetic downstream never operate on an empty set.
     fn select(&mut self, round: usize) -> Selection {
+        // Advance the scenario's fleet to this round *before* the selector
+        // runs, in the engine rather than inside the selector: a custom
+        // selector override can change who is picked but can never skip (or
+        // double-apply — `advance` is idempotent) a round's fleet events.
+        if let Some(handle) = &self.scenario {
+            handle.advance(round);
+        }
         let ctx = SelectionCtx {
             round,
             num_clients: self.config.num_clients,
@@ -140,7 +147,16 @@ impl FederatedSession {
         if selected.is_empty() {
             selected.push(self.selection_rng.next_below(self.config.num_clients));
         }
-        let links = selected.iter().map(|&i| self.links[i]).collect();
+        // Cohort links honour the scenario's per-round overrides (tier
+        // resampling, rejoin links); without a scenario this is exactly the
+        // static draw.
+        let links = match &self.scenario {
+            Some(handle) => selected
+                .iter()
+                .map(|&i| handle.link_for(i, &self.links))
+                .collect(),
+            None => selected.iter().map(|&i| self.links[i]).collect(),
+        };
         Selection { selected, links }
     }
 
@@ -463,6 +479,7 @@ impl FederatedSession {
             selected_clients: selection.selected,
             overlap: aggregate.overlap.map(|c| c.stats()),
             layer_bytes,
+            scenario: self.scenario.as_ref().map(|h| h.telemetry()),
         };
         RoundOutput {
             record,

@@ -12,7 +12,7 @@ use crate::eval::evaluate;
 use crate::overlap::OverlapStats;
 use crate::session::SessionBuilder;
 use fl_data::{Dataset, PartitionStats};
-use fl_netsim::RoundBreakdown;
+use fl_netsim::{RoundBreakdown, ScenarioTelemetry};
 use fl_nn::{try_unflatten_params, LayoutError, Sequential};
 use fl_tensor::rng::Xoshiro256;
 use serde::{Deserialize, Serialize};
@@ -83,6 +83,10 @@ pub struct RoundRecord {
     /// mixed layer plan framed the uploads per segment (`None` on the flat
     /// codec path — including uniform plans, which collapse to it).
     pub layer_bytes: Option<Vec<LayerBytes>>,
+    /// Participation/churn telemetry of the fleet scenario, present when the
+    /// configuration runs one (`config.scenario`); `None` under the paper's
+    /// static fleet.
+    pub scenario: Option<ScenarioTelemetry>,
 }
 
 impl PartialEq for RoundRecord {
@@ -114,6 +118,7 @@ impl PartialEq for RoundRecord {
             selected_clients,
             overlap,
             layer_bytes,
+            scenario,
         } = other;
         self.round == *round
             && bits(self.test_accuracy) == bits(*test_accuracy)
@@ -131,6 +136,7 @@ impl PartialEq for RoundRecord {
             && self.selected_clients == *selected_clients
             && self.overlap == *overlap
             && self.layer_bytes == *layer_bytes
+            && self.scenario == *scenario
     }
 }
 
@@ -200,14 +206,23 @@ impl ExperimentResult {
     }
 
     /// CSV dump of the round records
-    /// (`round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s`).
+    /// (`round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s,available_clients,joined,departed,link_changes`).
+    /// The trailing four columns carry the fleet scenario's telemetry; under
+    /// the paper's static fleet (`scenario: None`) they report the full
+    /// population as available with zero churn.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s\n",
+            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s,available_clients,joined,departed,link_changes\n",
         );
         for r in &self.records {
+            let fleet = r.scenario.unwrap_or(ScenarioTelemetry {
+                available: self.config.num_clients,
+                joined: 0,
+                departed: 0,
+                link_changes: 0,
+            });
             out.push_str(&format!(
-                "{},{:.4},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.4}\n",
+                "{},{:.4},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{}\n",
                 r.round,
                 r.test_accuracy,
                 r.test_loss,
@@ -218,7 +233,11 @@ impl ExperimentResult {
                 r.comm_actual_s,
                 r.cumulative_actual_s,
                 r.cumulative_max_s,
-                r.cumulative_min_s
+                r.cumulative_min_s,
+                fleet.available,
+                fleet.joined,
+                fleet.departed,
+                fleet.link_changes
             ));
         }
         out
@@ -440,12 +459,23 @@ mod tests {
         let header = csv.lines().next().unwrap();
         assert_eq!(
             header,
-            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s"
+            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s,available_clients,joined,departed,link_changes"
         );
         // Every row has exactly as many cells as the header.
         let columns = header.split(',').count();
         for line in csv.lines().skip(1) {
             assert_eq!(line.split(',').count(), columns, "malformed row: {line}");
+        }
+    }
+
+    #[test]
+    fn static_fleet_csv_reports_full_population_and_no_churn() {
+        let r = run_experiment(&quick(Algorithm::TopK));
+        assert!(r.records.iter().all(|rec| rec.scenario.is_none()));
+        let csv = r.to_csv();
+        let n = r.config.num_clients;
+        for line in csv.lines().skip(1) {
+            assert!(line.ends_with(&format!(",{n},0,0,0")), "{line}");
         }
     }
 

@@ -30,6 +30,7 @@ use crate::policy::{
 };
 use crate::roster::ClientRoster;
 use crate::runner::{ExperimentResult, RoundRecord};
+use crate::scenario::{scenario_seed, ScenarioHandle, ScenarioSelector};
 use fl_compress::{CodecCtx, CodecRegistry, DownlinkChannel};
 use fl_data::{dirichlet_partition, Dataset, PartitionStats};
 use fl_netsim::{CommModel, Link, RoundBreakdown, TimeAccumulator};
@@ -211,7 +212,24 @@ impl SessionBuilder {
         };
         let cohort = config.clients_per_round();
 
-        let selector = self.selector.unwrap_or_else(|| default_selector(&config));
+        // --- Scenario (dynamic fleet) -------------------------------------------
+        // Built only when configured: with `scenario: None` no handle exists,
+        // no extra RNG stream is consumed and the selector resolution below
+        // falls through to the config-implied default — records stay
+        // bit-identical to pre-scenario builds. An explicit selector override
+        // still wins over the scenario selector (the handle keeps advancing
+        // the fleet either way, so link overrides and telemetry remain live).
+        let scenario = config.scenario.as_ref().map(|spec| {
+            let generator = spec
+                .build(config.num_clients, scenario_seed(&config))
+                .unwrap_or_else(|e| panic!("invalid scenario spec {spec}: {e}"));
+            ScenarioHandle::new(generator, config.num_clients)
+        });
+
+        let selector = self.selector.unwrap_or_else(|| match &scenario {
+            Some(handle) => Box::new(ScenarioSelector::new(handle.clone(), config.dropout_rate)),
+            None => default_selector(&config),
+        });
         let ratio_policy = self
             .ratio_policy
             .unwrap_or_else(|| default_ratio_policy(&config, comm));
@@ -236,6 +254,7 @@ impl SessionBuilder {
             ratio_policy,
             server_opt,
             downlink,
+            scenario,
             selection_rng,
             time_acc: TimeAccumulator::new(),
             breakdown_total: RoundBreakdown::default(),
@@ -272,6 +291,7 @@ pub struct FederatedSession {
     pub(crate) ratio_policy: Box<dyn RatioPolicy>,
     pub(crate) server_opt: Box<dyn ServerOpt>,
     pub(crate) downlink: Option<DownlinkChannel>,
+    pub(crate) scenario: Option<ScenarioHandle>,
     pub(crate) selection_rng: Xoshiro256,
     pub(crate) time_acc: TimeAccumulator,
     pub(crate) breakdown_total: RoundBreakdown,
@@ -348,6 +368,13 @@ impl FederatedSession {
     /// memory tests read their evidence from here.
     pub fn roster(&self) -> &ClientRoster {
         &self.roster
+    }
+
+    /// The scenario handle driving this session's fleet dynamics (`None`
+    /// for the paper's static fleet). Exposes the current reachable-client
+    /// set and per-round telemetry to external drivers.
+    pub fn scenario(&self) -> Option<&ScenarioHandle> {
+        self.scenario.as_ref()
     }
 
     /// L2 norm of the downlink codec's server-side residual state (0 when no

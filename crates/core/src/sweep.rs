@@ -33,6 +33,7 @@ use crate::runner::ExperimentResult;
 use crate::session::SessionBuilder;
 use fl_compress::{CompressorSpec, LayerPlan};
 use fl_data::{Dataset, DatasetPreset};
+use fl_netsim::ScenarioSpec;
 use fl_tensor::parallel::{default_threads, parallel_map};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -143,7 +144,8 @@ pub fn run_sweep(configs: &[ExperimentConfig]) -> Vec<ExperimentResult> {
 
 /// A cartesian grid of experiment configurations over the axes the paper
 /// sweeps — dataset × heterogeneity `β` × compression ratio × algorithm ×
-/// codec × seed. Unset axes stay at the base configuration's value.
+/// codec × fleet scenario × seed. Unset axes stay at the base
+/// configuration's value.
 #[derive(Clone, Debug)]
 pub struct SweepGrid {
     base: ExperimentConfig,
@@ -155,6 +157,7 @@ pub struct SweepGrid {
     compressors: Vec<Option<CompressorSpec>>,
     layer_plans: Vec<Option<LayerPlan>>,
     downlink_compressors: Vec<Option<CompressorSpec>>,
+    scenarios: Vec<Option<ScenarioSpec>>,
     seeds: Vec<u64>,
 }
 
@@ -170,6 +173,7 @@ impl SweepGrid {
             compressors: vec![base.compressor.clone()],
             layer_plans: vec![base.layer_compressors.clone()],
             downlink_compressors: vec![base.downlink_compressor.clone()],
+            scenarios: vec![base.scenario.clone()],
             seeds: vec![base.seed],
             base,
         }
@@ -257,6 +261,24 @@ impl SweepGrid {
         self
     }
 
+    /// Sweep over these fleet scenarios (each becomes the configuration's
+    /// `scenario`). Use [`scenario_options`](Self::scenario_options) to
+    /// include the paper's static fleet (`None`) in the same grid.
+    pub fn scenarios(mut self, specs: impl IntoIterator<Item = ScenarioSpec>) -> Self {
+        self.scenarios = specs.into_iter().map(Some).collect();
+        self
+    }
+
+    /// Like [`scenarios`](Self::scenarios) but taking `Option`s, so a grid
+    /// can compare dynamic fleets against the static baseline side by side.
+    pub fn scenario_options(
+        mut self,
+        specs: impl IntoIterator<Item = Option<ScenarioSpec>>,
+    ) -> Self {
+        self.scenarios = specs.into_iter().collect();
+        self
+    }
+
     /// Sweep over these master seeds (for repeated trials).
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
@@ -273,6 +295,7 @@ impl SweepGrid {
             * self.compressors.len()
             * self.layer_plans.len()
             * self.downlink_compressors.len()
+            * self.scenarios.len()
             * self.seeds.len()
     }
 
@@ -282,8 +305,9 @@ impl SweepGrid {
     }
 
     /// Materialise the grid, nested population → dataset → β → ratio →
-    /// algorithm → codec → layer plan → downlink codec → seed (the paper's
-    /// table ordering, with populations, codecs and plans as extra rows).
+    /// algorithm → codec → layer plan → downlink codec → scenario → seed
+    /// (the paper's table ordering, with populations, codecs, plans and
+    /// fleet scenarios as extra rows).
     pub fn configs(&self) -> Vec<ExperimentConfig> {
         let mut out = Vec::with_capacity(self.len());
         for &num_clients in &self.client_counts {
@@ -294,18 +318,21 @@ impl SweepGrid {
                             for compressor in &self.compressors {
                                 for plan in &self.layer_plans {
                                     for downlink in &self.downlink_compressors {
-                                        for &seed in &self.seeds {
-                                            let mut c = self.base.clone();
-                                            c.num_clients = num_clients;
-                                            c.dataset = dataset;
-                                            c.beta = beta;
-                                            c.compression_ratio = compression_ratio;
-                                            c.algorithm = algorithm;
-                                            c.compressor = compressor.clone();
-                                            c.layer_compressors = plan.clone();
-                                            c.downlink_compressor = downlink.clone();
-                                            c.seed = seed;
-                                            out.push(c);
+                                        for scenario in &self.scenarios {
+                                            for &seed in &self.seeds {
+                                                let mut c = self.base.clone();
+                                                c.num_clients = num_clients;
+                                                c.dataset = dataset;
+                                                c.beta = beta;
+                                                c.compression_ratio = compression_ratio;
+                                                c.algorithm = algorithm;
+                                                c.compressor = compressor.clone();
+                                                c.layer_compressors = plan.clone();
+                                                c.downlink_compressor = downlink.clone();
+                                                c.scenario = scenario.clone();
+                                                c.seed = seed;
+                                                out.push(c);
+                                            }
                                         }
                                     }
                                 }
@@ -488,6 +515,33 @@ mod tests {
         assert!(SweepGrid::new(quick_base()).configs()[0]
             .downlink_compressor
             .is_none());
+    }
+
+    #[test]
+    fn scenario_axis_expands_the_grid() {
+        let grid = SweepGrid::new(quick_base())
+            .scenario_options([
+                None,
+                Some("diurnal".parse().unwrap()),
+                Some("churn:leave=0.1".parse().unwrap()),
+            ])
+            .algorithms([Algorithm::FedAvg, Algorithm::TopK]);
+        assert_eq!(grid.len(), 6);
+        let configs = grid.configs();
+        // Scenario is the innermost axis above seeds: the static baseline
+        // and both dynamic fleets appear per algorithm.
+        assert!(configs[0].scenario.is_none());
+        assert_eq!(configs[1].scenario.as_ref().unwrap().name(), "diurnal");
+        assert_eq!(configs[2].scenario.as_ref().unwrap().name(), "churn");
+        assert_eq!(configs[3].algorithm, Algorithm::TopK);
+        assert!(configs[3].scenario.is_none());
+        assert!(configs.iter().all(|c| c.validate().is_ok()));
+        // The plain builder takes owned specs; the default grid keeps the
+        // base's (absent) scenario.
+        let owned =
+            SweepGrid::new(quick_base()).scenarios(["towers".parse::<ScenarioSpec>().unwrap()]);
+        assert!(owned.configs()[0].scenario.is_some());
+        assert!(SweepGrid::new(quick_base()).configs()[0].scenario.is_none());
     }
 
     #[test]

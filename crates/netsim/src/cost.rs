@@ -38,6 +38,14 @@ pub struct CommModel {
     pub cost_basis: CostBasis,
 }
 
+/// Transfer time charged for a link with no usable bandwidth
+/// (`bandwidth_bps <= 0`, or NaN): roughly 31.7 years, i.e. "this round never
+/// finishes through that link". A finite saturation value keeps downstream
+/// accumulators (`TimeAccumulator`, straggler bounds) free of `inf`/NaN while
+/// still dominating any realistic transfer, so a dead link loses every
+/// straggler comparison.
+pub const SATURATED_TRANSFER_S: f64 = 1e9;
+
 impl CommModel {
     /// Model with the paper's 2× index+value accounting.
     pub fn paper_default() -> Self {
@@ -54,8 +62,15 @@ impl CommModel {
     }
 
     /// Time in seconds to transmit `payload_bytes` over `link`.
+    ///
+    /// A link with zero, negative or NaN bandwidth (possible when links come
+    /// from a scenario trace rather than [`Link::new`]) charges the
+    /// saturating [`SATURATED_TRANSFER_S`] instead of dividing to `inf`/NaN.
     pub fn transfer_time(&self, link: &Link, payload_bytes: f64) -> f64 {
         assert!(payload_bytes >= 0.0, "payload must be non-negative");
+        if link.bandwidth_bps.is_nan() || link.bandwidth_bps <= 0.0 {
+            return SATURATED_TRANSFER_S;
+        }
         link.latency_s + payload_bytes * 8.0 / link.bandwidth_bps
     }
 
@@ -94,8 +109,14 @@ impl CommModel {
 
     /// Invert the sparse uplink model: the compression ratio that makes the
     /// transfer finish in exactly `budget_s` seconds (clamped to `>= 0`).
-    /// This is the core of BCRS (Alg. 2 line 13).
+    /// This is the core of BCRS (Alg. 2 line 13). A link with no usable
+    /// bandwidth (zero/negative/NaN, mirroring
+    /// [`transfer_time`](Self::transfer_time)) can ship nothing in any
+    /// budget, so the ratio is 0.
     pub fn ratio_for_budget(&self, link: &Link, model_bytes: f64, budget_s: f64) -> f64 {
+        if link.bandwidth_bps.is_nan() || link.bandwidth_bps <= 0.0 {
+            return 0.0;
+        }
         let factor = if self.index_overhead { 2.0 } else { 1.0 };
         let usable = (budget_s - link.latency_s).max(0.0);
         usable * link.bandwidth_bps / (factor * model_bytes * 8.0)
@@ -182,6 +203,36 @@ mod tests {
             m.sparse_downlink_time(&link, 125_000.0, 0.1),
             m.sparse_uplink_time(&link, 125_000.0, 0.1)
         );
+    }
+
+    #[test]
+    fn dead_links_saturate_instead_of_dividing() {
+        let m = CommModel::paper_default();
+        // Struct literals bypass `Link::new`'s positivity assert, exactly how
+        // a hand-written trace or a buggy generator would produce dead links.
+        for bw in [0.0, -1.0, f64::NAN] {
+            let dead = Link {
+                bandwidth_bps: bw,
+                latency_s: 0.05,
+            };
+            let t = m.transfer_time(&dead, 125_000.0);
+            assert_eq!(t, SATURATED_TRANSFER_S, "bw={bw}");
+            assert!(t.is_finite());
+            assert_eq!(m.sparse_uplink_time(&dead, 125_000.0, 0.1), t);
+            assert_eq!(m.ratio_for_budget(&dead, 1e6, 10.0), 0.0, "bw={bw}");
+        }
+    }
+
+    #[test]
+    fn zero_payload_on_dead_link_still_saturates() {
+        let m = CommModel::paper_default();
+        let dead = Link {
+            bandwidth_bps: 0.0,
+            latency_s: 0.0,
+        };
+        // 0 * 8.0 / 0.0 would be NaN without the guard.
+        let t = m.transfer_time(&dead, 0.0);
+        assert_eq!(t, SATURATED_TRANSFER_S);
     }
 
     #[test]

@@ -15,16 +15,25 @@
 //! * [`timeline`] — per-client round timelines (waiting vs. transmitting),
 //!   the data behind Fig. 1;
 //! * [`breakdown::RoundBreakdown`] — compress / train / communicate time
-//!   split of Fig. 6.
+//!   split of Fig. 6;
+//! * [`scenario`] — trace-driven fleet dynamics (diurnal participation,
+//!   churn, tiered links, correlated dropout) layered on top of the static
+//!   link draw.
 
 pub mod breakdown;
 pub mod cost;
 pub mod link;
 pub mod metrics;
+pub mod scenario;
 pub mod timeline;
 
 pub use breakdown::RoundBreakdown;
-pub use cost::{CommModel, CostBasis};
+pub use cost::{CommModel, CostBasis, SATURATED_TRANSFER_S};
 pub use link::{Link, LinkGenerator};
 pub use metrics::{RoundTiming, TimeAccumulator};
+pub use scenario::{
+    ChurnScenario, CorrelatedDropoutScenario, DiurnalScenario, FleetError, FleetEvent, FleetState,
+    RecordingScenario, Scenario, ScenarioError, ScenarioSpec, ScenarioTelemetry, TierClass,
+    TieredScenario, TimedEvent, TraceError, TraceReader, TraceScenario,
+};
 pub use timeline::{ClientTimeline, RoundTimeline};

@@ -54,6 +54,14 @@ pub struct LinkGenerator {
     pub latency_lo_ms: f64,
     /// Upper latency bound in milliseconds (paper: 200, inclusive).
     pub latency_hi_ms: f64,
+    /// Truncation floor for the bandwidth draw, as a fraction of
+    /// [`bandwidth_mean_mbps`](Self::bandwidth_mean_mbps). The normal draw is
+    /// redrawn (then clamped) so no client falls below
+    /// `bandwidth_mean_mbps * bandwidth_floor_frac` — "truncated normal"
+    /// practice that keeps every simulated link usable. Default `0.05`;
+    /// scenario tier classes reuse the same floor when jittering links
+    /// (see [`floor_mbps`](Self::floor_mbps)).
+    pub bandwidth_floor_frac: f64,
 }
 
 impl Default for LinkGenerator {
@@ -63,6 +71,7 @@ impl Default for LinkGenerator {
             bandwidth_std_mbps: 0.2,
             latency_lo_ms: 50.0,
             latency_hi_ms: 200.0,
+            bandwidth_floor_frac: 0.05,
         }
     }
 }
@@ -71,6 +80,25 @@ impl LinkGenerator {
     /// The paper's configuration (`N(1, 0.2)` Mbit/s, `U(50, 200]` ms).
     pub fn paper_default() -> Self {
         Self::default()
+    }
+
+    /// The absolute bandwidth floor in Mbit/s implied by
+    /// [`bandwidth_floor_frac`](Self::bandwidth_floor_frac): no generated or
+    /// jittered link drops below this value.
+    pub fn floor_mbps(&self) -> f64 {
+        self.bandwidth_mean_mbps * self.bandwidth_floor_frac
+    }
+
+    /// Draw one link from an externally managed RNG stream (bandwidth draw
+    /// first, then latency — the order [`generate`](Self::generate) has always
+    /// used). Scenario generators use this to mint links for joining clients
+    /// or tier resamples without materialising a whole fleet.
+    pub fn sample_with(&self, rng: &mut Xoshiro256) -> Link {
+        let bw_dist = Normal::new(self.bandwidth_mean_mbps, self.bandwidth_std_mbps);
+        let lat_dist = Uniform::new(self.latency_lo_ms, self.latency_hi_ms);
+        let bw = bw_dist.sample_truncated_below(rng, self.floor_mbps());
+        let lat = lat_dist.sample(rng);
+        Link::from_mbps_ms(bw, lat)
     }
 
     /// Generate `n` client links deterministically from a seed.
@@ -87,19 +115,12 @@ impl LinkGenerator {
             self.latency_hi_ms > self.latency_lo_ms,
             "latency range must be non-empty"
         );
+        assert!(
+            self.bandwidth_floor_frac >= 0.0 && self.bandwidth_floor_frac < 1.0,
+            "bandwidth floor fraction must lie in [0, 1)"
+        );
         let mut rng = Xoshiro256::new(seed);
-        let bw_dist = Normal::new(self.bandwidth_mean_mbps, self.bandwidth_std_mbps);
-        let lat_dist = Uniform::new(self.latency_lo_ms, self.latency_hi_ms);
-        // Keep bandwidth at least 5% of the mean so no simulated client is
-        // pathologically slow (matches "truncated normal" practice).
-        let floor = self.bandwidth_mean_mbps * 0.05;
-        (0..n)
-            .map(|_| {
-                let bw = bw_dist.sample_truncated_below(&mut rng, floor);
-                let lat = lat_dist.sample(&mut rng);
-                Link::from_mbps_ms(bw, lat)
-            })
-            .collect()
+        (0..n).map(|_| self.sample_with(&mut rng)).collect()
     }
 }
 
@@ -142,6 +163,28 @@ mod tests {
         let gen = LinkGenerator::paper_default();
         assert_eq!(gen.generate(10, 7), gen.generate(10, 7));
         assert_ne!(gen.generate(10, 7), gen.generate(10, 8));
+    }
+
+    #[test]
+    fn sample_with_matches_generate_stream() {
+        let gen = LinkGenerator::paper_default();
+        let batch = gen.generate(8, 21);
+        let mut rng = Xoshiro256::new(21);
+        let singles: Vec<Link> = (0..8).map(|_| gen.sample_with(&mut rng)).collect();
+        assert_eq!(batch, singles);
+    }
+
+    #[test]
+    fn bandwidth_floor_is_exposed_and_respected() {
+        let gen = LinkGenerator {
+            bandwidth_mean_mbps: 1.0,
+            bandwidth_std_mbps: 5.0, // wild std so the floor actually binds
+            bandwidth_floor_frac: 0.25,
+            ..LinkGenerator::paper_default()
+        };
+        assert!((gen.floor_mbps() - 0.25).abs() < 1e-12);
+        let links = gen.generate(2000, 13);
+        assert!(links.iter().all(|l| l.bandwidth_mbps() >= 0.25));
     }
 
     #[test]

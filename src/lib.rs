@@ -89,6 +89,28 @@
 //! let result = run_experiment(&config);
 //! assert!(result.records[0].downlink_bytes > 0);
 //! ```
+//!
+//! ## Simulating realistic fleets
+//!
+//! Set [`core::config::ExperimentConfig::scenario`] to drive the fleet
+//! through trace-driven dynamics — diurnal participation waves, Poisson
+//! churn, tiered link classes with jitter, correlated tower outages, or the
+//! bit-identical replay of a recorded `bwfl-trace-v1` file (see
+//! [`netsim::scenario`]). Cohorts are drawn from the currently reachable
+//! clients, transfers are priced over the scenario's per-round links, and
+//! each record reports participation/churn telemetry:
+//!
+//! ```
+//! use bwfl::prelude::*;
+//!
+//! let mut config = ExperimentConfig::quick(Algorithm::TopK);
+//! config.rounds = 3;
+//! config.num_clients = 16;
+//! config.scenario = Some("diurnal:period=8,min_up=0.3,max_up=0.9".parse().unwrap());
+//! let result = run_experiment(&config);
+//! let fleet = result.records[0].scenario.expect("scenario telemetry");
+//! assert!(fleet.available <= 16);
+//! ```
 
 pub use fl_compress as compress;
 pub use fl_core as core;
@@ -107,18 +129,22 @@ pub mod prelude {
     };
     pub use fl_core::runner::{evaluate_params, run_experiment_with, stream_experiment};
     pub use fl_core::{
-        default_codec_spec, resolve_codec_spec, run_experiment, run_sweep, run_sweep_threaded,
-        segment_defs, Algorithm, AvailabilitySelector, BcrsRatioPolicy, BcrsSchedule,
-        BcrsScheduler, ClientRoster, ClientSelector, ExperimentConfig, ExperimentResult,
-        FederatedSession, LayerBytes, ModelPreset, MomentumServer, OpwaMask, OverlapCounts,
-        OverlapStats, RatioDecision, RatioPolicy, RoundOutput, RoundRecord, ServerOpt,
-        SessionBuilder, SgdServer, SweepGrid, UniformRatio, UniformSelector,
+        default_codec_spec, record_scenario_trace, resolve_codec_spec, run_experiment, run_sweep,
+        run_sweep_threaded, scenario_seed, segment_defs, Algorithm, AvailabilitySelector,
+        BcrsRatioPolicy, BcrsSchedule, BcrsScheduler, ClientRoster, ClientSelector,
+        ExperimentConfig, ExperimentResult, FederatedSession, LayerBytes, ModelPreset,
+        MomentumServer, OpwaMask, OverlapCounts, OverlapStats, RatioDecision, RatioPolicy,
+        RoundOutput, RoundRecord, ScenarioHandle, ScenarioSelector, ServerOpt, SessionBuilder,
+        SgdServer, SweepGrid, UniformRatio, UniformSelector,
     };
     pub use fl_data::{
         dirichlet_partition, BatchLoader, ClientPartition, Dataset, DatasetPreset, PartitionStats,
     };
     pub use fl_netsim::{
-        CommModel, CostBasis, Link, LinkGenerator, RoundBreakdown, RoundTiming, TimeAccumulator,
+        ChurnScenario, CommModel, CorrelatedDropoutScenario, CostBasis, DiurnalScenario,
+        FleetEvent, FleetState, Link, LinkGenerator, RecordingScenario, RoundBreakdown,
+        RoundTiming, Scenario, ScenarioSpec, ScenarioTelemetry, TierClass, TieredScenario,
+        TimeAccumulator, TimedEvent, TraceReader, TraceScenario,
     };
     pub use fl_nn::{
         flatten_params, mlp, small_cnn, try_unflatten_params, unflatten_params, Layer, LayoutError,

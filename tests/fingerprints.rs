@@ -73,6 +73,7 @@ fn fingerprint(records: &[RoundRecord]) -> u64 {
             selected_clients,
             overlap,
             layer_bytes,
+            scenario,
         } = r;
         h.usize(*round);
         h.f64(*test_accuracy);
@@ -117,6 +118,16 @@ fn fingerprint(records: &[RoundRecord]) -> u64 {
                     h.usize(l.downlink_bytes);
                 }
             }
+        }
+        // Unlike the tags above, `scenario: None` hashes *nothing*: the
+        // field postdates the pinned EXPECTED table, and static-fleet runs
+        // must keep their original fingerprints.
+        if let Some(t) = scenario {
+            h.u64(1);
+            h.usize(t.available);
+            h.usize(t.joined);
+            h.usize(t.departed);
+            h.usize(t.link_changes);
         }
     }
     h.0
