@@ -25,6 +25,13 @@
 //!   first-match glob plan (e.g. `'conv*=topk;*.bias=dense;*=qsgd:8'`).
 //!   Applied to every run `bench_config` builds; `table2_main` instead adds
 //!   dedicated plan rows so its OPWA grid rows stay valid;
+//! * `--adaptive-plan SPEC` — let a plan policy re-resolve the per-layer
+//!   codec assignment every round (`layer-bcrs`,
+//!   `layer-bcrs:efficiency=0.8`, or `static:PLAN` for the pinned
+//!   fallback). Mutually exclusive with `--layer-compressors`;
+//! * `--layer-csv`        — with `--csv`, append the per-layer byte
+//!   breakdown (`round,layer,uplink_bytes,downlink_bytes,spec,ratio` rows)
+//!   after the per-round table, separated by a blank line;
 //! * `--scenario SPEC`   — run the fleet through a dynamic scenario
 //!   (`diurnal`, `churn:leave=0.1`, `towers:groups=4`, `tiered`,
 //!   `trace:path.trace`, …) instead of the paper's static always-on fleet.
@@ -34,7 +41,7 @@
 //! building blocks (compression, aggregation, scheduling, training step).
 
 use fl_compress::{CompressorSpec, LayerPlan};
-use fl_core::{Algorithm, ExperimentConfig, ExperimentResult, ModelPreset};
+use fl_core::{AdaptivePlanSpec, Algorithm, ExperimentConfig, ExperimentResult, ModelPreset};
 use fl_data::DatasetPreset;
 use fl_netsim::{CostBasis, ScenarioSpec};
 
@@ -69,6 +76,11 @@ pub struct BenchArgs {
     /// Layer-aware uplink codec plan (`--layer-compressors PLAN`); `None`
     /// keeps the flat codec path.
     pub layer_compressors: Option<LayerPlan>,
+    /// Adaptive per-round plan policy (`--adaptive-plan SPEC`, e.g.
+    /// `layer-bcrs` or `static:*=topk`); `None` keeps static plans.
+    pub adaptive_plan: Option<AdaptivePlanSpec>,
+    /// With `--csv`, also emit the per-layer byte breakdown (`--layer-csv`).
+    pub layer_csv: bool,
     /// Fleet scenario (`--scenario NAME[:k=v,...]`, e.g. `diurnal:period=8`
     /// or `trace:runs/fleet.trace`); `None` keeps the static fleet.
     pub scenario: Option<ScenarioSpec>,
@@ -91,6 +103,8 @@ impl Default for BenchArgs {
             cost_basis: None,
             downlink: None,
             layer_compressors: None,
+            adaptive_plan: None,
+            layer_csv: false,
             scenario: None,
             extra: Vec::new(),
         }
@@ -160,6 +174,15 @@ impl BenchArgs {
                         panic!("--layer-compressors: cannot parse {value:?}: {e}")
                     }));
                 }
+                "--adaptive-plan" => {
+                    let value = it.next().unwrap_or_else(|| {
+                        panic!("--adaptive-plan needs a spec, e.g. layer-bcrs or static:*=topk")
+                    });
+                    out.adaptive_plan = Some(value.parse().unwrap_or_else(|e| {
+                        panic!("--adaptive-plan: cannot parse {value:?}: {e}")
+                    }));
+                }
+                "--layer-csv" => out.layer_csv = true,
                 "--scenario" => {
                     let value = it.next().unwrap_or_else(|| {
                         panic!("--scenario needs a spec, e.g. diurnal or churn:leave=0.1")
@@ -248,6 +271,9 @@ pub fn bench_config(
     }
     if let Some(plan) = &args.layer_compressors {
         config.layer_compressors = Some(plan.clone());
+    }
+    if let Some(spec) = &args.adaptive_plan {
+        config.adaptive_plan = Some(spec.clone());
     }
     if let Some(spec) = &args.scenario {
         config.scenario = Some(spec.clone());
@@ -385,6 +411,35 @@ mod tests {
         assert_eq!(d.layer_compressors, None);
         let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &d);
         assert_eq!(c.layer_compressors, None);
+    }
+
+    #[test]
+    fn parses_adaptive_plan_and_layer_csv_flags() {
+        let a = parse(&["--adaptive-plan", "layer-bcrs", "--csv", "--layer-csv"]);
+        assert_eq!(a.adaptive_plan.as_ref().unwrap().to_string(), "layer-bcrs");
+        assert!(a.layer_csv);
+        let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &a);
+        assert_eq!(c.adaptive_plan.as_ref().unwrap().to_string(), "layer-bcrs");
+        assert!(c.validate().is_ok());
+
+        let b = parse(&["--adaptive-plan", "static:*.bias=dense;*=topk"]);
+        assert_eq!(
+            b.adaptive_plan.as_ref().unwrap().to_string(),
+            "static:*.bias=dense;*=topk"
+        );
+
+        // Unset keeps static plans and the per-round-only CSV.
+        let d = parse(&[]);
+        assert_eq!(d.adaptive_plan, None);
+        assert!(!d.layer_csv);
+        let c = bench_config(Algorithm::TopK, DatasetPreset::Cifar10Like, 0.5, 0.1, &d);
+        assert_eq!(c.adaptive_plan, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--adaptive-plan")]
+    fn bad_adaptive_plan_spec_panics() {
+        parse(&["--adaptive-plan", "magic"]);
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub use codec::{
 pub use compressor::{CompressedUpdate, Compressor};
 pub use downlink::DownlinkChannel;
 pub use error_feedback::ErrorFeedback;
-pub use plan::{glob_match, LayerPlan, PlanRule, PlannedCodec, SegmentDef};
+pub use plan::{
+    glob_match, migrate_planned_residual, LayerPlan, PlanRule, PlannedCodec, SegmentDef,
+};
 pub use quantize::Qsgd;
 pub use randk::RandK;
 pub use registry::{CodecFactory, CodecRegistry};

@@ -150,6 +150,25 @@ impl LayerPlan {
         self.rules.iter().any(|r| r.spec.produces_dense())
     }
 
+    /// How many residual-snapshot parts each segment's codec contributes, in
+    /// layout order: 1 for an error-feedback (`ef-…`) spec, 0 otherwise.
+    ///
+    /// This is the part layout [`PlannedCodec::take_residual`] produces,
+    /// derived from the plan alone — no codec needs to be instantiated — so a
+    /// stored snapshot can be re-shaped when the plan changes mid-run (see
+    /// [`migrate_planned_residual`]). An unmatched segment is an error, as in
+    /// [`LayerPlan::resolve`].
+    pub fn part_counts(&self, segments: &[SegmentDef]) -> Result<Vec<usize>, SpecError> {
+        segments
+            .iter()
+            .map(|seg| {
+                self.spec_for(&seg.name)
+                    .map(|spec| usize::from(spec.error_feedback))
+                    .ok_or_else(|| SpecError::UnmatchedSegment(seg.name.clone()))
+            })
+            .collect()
+    }
+
     /// Check that every rule's spec resolves through `registry` without
     /// instantiating per-model state.
     pub fn validate(&self, registry: &CodecRegistry) -> Result<(), SpecError> {
@@ -201,6 +220,62 @@ impl LayerPlan {
             // pipeline).
             return registry.build(&specs[0], ctx);
         }
+        self.build_planned(registry, segments, ctx, &specs, None)
+    }
+
+    /// Resolve the plan with a per-segment ratio multiplier, as emitted by an
+    /// adaptive plan policy: segment `i` encodes at
+    /// `clamp(ratio · scales[i], ε, 1)` instead of the caller's flat ratio.
+    ///
+    /// Unlike [`LayerPlan::resolve`] this never collapses to a flat codec —
+    /// even a uniform plan keeps one codec instance per segment, because the
+    /// scales make the segments genuinely different — so the wire format is
+    /// always the `Segmented` frame and per-layer byte telemetry is always
+    /// available. `scales` must have one entry per segment.
+    pub fn resolve_scaled(
+        &self,
+        registry: &CodecRegistry,
+        segments: &[SegmentDef],
+        ctx: &CodecCtx,
+        scales: &[f64],
+    ) -> Result<Box<dyn UpdateCodec>, SpecError> {
+        if segments.is_empty() {
+            return Err(SpecError::UnmatchedSegment("<empty layout>".into()));
+        }
+        assert_eq!(
+            scales.len(),
+            segments.len(),
+            "one ratio scale per segment ({} segments, {} scales)",
+            segments.len(),
+            scales.len()
+        );
+        let total: usize = segments.iter().map(|s| s.len).sum();
+        assert_eq!(
+            total, ctx.dense_len,
+            "layout covers {total} scalars but the codec context expects {}",
+            ctx.dense_len
+        );
+        let mut specs = Vec::with_capacity(segments.len());
+        for seg in segments {
+            let spec = self
+                .spec_for(&seg.name)
+                .ok_or_else(|| SpecError::UnmatchedSegment(seg.name.clone()))?;
+            specs.push(spec.clone());
+        }
+        self.build_planned(registry, segments, ctx, &specs, Some(scales))
+    }
+
+    /// Shared `PlannedCodec` construction for [`LayerPlan::resolve`] (scales
+    /// absent → every segment encodes at the caller's ratio) and
+    /// [`LayerPlan::resolve_scaled`].
+    fn build_planned(
+        &self,
+        registry: &CodecRegistry,
+        segments: &[SegmentDef],
+        ctx: &CodecCtx,
+        specs: &[CompressorSpec],
+        scales: Option<&[f64]>,
+    ) -> Result<Box<dyn UpdateCodec>, SpecError> {
         let mut planned = Vec::with_capacity(segments.len());
         let mut offset = 0usize;
         for (i, (seg, spec)) in segments.iter().zip(specs.iter()).enumerate() {
@@ -212,13 +287,14 @@ impl LayerPlan {
                 name: seg.name.clone(),
                 offset,
                 len: seg.len,
+                ratio_scale: scales.map(|s| s[i]).unwrap_or(1.0),
                 codec: registry.build(spec, &seg_ctx)?,
             });
             offset += seg.len;
         }
         Ok(Box::new(PlannedCodec {
             segments: planned,
-            dense_len: total,
+            dense_len: segments.iter().map(|s| s.len).sum(),
             plan_display: self.to_string(),
         }))
     }
@@ -283,8 +359,15 @@ struct PlannedSegment {
     name: String,
     offset: usize,
     len: usize,
+    /// Per-segment ratio multiplier (1.0 for statically resolved plans).
+    ratio_scale: f64,
     codec: Box<dyn UpdateCodec>,
 }
+
+/// Floor for a scaled per-segment ratio: a scale can shrink a segment's
+/// budget but never to zero (every sparsifier needs a strictly positive
+/// ratio).
+const MIN_SEGMENT_RATIO: f64 = 1e-9;
 
 /// A layer-aware codec: one codec instance per layout segment, framing the
 /// per-segment wire buffers into a single [`crate::wire::KIND_SEGMENTED`]
@@ -315,6 +398,79 @@ impl PlannedCodec {
     pub fn num_segments(&self) -> usize {
         self.segments.len()
     }
+
+    /// The per-segment ratio multipliers, in layout order (all 1.0 for a
+    /// statically resolved plan).
+    pub fn segment_ratio_scales(&self) -> Vec<f64> {
+        self.segments.iter().map(|s| s.ratio_scale).collect()
+    }
+}
+
+/// Re-shape a [`PlannedCodec`] residual snapshot taken under one plan so it
+/// restores into a codec resolved under another plan over the *same* layout.
+///
+/// `old_counts` / `new_counts` are the per-segment part counts of the two
+/// plans (see [`LayerPlan::part_counts`]) and `segment_lens` the layout's
+/// segment lengths; all three must have one entry per segment. The migration
+/// rules are explicit and lossless where losslessness is meaningful:
+///
+/// * **EF → EF** (1 part → 1 part): the residual part is carried verbatim —
+///   coordinates are segment-aligned, so a change of inner codec kind or
+///   `qsgd` bit width does not invalidate the accumulated error;
+/// * **EF → stateless** (1 → 0): the part is dropped — the new codec has
+///   nowhere to hold it, and re-applying it later would double-count;
+/// * **stateless → EF** (0 → 1): an all-zero part of the segment's length is
+///   inserted — a fresh EF codec starts from zero accumulated error.
+///
+/// An empty snapshot (the old codec had no residual state, or the store
+/// dropped a trivial one) migrates to an empty snapshot.
+pub fn migrate_planned_residual(
+    snapshot: ResidualState,
+    old_counts: &[usize],
+    new_counts: &[usize],
+    segment_lens: &[usize],
+) -> ResidualState {
+    assert_eq!(
+        old_counts.len(),
+        segment_lens.len(),
+        "old part counts must cover every segment"
+    );
+    assert_eq!(
+        new_counts.len(),
+        segment_lens.len(),
+        "new part counts must cover every segment"
+    );
+    if snapshot.parts.is_empty() {
+        return ResidualState::empty();
+    }
+    let expected: usize = old_counts.iter().sum();
+    assert_eq!(
+        snapshot.parts.len(),
+        expected,
+        "snapshot has {} parts but the old plan owns {expected}",
+        snapshot.parts.len()
+    );
+    let mut old_parts = snapshot.parts.into_iter();
+    let mut parts = Vec::with_capacity(new_counts.iter().sum());
+    for ((&old, &new), &len) in old_counts.iter().zip(new_counts).zip(segment_lens) {
+        assert!(old <= 1 && new <= 1, "plan segments own at most one part");
+        let carried = if old == 1 { old_parts.next() } else { None };
+        if new == 0 {
+            continue;
+        }
+        match carried {
+            Some(part) => {
+                assert_eq!(
+                    part.len(),
+                    len,
+                    "residual part length does not match its segment"
+                );
+                parts.push(part);
+            }
+            None => parts.push(vec![0.0; len]),
+        }
+    }
+    ResidualState { parts }
 }
 
 impl UpdateCodec for PlannedCodec {
@@ -332,9 +488,12 @@ impl UpdateCodec for PlannedCodec {
         );
         let mut parts = Vec::with_capacity(self.segments.len());
         for seg in &mut self.segments {
+            // `ratio_scale` is exactly 1.0 on the static path, so the clamp
+            // reproduces the caller's ratio bit-for-bit there.
+            let seg_ratio = (ratio * seg.ratio_scale).clamp(MIN_SEGMENT_RATIO, 1.0);
             parts.push(
                 seg.codec
-                    .encode(&dense[seg.offset..seg.offset + seg.len], ratio, rng),
+                    .encode(&dense[seg.offset..seg.offset + seg.len], seg_ratio, rng),
             );
         }
         encode_segmented(self.dense_len, &parts)
@@ -661,6 +820,128 @@ mod tests {
         resumed.restore_residual(snap);
         let resumed_wire = resumed.encode(&d, 0.05, &mut rng());
         assert_eq!(resumed_wire.as_bytes(), second_wire.as_bytes());
+    }
+
+    #[test]
+    fn part_counts_follow_the_ef_rules() {
+        let plan: LayerPlan = "*.bias=dense;a*=ef-topk;*=topk+qsgd:4".parse().unwrap();
+        let layout = segs(&[("a.weight", 100), ("a.bias", 4), ("b.weight", 50)]);
+        assert_eq!(plan.part_counts(&layout).unwrap(), vec![1, 0, 0]);
+        let all_ef: LayerPlan = "*=ef-topk+qsgd:8".parse().unwrap();
+        assert_eq!(all_ef.part_counts(&layout).unwrap(), vec![1, 1, 1]);
+        let narrow: LayerPlan = "conv*=topk".parse().unwrap();
+        assert_eq!(
+            narrow.part_counts(&layout),
+            Err(SpecError::UnmatchedSegment("a.weight".into()))
+        );
+    }
+
+    #[test]
+    fn scaled_resolve_applies_per_segment_ratios() {
+        // A *uniform* plan with scales still resolves to a segmented codec
+        // (no flat collapse) and each segment sparsifies at its own scaled
+        // ratio.
+        let plan = LayerPlan::uniform("topk".parse().unwrap());
+        let registry = CodecRegistry::with_builtins();
+        let layout = segs(&[("a.weight", 200), ("b.weight", 100)]);
+        let mut codec = plan
+            .resolve_scaled(&registry, &layout, &CodecCtx::new(300, 5), &[0.5, 2.0])
+            .unwrap();
+        let d = delta(300);
+        let wire = codec.encode(&d, 0.1, &mut rng());
+        assert_eq!(wire.kind().unwrap(), KIND_SEGMENTED);
+        let s = wire.decode().unwrap().into_sparse().unwrap();
+        let in_a = s.indices().iter().filter(|&&i| i < 200).count();
+        let in_b = s.indices().iter().filter(|&&i| i >= 200).count();
+        assert_eq!(in_a, TopK::k_for(200, 0.05));
+        assert_eq!(in_b, TopK::k_for(100, 0.2));
+        // All-1.0 scales still frame segments (no flat collapse).
+        let mut unscaled = plan
+            .resolve_scaled(&registry, &layout, &CodecCtx::new(300, 5), &[1.0, 1.0])
+            .unwrap();
+        let w1 = unscaled.encode(&d, 0.1, &mut rng());
+        assert_eq!(w1.segment_byte_lens().unwrap().len(), 2);
+        // Scales saturate at ratio 1.0 instead of over-shooting.
+        let mut maxed = plan
+            .resolve_scaled(&registry, &layout, &CodecCtx::new(300, 5), &[50.0, 50.0])
+            .unwrap();
+        let all = maxed
+            .encode(&d, 0.1, &mut rng())
+            .decode()
+            .unwrap()
+            .into_sparse()
+            .unwrap();
+        assert_eq!(all.indices().len(), 300, "ratio clamps at 1.0");
+    }
+
+    #[test]
+    fn residual_migration_rules_carry_drop_and_zero_fill() {
+        let lens = [100usize, 4, 50];
+        let snap = ResidualState {
+            parts: vec![vec![1.0; 100], vec![2.0; 50]],
+        };
+        // EF→EF carries verbatim, EF→stateless drops, stateless→EF zero-fills.
+        let migrated = migrate_planned_residual(snap, &[1, 0, 1], &[1, 1, 0], &lens);
+        assert_eq!(migrated.parts.len(), 2);
+        assert_eq!(migrated.parts[0], vec![1.0; 100]);
+        assert_eq!(migrated.parts[1], vec![0.0; 4]);
+        // An empty snapshot stays empty regardless of the target layout.
+        let empty = migrate_planned_residual(ResidualState::empty(), &[1, 0, 1], &[1, 1, 1], &lens);
+        assert!(empty.parts.is_empty());
+        // Dropping every part yields a trivial snapshot.
+        let all_dropped = migrate_planned_residual(
+            ResidualState {
+                parts: vec![vec![1.0; 100], vec![2.0; 50]],
+            },
+            &[1, 0, 1],
+            &[0, 0, 0],
+            &lens,
+        );
+        assert!(all_dropped.is_trivial());
+    }
+
+    #[test]
+    fn migrated_residual_restores_into_a_replanned_codec() {
+        // Accumulate EF error under plan A, migrate the snapshot to plan B
+        // (different bit width on one segment, EF newly added on another) and
+        // restore: the carried segment resumes from exactly its accumulated
+        // residual.
+        let registry = CodecRegistry::with_builtins();
+        let layout = segs(&[("a.weight", 100), ("a.bias", 4), ("b.weight", 50)]);
+        let lens: Vec<usize> = layout.iter().map(|s| s.len).collect();
+        let plan_a: LayerPlan = "*.bias=dense;*=ef-topk+qsgd:8".parse().unwrap();
+        let plan_b: LayerPlan = "*.bias=ef-topk;*=ef-topk+qsgd:4".parse().unwrap();
+        let d = delta(154);
+
+        let mut old = plan_a
+            .resolve(&registry, &layout, &CodecCtx::new(154, 5))
+            .unwrap();
+        let _ = old.encode(&d, 0.05, &mut rng());
+        let before = old.residual_norm();
+        assert!(before > 0.0);
+        let snap = old.take_residual();
+        assert_eq!(snap.parts.len(), 2);
+        let carried: Vec<Vec<f32>> = snap.parts.clone();
+
+        let migrated = migrate_planned_residual(
+            snap,
+            &plan_a.part_counts(&layout).unwrap(),
+            &plan_b.part_counts(&layout).unwrap(),
+            &lens,
+        );
+        assert_eq!(migrated.parts.len(), 3, "bias gained a zero EF part");
+        assert_eq!(migrated.parts[0], carried[0]);
+        assert_eq!(migrated.parts[1], vec![0.0; 4]);
+        assert_eq!(migrated.parts[2], carried[1]);
+
+        let mut new = plan_b
+            .resolve(&registry, &layout, &CodecCtx::new(154, 5))
+            .unwrap();
+        new.restore_residual(migrated);
+        assert!(
+            (new.residual_norm() - before).abs() < 1e-12,
+            "carried residual mass survives the re-plan"
+        );
     }
 
     #[test]

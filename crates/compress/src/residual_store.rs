@@ -40,7 +40,19 @@ const SHARDS: usize = 64;
 /// assert!(store.is_empty(), "take removes the entry");
 /// ```
 pub struct ResidualStore {
-    shards: Vec<Mutex<HashMap<u64, ResidualState>>>,
+    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+}
+
+/// One stored residual, tagged with the plan epoch it was taken under.
+///
+/// The epoch lets an adaptive-plan engine migrate snapshots **lazily**: when
+/// the plan changes the engine bumps its epoch instead of rewriting every
+/// parked residual, and a checkout that takes an entry from an older epoch
+/// re-shapes it (see `fl_compress::plan::migrate_planned_residual`) before
+/// restoring. Static runs only ever use epoch 0.
+struct Entry {
+    epoch: u64,
+    state: ResidualState,
 }
 
 impl ResidualStore {
@@ -51,7 +63,7 @@ impl ResidualStore {
         }
     }
 
-    fn shard(&self, client_id: u64) -> &Mutex<HashMap<u64, ResidualState>> {
+    fn shard(&self, client_id: u64) -> &Mutex<HashMap<u64, Entry>> {
         // Spread sequential ids across shards (they arrive as 0..N).
         let mixed = client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.shards[(mixed >> 58) as usize & (SHARDS - 1)]
@@ -59,23 +71,37 @@ impl ResidualStore {
 
     /// Remove and return `client_id`'s residual, if one is stored.
     pub fn take(&self, client_id: u64) -> Option<ResidualState> {
+        self.take_epoch(client_id).map(|(state, _)| state)
+    }
+
+    /// Remove and return `client_id`'s residual together with the plan epoch
+    /// it was stored under (0 unless [`ResidualStore::put_epoch`] tagged it).
+    pub fn take_epoch(&self, client_id: u64) -> Option<(ResidualState, u64)> {
         self.shard(client_id)
             .lock()
             .expect("residual store shard poisoned")
             .remove(&client_id)
+            .map(|e| (e.state, e.epoch))
     }
 
     /// Persist `client_id`'s residual. All-zero (trivial) states are dropped
     /// instead of stored — they restore identically to a fresh codec — so the
     /// store only grows with clients that have real carried-over mass.
     pub fn put(&self, client_id: u64, state: ResidualState) {
+        self.put_epoch(client_id, state, 0);
+    }
+
+    /// Persist `client_id`'s residual tagged with the plan `epoch` it was
+    /// taken under. Trivial states are dropped exactly as in
+    /// [`ResidualStore::put`].
+    pub fn put_epoch(&self, client_id: u64, state: ResidualState, epoch: u64) {
         if state.is_trivial() {
             return;
         }
         self.shard(client_id)
             .lock()
             .expect("residual store shard poisoned")
-            .insert(client_id, state);
+            .insert(client_id, Entry { epoch, state });
     }
 
     /// Number of clients with a stored residual.
@@ -100,7 +126,7 @@ impl ResidualStore {
                 s.lock()
                     .expect("residual store shard poisoned")
                     .values()
-                    .map(|r| r.l2_norm().powi(2))
+                    .map(|e| e.state.l2_norm().powi(2))
                     .sum::<f64>()
             })
             .sum::<f64>()
@@ -158,6 +184,19 @@ mod tests {
         store.put(1, state(&[3.0]));
         store.put(2, state(&[4.0]));
         assert!((store.total_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epochs_tag_entries_and_default_to_zero() {
+        let store = ResidualStore::new();
+        store.put(1, state(&[1.0]));
+        store.put_epoch(2, state(&[2.0]), 7);
+        assert_eq!(store.take_epoch(1).unwrap(), (state(&[1.0]), 0));
+        assert_eq!(store.take_epoch(2).unwrap(), (state(&[2.0]), 7));
+        // The epoch-less take drops the tag.
+        store.put_epoch(3, state(&[3.0]), 9);
+        assert_eq!(store.take(3).unwrap(), state(&[3.0]));
+        assert!(store.is_empty());
     }
 
     #[test]

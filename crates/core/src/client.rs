@@ -5,8 +5,8 @@
 use crate::config::{ExperimentConfig, ModelPreset};
 use crate::policy::resolve_codec_spec;
 use fl_compress::{
-    CodecCtx, CodecRegistry, CompressedUpdate, ResidualState, SegmentDef, UpdateCodec, WireError,
-    WireUpdate,
+    CodecCtx, CodecRegistry, CompressedUpdate, LayerPlan, ResidualState, SegmentDef, UpdateCodec,
+    WireError, WireUpdate,
 };
 use fl_data::{BatchLoader, Dataset};
 use fl_nn::{
@@ -66,6 +66,36 @@ impl ClientState {
         rng: Xoshiro256,
         registry: &CodecRegistry,
     ) -> Self {
+        Self::build(id, dataset, config, rng, registry, None)
+    }
+
+    /// Like [`with_registry`](Self::with_registry) but resolving the uplink
+    /// codec from a plan decided *this round* by a
+    /// [`crate::policy::PlanPolicy`] instead of the configuration's static
+    /// spec. With `scales: None` the plan resolves exactly like a static
+    /// [`ExperimentConfig::layer_compressors`] plan (uniform plans collapse
+    /// to the flat codec); with per-segment ratio scales the codec is always
+    /// segment-framed, so per-layer byte telemetry stays available.
+    pub fn with_plan_override(
+        id: usize,
+        dataset: Dataset,
+        config: &ExperimentConfig,
+        rng: Xoshiro256,
+        registry: &CodecRegistry,
+        plan: &LayerPlan,
+        scales: Option<&[f64]>,
+    ) -> Self {
+        Self::build(id, dataset, config, rng, registry, Some((plan, scales)))
+    }
+
+    fn build(
+        id: usize,
+        dataset: Dataset,
+        config: &ExperimentConfig,
+        rng: Xoshiro256,
+        registry: &CodecRegistry,
+        plan_override: Option<(&LayerPlan, Option<&[f64]>)>,
+    ) -> Self {
         let mut model_rng = Xoshiro256::new(config.seed); // same init as the server
         let model = build_model(
             &config.model,
@@ -76,15 +106,21 @@ impl ClientState {
         let num_params = model.num_params();
         let layout = ParamLayout::of(&model);
         let ctx = CodecCtx::new(num_params, config.seed ^ id as u64);
-        let codec = match &config.layer_compressors {
-            Some(plan) => {
+        let codec = match (plan_override, &config.layer_compressors) {
+            (Some((plan, Some(scales))), _) => plan
+                .resolve_scaled(registry, &segment_defs(&layout), &ctx, scales)
+                .unwrap_or_else(|e| panic!("invalid adaptive plan {plan}: {e}")),
+            (Some((plan, None)), _) => plan
+                .resolve(registry, &segment_defs(&layout), &ctx)
+                .unwrap_or_else(|e| panic!("invalid adaptive plan {plan}: {e}")),
+            (None, Some(plan)) => {
                 // Layer-aware path: one codec per layout segment (a uniform
                 // plan collapses to the flat codec inside `resolve`, so the
                 // two paths stay bit-identical).
                 plan.resolve(registry, &segment_defs(&layout), &ctx)
                     .unwrap_or_else(|e| panic!("invalid layer plan {plan}: {e}"))
             }
-            None => {
+            (None, None) => {
                 let spec = resolve_codec_spec(config);
                 registry
                     .build(&spec, &ctx)

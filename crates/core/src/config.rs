@@ -181,6 +181,35 @@ pub struct ExperimentConfig {
     /// ([`crate::scenario::scenario_seed`]), so enabling a scenario never
     /// perturbs the training/data/selection streams.
     pub scenario: Option<ScenarioSpec>,
+    /// Layer-aware codec plan for the server→client broadcast (downlink)
+    /// leg. `None` (default) keeps the flat downlink path
+    /// ([`downlink_compressor`](Self::downlink_compressor), or the free
+    /// teleport when that is `None` too). `Some(plan)` resolves one codec
+    /// per named parameter segment — exactly like
+    /// [`layer_compressors`](Self::layer_compressors), but for the broadcast
+    /// — and always frames the broadcast as a `Segmented` wire buffer, so
+    /// [`crate::runner::RoundRecord::layer_bytes`] reports honest per-layer
+    /// downlink splits. Mutually exclusive with
+    /// [`downlink_compressor`](Self::downlink_compressor). Rules are
+    /// validated per rule against the codec registry and must cover every
+    /// model segment; dense-decoding rules (pure quantizers) are fine here
+    /// even with OPWA algorithms — the overlap machinery concerns the
+    /// *uplink* updates only.
+    pub downlink_layer_compressors: Option<LayerPlan>,
+    /// Adaptive per-layer plan policy for the clients' uplink compression
+    /// (see [`crate::policy::AdaptivePlanSpec`]). `None` (default) keeps
+    /// every static path bit-identical. `Some(spec)` re-resolves the
+    /// per-segment codec plan every round in the select stage:
+    /// `static:<plan>` pins a fixed plan (record fields other than the plan
+    /// telemetry match a `layer_compressors` run exactly), `layer-bcrs`
+    /// re-splits the round's coordinate budget by observed per-layer
+    /// gradient mass through the BCRS scheduler. Mutually exclusive with
+    /// [`compressor`](Self::compressor) and
+    /// [`layer_compressors`](Self::layer_compressors): an adaptive plan *is*
+    /// the uplink codec assignment. Static plans are validated exactly like
+    /// `layer_compressors` plans (per-rule registry + OPWA/dense checks,
+    /// full segment coverage).
+    pub adaptive_plan: Option<crate::policy::AdaptivePlanSpec>,
 }
 
 impl Default for ExperimentConfig {
@@ -217,6 +246,8 @@ impl Default for ExperimentConfig {
             downlink_compressor: None,
             cost_basis: CostBasis::Analytic,
             scenario: None,
+            downlink_layer_compressors: None,
+            adaptive_plan: None,
         }
     }
 }
@@ -322,6 +353,14 @@ impl ExperimentConfig {
                 .validate(spec)
                 .map_err(|e| format!("invalid downlink compressor spec {spec}: {e}"))?;
         }
+        if let Some(plan) = &self.downlink_layer_compressors {
+            plan.validate(&registry)
+                .map_err(|e| format!("invalid downlink layer plan {plan}: {e}"))?;
+        }
+        if let Some(crate::policy::AdaptivePlanSpec::Static(plan)) = &self.adaptive_plan {
+            plan.validate(&registry)
+                .map_err(|e| format!("invalid adaptive plan {plan}: {e}"))?;
+        }
         if let Some(spec) = &self.scenario {
             spec.validate()
                 .map_err(|e| format!("invalid scenario spec {spec}: {e}"))?;
@@ -348,10 +387,24 @@ impl ExperimentConfig {
                 .validate(spec)
                 .map_err(|e| format!("invalid downlink compressor spec {spec}: {e}"))?;
         }
+        if let Some(plan) = &self.downlink_layer_compressors {
+            plan.validate(registry)
+                .map_err(|e| format!("invalid downlink layer plan {plan}: {e}"))?;
+        }
+        if let Some(crate::policy::AdaptivePlanSpec::Static(plan)) = &self.adaptive_plan {
+            plan.validate(registry)
+                .map_err(|e| format!("invalid adaptive plan {plan}: {e}"))?;
+        }
         let mut without_spec = self.clone();
         without_spec.compressor = None;
         without_spec.layer_compressors = None;
         without_spec.downlink_compressor = None;
+        without_spec.downlink_layer_compressors = None;
+        without_spec.adaptive_plan = match &self.adaptive_plan {
+            // Keep the non-spec variants so their semantics are re-checked.
+            Some(crate::policy::AdaptivePlanSpec::Static(_)) | None => None,
+            other => other.clone(),
+        };
         without_spec.validate()?;
         self.validate_compressor_semantics()
     }
@@ -381,36 +434,80 @@ impl ExperimentConfig {
                         .into(),
                 );
             }
-            // Coverage is a validation error, not a construction panic: every
-            // segment of the configured model preset must match some rule.
+            self.validate_uplink_plan_semantics(plan, "layer-plan")?;
+        }
+        if let Some(plan) = &self.downlink_layer_compressors {
+            if self.downlink_compressor.is_some() {
+                return Err(
+                    "downlink_layer_compressors and downlink_compressor are mutually \
+                     exclusive: a downlink layer plan is the broadcast codec assignment \
+                     (use a uniform \"*=<spec>\" plan for a single codec)"
+                        .into(),
+                );
+            }
+            // The same per-rule coverage discipline as the uplink — a
+            // downlink plan must assign every model segment a codec. Only
+            // the OPWA/dense exemptions stay: the overlap machinery analyses
+            // uplink updates, so dense-decoding broadcast rules are fine.
             for name in self.model.segment_names() {
                 if plan.spec_for(&name).is_none() {
                     return Err(format!(
-                        "layer plan {plan} leaves segment {name:?} without a matching \
-                         rule (add a catch-all \"*=<spec>\")"
+                        "downlink layer plan {plan} leaves segment {name:?} without a \
+                         matching rule (add a catch-all \"*=<spec>\")"
                     ));
                 }
             }
-            // The flat pipeline's restrictions apply per rule: any rule that
-            // could hand a segment a dense-decoding codec breaks the overlap
-            // analysis for the whole update.
-            for rule in &plan.rules {
-                if rule.spec.produces_dense() && self.algorithm.uses_opwa() {
-                    return Err(format!(
-                        "algorithm {} applies the OPWA overlap mask, but layer-plan rule \
-                         {}={} decodes to dense segments with no overlap structure",
-                        self.algorithm.name(),
-                        rule.pattern,
-                        rule.spec
-                    ));
+        }
+        match &self.adaptive_plan {
+            None => {}
+            Some(spec) => {
+                if self.compressor.is_some() || self.layer_compressors.is_some() {
+                    return Err("adaptive_plan is mutually exclusive with compressor and \
+                         layer_compressors: the plan policy owns the uplink codec \
+                         assignment (use adaptive_plan = \"static:<plan>\" for a fixed \
+                         plan)"
+                        .into());
                 }
-                if rule.spec.produces_dense() && self.record_overlap {
-                    return Err(format!(
-                        "record_overlap is set, but layer-plan rule {}={} decodes to \
-                         dense segments with no overlap structure",
-                        rule.pattern, rule.spec
-                    ));
+                if let crate::policy::AdaptivePlanSpec::Static(plan) = spec {
+                    self.validate_uplink_plan_semantics(plan, "adaptive-plan")?;
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Coverage and per-rule overlap checks every uplink layer plan — static
+    /// `layer_compressors` or an `adaptive_plan = "static:…"` — must pass.
+    fn validate_uplink_plan_semantics(&self, plan: &LayerPlan, what: &str) -> Result<(), String> {
+        // Coverage is a validation error, not a construction panic: every
+        // segment of the configured model preset must match some rule.
+        for name in self.model.segment_names() {
+            if plan.spec_for(&name).is_none() {
+                return Err(format!(
+                    "layer plan {plan} leaves segment {name:?} without a matching \
+                     rule (add a catch-all \"*=<spec>\")"
+                ));
+            }
+        }
+        // The flat pipeline's restrictions apply per rule: any rule that
+        // could hand a segment a dense-decoding codec breaks the overlap
+        // analysis for the whole update.
+        for rule in &plan.rules {
+            if rule.spec.produces_dense() && self.algorithm.uses_opwa() {
+                return Err(format!(
+                    "algorithm {} applies the OPWA overlap mask, but {what} rule \
+                     {}={} decodes to dense segments with no overlap structure",
+                    self.algorithm.name(),
+                    rule.pattern,
+                    rule.spec
+                ));
+            }
+            if rule.spec.produces_dense() && self.record_overlap {
+                return Err(format!(
+                    "record_overlap is set, but {what} rule {}={} decodes to \
+                     dense segments with no overlap structure",
+                    rule.pattern, rule.spec
+                ));
             }
         }
         Ok(())
@@ -692,6 +789,95 @@ mod tests {
             ..Default::default()
         };
         assert!(sparse.validate().is_ok());
+    }
+
+    #[test]
+    fn downlink_layer_plan_is_validated_per_rule_with_opwa_exemption() {
+        // Satellite bugfix: the downlink plan gets the same per-rule registry
+        // and coverage validation as uplink plans …
+        let bad = ExperimentConfig {
+            downlink_layer_compressors: Some("*=no-such-codec".parse().unwrap()),
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("downlink layer plan"), "{err}");
+        let gap = ExperimentConfig {
+            downlink_layer_compressors: Some("conv*=topk".parse().unwrap()),
+            ..Default::default()
+        };
+        let err = gap.validate().unwrap_err();
+        assert!(err.contains("downlink layer plan"), "{err}");
+        assert!(err.contains("without a matching rule"), "{err}");
+        // … while only the OPWA exemption stays: dense-decoding broadcast
+        // rules are fine even under OPWA algorithms.
+        let dense = ExperimentConfig {
+            algorithm: Algorithm::BcrsOpwa,
+            downlink_layer_compressors: Some("*.bias=qsgd:8;*=ef-topk".parse().unwrap()),
+            cost_basis: CostBasis::Encoded,
+            ..Default::default()
+        };
+        assert!(dense.validate().is_ok());
+        // Mutually exclusive with the flat downlink codec.
+        let both = ExperimentConfig {
+            downlink_compressor: Some("topk".parse().unwrap()),
+            downlink_layer_compressors: Some("*=topk".parse().unwrap()),
+            ..Default::default()
+        };
+        let err = both.validate().unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_plan_knob_is_validated() {
+        let c = ExperimentConfig::default();
+        assert!(c.adaptive_plan.is_none());
+        let good = ExperimentConfig {
+            algorithm: Algorithm::TopK,
+            adaptive_plan: Some("layer-bcrs".parse().unwrap()),
+            cost_basis: CostBasis::Encoded,
+            ..Default::default()
+        };
+        assert!(good.validate().is_ok());
+        // Static plans are validated exactly like layer_compressors plans.
+        let bad_spec = ExperimentConfig {
+            adaptive_plan: Some("static:*=no-such-codec".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(bad_spec.validate().unwrap_err().contains("adaptive plan"));
+        let gap = ExperimentConfig {
+            algorithm: Algorithm::TopK,
+            adaptive_plan: Some("static:conv*=topk".parse().unwrap()),
+            ..Default::default()
+        };
+        let err = gap.validate().unwrap_err();
+        assert!(err.contains("without a matching rule"), "{err}");
+        let opwa = ExperimentConfig {
+            algorithm: Algorithm::BcrsOpwa,
+            adaptive_plan: Some("static:*.bias=qsgd:8;*=topk".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(opwa.validate().unwrap_err().contains("OPWA"));
+        // Mutually exclusive with both static uplink codec knobs.
+        let with_compressor = ExperimentConfig {
+            algorithm: Algorithm::TopK,
+            compressor: Some("topk".parse().unwrap()),
+            adaptive_plan: Some("layer-bcrs".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(with_compressor
+            .validate()
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        let with_plan = ExperimentConfig {
+            algorithm: Algorithm::TopK,
+            layer_compressors: Some("*=topk".parse().unwrap()),
+            adaptive_plan: Some("static:*=topk".parse().unwrap()),
+            ..Default::default()
+        };
+        assert!(with_plan
+            .validate()
+            .unwrap_err()
+            .contains("mutually exclusive"));
     }
 
     #[test]

@@ -38,9 +38,15 @@
 //! * [`policy::ClientSelector`] — uniform sampling (paper) or
 //!   availability/dropout-aware selection;
 //! * [`policy::RatioPolicy`] — a uniform ratio or the BCRS scheduler;
-//! * [`policy::ServerOpt`] — plain SGD update (paper) or server momentum.
+//! * [`policy::ServerOpt`] — plain SGD update (paper) or server momentum;
+//! * [`policy::PlanPolicy`] — the adaptive per-layer codec plan
+//!   ([`config::ExperimentConfig::adaptive_plan`]): each round, after the
+//!   cohort and its links are known, the policy re-resolves which codec and
+//!   effective ratio every parameter segment encodes under, feeding on the
+//!   previous round's per-layer bytes and gradient mass (the closed
+//!   telemetry loop; see [`policy::LayerBcrsPolicy`]).
 //!
-//! An optional fourth seam layers trace-driven fleet dynamics on top:
+//! An optional further seam layers trace-driven fleet dynamics on top:
 //! [`config::ExperimentConfig::scenario`] names a generator (diurnal
 //! participation waves, Poisson churn, tiered link jitter, correlated tower
 //! outages) or a recorded trace file, and [`scenario::ScenarioHandle`]
@@ -89,13 +95,15 @@ pub use config::{ExperimentConfig, ModelPreset};
 pub use opwa::OpwaMask;
 pub use overlap::{OverlapCounts, OverlapStats};
 pub use policy::{
-    default_codec_spec, resolve_codec_spec, AvailabilitySelector, BcrsRatioPolicy, ClientSelector,
-    MomentumServer, RatioCtx, RatioDecision, RatioPolicy, SelectionCtx, ServerOpt, SgdServer,
-    UniformRatio, UniformSelector,
+    allocate_layer_budgets, default_codec_spec, default_plan_policy, plan_weights,
+    resolve_codec_spec, AdaptivePlanSpec, AvailabilitySelector, BcrsRatioPolicy, ClientSelector,
+    LayerBcrsPolicy, MomentumServer, PlanAssignment, PlanCtx, PlanDecision, PlanPolicy, RatioCtx,
+    RatioDecision, RatioPolicy, SelectionCtx, ServerOpt, SgdServer, StaticPlanPolicy, UniformRatio,
+    UniformSelector,
 };
 pub use roster::ClientRoster;
 pub use round::RoundOutput;
-pub use runner::{run_experiment, ExperimentResult, LayerBytes, RoundRecord};
+pub use runner::{run_experiment, ExperimentResult, LayerBytes, PlanTelemetry, RoundRecord};
 pub use scenario::{record_scenario_trace, scenario_seed, ScenarioHandle, ScenarioSelector};
 pub use session::{FederatedSession, SessionBuilder};
 pub use sweep::{run_sweep, run_sweep_threaded, run_sweep_threaded_progress, SweepGrid};

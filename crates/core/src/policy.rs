@@ -14,6 +14,12 @@
 //! * [`ServerOpt`] — how the aggregated delta is applied to the global model.
 //!   [`SgdServer`] is the paper's plain update `w ← w − η·Δ`;
 //!   [`MomentumServer`] adds heavy-ball server momentum (FedAvgM-style).
+//! * [`PlanPolicy`] — which per-layer codec plan the cohort encodes under
+//!   this round. [`StaticPlanPolicy`] re-emits a fixed [`LayerPlan`] (the
+//!   bit-identical fallback); [`LayerBcrsPolicy`] closes the telemetry loop,
+//!   re-splitting the round's coordinate budget across layers in proportion
+//!   to the observed gradient mass and checking each layer's budget against
+//!   the BCRS straggler envelope.
 //!
 //! Custom policies plug in through
 //! [`crate::session::SessionBuilder`]; the defaults are derived from the
@@ -24,9 +30,11 @@ use crate::aggregate::apply_update;
 use crate::algorithm::Algorithm;
 use crate::bcrs::{BcrsSchedule, BcrsScheduler};
 use crate::config::ExperimentConfig;
-use fl_compress::CompressorSpec;
+use crate::runner::LayerBytes;
+use fl_compress::{CompressorSpec, LayerPlan, SegmentDef, SpecError};
 use fl_netsim::{CommModel, Link};
 use fl_tensor::rng::{Rng, Xoshiro256};
+use serde::{Deserialize, Serialize};
 
 /// Everything a [`ClientSelector`] may consult when picking a cohort.
 pub struct SelectionCtx<'a> {
@@ -380,6 +388,408 @@ pub fn resolve_codec_spec(config: &ExperimentConfig) -> CompressorSpec {
         .unwrap_or_else(|| default_codec_spec(config.algorithm))
 }
 
+/// Parseable description of the plan policy driving adaptive per-layer
+/// compression (the [`ExperimentConfig::adaptive_plan`] knob and the bench
+/// harness `--adaptive-plan` flag).
+///
+/// Grammar (round-trips through `Display`):
+///
+/// * `static:<plan>` — re-emit the given [`LayerPlan`] every round
+///   ([`StaticPlanPolicy`]). Record fields other than the plan telemetry are
+///   bit-identical to running the same plan through
+///   [`ExperimentConfig::layer_compressors`];
+/// * `layer-bcrs` or `layer-bcrs:efficiency=<f>` — the telemetry-driven
+///   [`LayerBcrsPolicy`]; `efficiency ∈ (0, 1]` defaults to
+///   [`AdaptivePlanSpec::DEFAULT_EFFICIENCY`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AdaptivePlanSpec {
+    /// Re-emit the same [`LayerPlan`] every round.
+    Static(LayerPlan),
+    /// Mass-proportional per-layer budgets through the BCRS scheduler.
+    LayerBcrs {
+        /// Fraction of the uniform plan's coordinate budget the allocator
+        /// spends, in `(0, 1]`. Keeping it below 1 is what guarantees a
+        /// strict uplink-byte win over the uniform plan at the same base
+        /// ratio.
+        efficiency: f64,
+    },
+}
+
+impl AdaptivePlanSpec {
+    /// Default budget fraction of [`AdaptivePlanSpec::LayerBcrs`].
+    pub const DEFAULT_EFFICIENCY: f64 = 0.9;
+
+    /// Parse a spec string (`"static:*=topk"`, `"layer-bcrs"`,
+    /// `"layer-bcrs:efficiency=0.8"`).
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        let trimmed = s.trim();
+        if let Some(plan) = trimmed.strip_prefix("static:") {
+            return Ok(Self::Static(LayerPlan::parse(plan)?));
+        }
+        let (head, opts) = match trimmed.split_once(':') {
+            Some((head, opts)) => (head, Some(opts)),
+            None => (trimmed, None),
+        };
+        if head != "layer-bcrs" {
+            return Err(SpecError::Parse(s.to_string()));
+        }
+        let mut efficiency = Self::DEFAULT_EFFICIENCY;
+        if let Some(opts) = opts {
+            for kv in opts.split(',') {
+                match kv.split_once('=') {
+                    Some(("efficiency", v)) => {
+                        efficiency = v
+                            .trim()
+                            .parse()
+                            .map_err(|_| SpecError::Parse(s.to_string()))?;
+                    }
+                    _ => return Err(SpecError::Parse(s.to_string())),
+                }
+            }
+        }
+        if !(efficiency > 0.0 && efficiency <= 1.0) {
+            return Err(SpecError::Parse(s.to_string()));
+        }
+        Ok(Self::LayerBcrs { efficiency })
+    }
+
+    /// Short policy name (`"static"` / `"layer-bcrs"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Static(_) => "static",
+            Self::LayerBcrs { .. } => "layer-bcrs",
+        }
+    }
+}
+
+impl std::fmt::Display for AdaptivePlanSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Static(plan) => write!(f, "static:{plan}"),
+            Self::LayerBcrs { efficiency } => {
+                if *efficiency == Self::DEFAULT_EFFICIENCY {
+                    write!(f, "layer-bcrs")
+                } else {
+                    write!(f, "layer-bcrs:efficiency={efficiency}")
+                }
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for AdaptivePlanSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+/// Everything a [`PlanPolicy`] may consult when re-resolving the per-layer
+/// plan for a round: the model's segment layout, the round's cohort links,
+/// and the telemetry the previous round left behind.
+pub struct PlanCtx<'a> {
+    /// Round index (0-based).
+    pub round: usize,
+    /// The model's parameter segments (names + lengths, layout order) — the
+    /// `fl-nn` `ParamLayout` bridged through [`SegmentDef`].
+    pub segments: &'a [SegmentDef],
+    /// Links of the *selected* clients, in cohort order.
+    pub links: &'a [Link],
+    /// Dense model size in bytes (`V` of the communication model).
+    pub model_bytes: f64,
+    /// The run's base compression ratio `CR*`.
+    pub base_ratio: f64,
+    /// Previous round's per-layer uplink/downlink byte split (`None` on
+    /// round 0 or when the engine recorded no per-layer telemetry).
+    pub prev_layer_bytes: Option<&'a [LayerBytes]>,
+    /// Previous round's per-segment gradient mass — the L1 norm of the
+    /// aggregated delta restricted to each segment, in layout order (`None`
+    /// on round 0).
+    pub gradient_mass: Option<&'a [f64]>,
+    /// Total L2 norm of all parked error-feedback residuals across the
+    /// population (0 when no client carries dropped mass).
+    pub residual_norm: f64,
+}
+
+/// One segment's resolved assignment inside a [`PlanDecision`] — recorded
+/// into the round telemetry so per-layer decisions are inspectable.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanAssignment {
+    /// Segment name (`linear0.weight`, …).
+    pub segment: String,
+    /// The codec spec string assigned to the segment (`ef-topk+qsgd:8`, …).
+    pub spec: String,
+    /// The effective compression ratio the segment encodes at when a client
+    /// uploads at the cohort base ratio.
+    pub ratio: f64,
+}
+
+/// The per-round outcome of a [`PlanPolicy`].
+pub struct PlanDecision {
+    /// The plan the cohort's codecs resolve against this round.
+    pub plan: LayerPlan,
+    /// Per-segment multipliers on each client's assigned ratio, in layout
+    /// order. `Some` resolves through `LayerPlan::resolve_scaled` (always
+    /// segment-framed); `None` resolves through `LayerPlan::resolve`, where
+    /// uniform plans collapse to the flat codec bit for bit.
+    pub scales: Option<Vec<f64>>,
+    /// The resolved per-segment assignments, for telemetry.
+    pub assignments: Vec<PlanAssignment>,
+}
+
+/// Re-resolves the cohort's per-layer codec plan each round.
+///
+/// Advanced by the round engine in the select stage — after the cohort and
+/// its link snapshot are known, before any client trains — so a decision can
+/// react to the previous round's telemetry and to the links it must schedule
+/// over. Unlike [`RatioPolicy`], implementations may keep state across
+/// rounds (hence `&mut self`).
+pub trait PlanPolicy: Send {
+    /// Decide the round's plan.
+    fn decide(&mut self, ctx: &PlanCtx<'_>) -> PlanDecision;
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The bit-identical fallback: re-emit a fixed [`LayerPlan`] every round.
+///
+/// Emits no ratio scales, so the codec resolution path is exactly the one a
+/// static [`ExperimentConfig::layer_compressors`] run takes — uniform plans
+/// collapse to the flat codec and the fingerprint suite pins the records.
+#[derive(Clone, Debug)]
+pub struct StaticPlanPolicy {
+    plan: LayerPlan,
+}
+
+impl StaticPlanPolicy {
+    /// Wrap `plan` as an (unchanging) plan policy.
+    pub fn new(plan: LayerPlan) -> Self {
+        Self { plan }
+    }
+}
+
+impl PlanPolicy for StaticPlanPolicy {
+    fn decide(&mut self, ctx: &PlanCtx<'_>) -> PlanDecision {
+        let assignments = ctx
+            .segments
+            .iter()
+            .map(|seg| PlanAssignment {
+                segment: seg.name.clone(),
+                spec: self
+                    .plan
+                    .spec_for(&seg.name)
+                    .map_or_else(|| "<unmatched>".to_string(), |s| s.to_string()),
+                ratio: ctx.base_ratio,
+            })
+            .collect();
+        PlanDecision {
+            plan: self.plan.clone(),
+            scales: None,
+            assignments,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Normalized per-segment weights a [`LayerBcrsPolicy`] splits the round's
+/// coordinate budget by: the observed per-segment gradient mass when the
+/// telemetry loop has produced any (round ≥ 1 and not all-zero), segment
+/// lengths otherwise (round 0 degrades to a uniform split).
+pub fn plan_weights(lens: &[usize], gradient_mass: Option<&[f64]>) -> Vec<f64> {
+    assert!(!lens.is_empty(), "plan weights need at least one segment");
+    let from_mass = gradient_mass.filter(|m| {
+        m.len() == lens.len() && m.iter().all(|&x| x >= 0.0) && m.iter().any(|&x| x > 0.0)
+    });
+    let raw: Vec<f64> = match from_mass {
+        Some(mass) => mass.to_vec(),
+        None => lens.iter().map(|&l| l as f64).collect(),
+    };
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+/// Split the round's coordinate budget — `efficiency · base_ratio · Σ len`
+/// coordinates — across segments in proportion to `weights`, flooring every
+/// segment at one coordinate and capping at the segment length.
+///
+/// The floor keeps tiny budgets valid (a budget smaller than one coordinate
+/// per segment still ships one coordinate per segment — the per-segment
+/// framing overhead is the price of a layer-aware plan, not this
+/// allocator's concern), and the cap stops a dominant segment from being
+/// "compressed" above dense.
+pub fn allocate_layer_budgets(
+    lens: &[usize],
+    weights: &[f64],
+    base_ratio: f64,
+    efficiency: f64,
+) -> Vec<usize> {
+    assert_eq!(lens.len(), weights.len(), "one weight per segment");
+    assert!(!lens.is_empty(), "budget allocation needs segments");
+    assert!(
+        base_ratio > 0.0 && base_ratio <= 1.0,
+        "base ratio must be in (0, 1], got {base_ratio}"
+    );
+    assert!(
+        efficiency > 0.0 && efficiency <= 1.0,
+        "efficiency must be in (0, 1], got {efficiency}"
+    );
+    let total: usize = lens.iter().sum();
+    let wsum: f64 = weights.iter().sum();
+    let budget = efficiency * base_ratio * total as f64;
+    lens.iter()
+        .zip(weights.iter())
+        .map(|(&len, &w)| (((w / wsum) * budget).floor() as usize).clamp(1, len.max(1)))
+        .collect()
+}
+
+/// The telemetry-driven plan policy: spend the bandwidth budget where the
+/// gradient mass is, layer by layer, round by round.
+///
+/// Each round the policy (1) splits `efficiency · CR* · num_params`
+/// coordinates across segments in proportion to the previous round's
+/// per-segment gradient mass ([`plan_weights`] / [`allocate_layer_budgets`];
+/// segment lengths stand in on round 0), (2) runs the existing
+/// [`BcrsScheduler`] over each layer's byte budget and trims any layer whose
+/// straggler upload time would exceed its mass-proportional share of the
+/// uniform plan's BCRS envelope, and (3) assigns `qsgd` bit widths by mass
+/// rank — the heaviest third of segments quantize at 8 bits, the middle at
+/// 6, the lightest at 4 — emitting one exact-name
+/// `<segment>=ef-topk+qsgd:<bits>` rule per segment plus per-segment ratio
+/// scales.
+pub struct LayerBcrsPolicy {
+    scheduler: BcrsScheduler,
+    base_ratio: f64,
+    efficiency: f64,
+}
+
+impl LayerBcrsPolicy {
+    /// Layer-BCRS over the given communication model at base ratio `CR*`,
+    /// spending `efficiency ∈ (0, 1]` of the uniform coordinate budget.
+    pub fn new(comm: CommModel, base_ratio: f64, efficiency: f64) -> Self {
+        assert!(
+            base_ratio > 0.0 && base_ratio <= 1.0,
+            "base ratio must be in (0, 1], got {base_ratio}"
+        );
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1], got {efficiency}"
+        );
+        Self {
+            scheduler: BcrsScheduler::new(comm),
+            base_ratio,
+            efficiency,
+        }
+    }
+}
+
+impl PlanPolicy for LayerBcrsPolicy {
+    fn decide(&mut self, ctx: &PlanCtx<'_>) -> PlanDecision {
+        let n = ctx.segments.len();
+        assert!(n > 0, "plan policy needs at least one segment");
+        let lens: Vec<usize> = ctx.segments.iter().map(|s| s.len).collect();
+        let weights = plan_weights(&lens, ctx.gradient_mass);
+        let budgets = allocate_layer_budgets(&lens, &weights, self.base_ratio, self.efficiency);
+
+        // Bit widths by mass rank: heaviest third 8 bits, middle 6, rest 4.
+        // Ties break on layout order so the decision is deterministic.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            weights[b]
+                .partial_cmp(&weights[a])
+                .expect("plan weights are finite")
+                .then(a.cmp(&b))
+        });
+        let mut bits = vec![4u8; n];
+        for (rank, &i) in order.iter().enumerate() {
+            bits[i] = if rank * 3 < n {
+                8
+            } else if rank * 3 < 2 * n {
+                6
+            } else {
+                4
+            };
+        }
+
+        // The straggler envelope the uniform plan would spend: any layer
+        // whose slowest-client upload time exceeds its mass share of it gets
+        // trimmed back, so the adaptive plan never worsens the round's
+        // straggler beyond BCRS's own discipline.
+        let envelope = (!ctx.links.is_empty())
+            .then(|| {
+                self.scheduler
+                    .schedule(ctx.links, ctx.model_bytes, self.base_ratio)
+                    .t_bench
+            })
+            .filter(|t| *t > 0.0);
+
+        let mut rules = String::new();
+        let mut scales = Vec::with_capacity(n);
+        let mut assignments = Vec::with_capacity(n);
+        for (i, seg) in ctx.segments.iter().enumerate() {
+            let len = seg.len.max(1);
+            let floor = 1.0 / len as f64;
+            let mut ratio = budgets[i] as f64 / len as f64;
+            if let Some(envelope) = envelope {
+                let layer_bytes = len as f64 * 4.0;
+                let straggler = self
+                    .scheduler
+                    .schedule(ctx.links, layer_bytes, ratio.clamp(floor, 1.0))
+                    .t_bench;
+                let share = weights[i] * envelope;
+                if straggler > share && straggler > 0.0 {
+                    ratio = (ratio * share / straggler).clamp(floor, 1.0);
+                }
+            }
+            let ratio = ratio.clamp(floor, 1.0);
+            let spec = format!("ef-topk+qsgd:{}", bits[i]);
+            if i > 0 {
+                rules.push(';');
+            }
+            rules.push_str(&seg.name);
+            rules.push('=');
+            rules.push_str(&spec);
+            scales.push(ratio / self.base_ratio);
+            assignments.push(PlanAssignment {
+                segment: seg.name.clone(),
+                spec,
+                ratio,
+            });
+        }
+        let plan = LayerPlan::parse(&rules).expect("generated rules always parse");
+        PlanDecision {
+            plan,
+            scales: Some(scales),
+            assignments,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "layer-bcrs"
+    }
+}
+
+/// The plan policy implied by a configuration's `adaptive_plan` knob:
+/// `None` (the static, fingerprint-pinned path) unless the knob is set.
+pub fn default_plan_policy(
+    config: &ExperimentConfig,
+    comm: CommModel,
+) -> Option<Box<dyn PlanPolicy>> {
+    match &config.adaptive_plan {
+        None => None,
+        Some(AdaptivePlanSpec::Static(plan)) => Some(Box::new(StaticPlanPolicy::new(plan.clone()))),
+        Some(AdaptivePlanSpec::LayerBcrs { efficiency }) => Some(Box::new(LayerBcrsPolicy::new(
+            comm,
+            config.compression_ratio,
+            *efficiency,
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,6 +981,202 @@ mod tests {
         assert_eq!(
             default_ratio_policy(&c, CommModel::paper_default()).name(),
             "bcrs"
+        );
+    }
+
+    fn segs(defs: &[(&str, usize)]) -> Vec<SegmentDef> {
+        defs.iter().map(|&(n, l)| SegmentDef::new(n, l)).collect()
+    }
+
+    fn plan_ctx<'a>(
+        segments: &'a [SegmentDef],
+        links: &'a [Link],
+        mass: Option<&'a [f64]>,
+    ) -> PlanCtx<'a> {
+        PlanCtx {
+            round: 1,
+            segments,
+            links,
+            model_bytes: segments.iter().map(|s| s.len as f64 * 4.0).sum(),
+            base_ratio: 0.1,
+            prev_layer_bytes: None,
+            gradient_mass: mass,
+            residual_norm: 0.0,
+        }
+    }
+
+    #[test]
+    fn adaptive_plan_spec_parses_and_round_trips() {
+        let s: AdaptivePlanSpec = "static:*.bias=dense;*=topk".parse().unwrap();
+        assert_eq!(s.name(), "static");
+        assert_eq!(s.to_string(), "static:*.bias=dense;*=topk");
+        assert_eq!(s.to_string().parse::<AdaptivePlanSpec>().unwrap(), s);
+
+        let d: AdaptivePlanSpec = "layer-bcrs".parse().unwrap();
+        assert_eq!(
+            d,
+            AdaptivePlanSpec::LayerBcrs {
+                efficiency: AdaptivePlanSpec::DEFAULT_EFFICIENCY
+            }
+        );
+        assert_eq!(d.to_string(), "layer-bcrs");
+
+        let e: AdaptivePlanSpec = "layer-bcrs:efficiency=0.75".parse().unwrap();
+        assert_eq!(e, AdaptivePlanSpec::LayerBcrs { efficiency: 0.75 });
+        assert_eq!(e.to_string(), "layer-bcrs:efficiency=0.75");
+        assert_eq!(e.to_string().parse::<AdaptivePlanSpec>().unwrap(), e);
+    }
+
+    #[test]
+    fn adaptive_plan_spec_rejects_garbage() {
+        for bad in [
+            "",
+            "static:",
+            "bcrs-layer",
+            "layer-bcrs:efficiency=0",
+            "layer-bcrs:efficiency=1.5",
+            "layer-bcrs:eta=0.5",
+            "layer-bcrs:efficiency",
+        ] {
+            assert!(bad.parse::<AdaptivePlanSpec>().is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn static_plan_policy_re_emits_the_plan_without_scales() {
+        let plan: LayerPlan = "*.bias=dense;*=ef-topk".parse().unwrap();
+        let mut policy = StaticPlanPolicy::new(plan.clone());
+        let segments = segs(&[("l0.weight", 100), ("l0.bias", 10)]);
+        let links = links(3);
+        let d = policy.decide(&plan_ctx(&segments, &links, None));
+        assert_eq!(d.plan, plan);
+        assert!(d.scales.is_none(), "static path must not scale ratios");
+        assert_eq!(d.assignments.len(), 2);
+        assert_eq!(d.assignments[0].spec, "ef-topk");
+        assert_eq!(d.assignments[1].spec, "dense");
+        assert!(d.assignments.iter().all(|a| a.ratio == 0.1));
+    }
+
+    #[test]
+    fn plan_weights_use_mass_and_fall_back_to_lengths() {
+        // All-zero gradient mass (round 0 / dead model) degrades to a
+        // length-proportional split instead of dividing by zero.
+        let lens = [300usize, 100];
+        let w = plan_weights(&lens, Some(&[0.0, 0.0]));
+        assert!((w[0] - 0.75).abs() < 1e-12 && (w[1] - 0.25).abs() < 1e-12);
+        let w = plan_weights(&lens, None);
+        assert!((w[0] - 0.75).abs() < 1e-12);
+        // Real mass wins over lengths.
+        let w = plan_weights(&lens, Some(&[1.0, 3.0]));
+        assert!((w[0] - 0.25).abs() < 1e-12 && (w[1] - 0.75).abs() < 1e-12);
+        // Length mismatch is ignored (stale telemetry after a layout change).
+        let w = plan_weights(&lens, Some(&[1.0]));
+        assert!((w[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocator_is_mass_proportional_with_floor_and_cap() {
+        let lens = [1000usize, 1000, 10];
+        let weights = plan_weights(&lens, Some(&[9.0, 1.0, 0.0]));
+        let budgets = allocate_layer_budgets(&lens, &weights, 0.1, 1.0);
+        // 201 coordinates split 9:1:0 → heavy layer gets ~9× the light one,
+        // the zero-mass layer still ships its one-coordinate floor.
+        assert!(budgets[0] > 5 * budgets[1], "{budgets:?}");
+        assert_eq!(budgets[2], 1);
+        assert!(budgets.iter().sum::<usize>() <= 201);
+        // A dominant weight cannot push a segment above dense.
+        let budgets = allocate_layer_budgets(&[10, 1000], &[0.99, 0.01], 1.0, 1.0);
+        assert_eq!(budgets[0], 10, "capped at the segment length");
+    }
+
+    #[test]
+    fn allocator_single_segment_gets_the_whole_budget() {
+        let lens = [500usize];
+        let weights = plan_weights(&lens, None);
+        assert_eq!(allocate_layer_budgets(&lens, &weights, 0.1, 1.0), vec![50]);
+        assert_eq!(allocate_layer_budgets(&lens, &weights, 0.1, 0.9), vec![45]);
+    }
+
+    #[test]
+    fn allocator_floors_budgets_smaller_than_the_framing_overhead() {
+        // 4 segments but a budget of ~2 coordinates: every segment still
+        // ships at least one coordinate, so the plan stays encodable even
+        // when the budget is smaller than the per-segment framing overhead.
+        let lens = [100usize, 100, 100, 100];
+        let weights = plan_weights(&lens, None);
+        let budgets = allocate_layer_budgets(&lens, &weights, 0.005, 1.0);
+        assert_eq!(budgets, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn layer_bcrs_policy_emits_covering_rules_scales_and_bits() {
+        let mut policy = LayerBcrsPolicy::new(CommModel::paper_default(), 0.1, 0.9);
+        let segments = segs(&[("l0.weight", 784), ("l0.bias", 16), ("l1.weight", 160)]);
+        let links = links(4);
+        let mass = [50.0, 0.5, 5.0];
+        let d = policy.decide(&plan_ctx(&segments, &links, Some(&mass)));
+
+        // Every segment is covered by an exact-name rule.
+        for seg in &segments {
+            assert!(
+                d.plan.spec_for(&seg.name).is_some(),
+                "{} uncovered",
+                seg.name
+            );
+        }
+        let scales = d.scales.as_ref().expect("adaptive plan scales ratios");
+        assert_eq!(scales.len(), 3);
+        assert_eq!(d.assignments.len(), 3);
+        // Heaviest segment gets the widest quantizer and the largest ratio.
+        assert_eq!(d.assignments[0].spec, "ef-topk+qsgd:8");
+        assert_eq!(d.assignments[1].spec, "ef-topk+qsgd:4");
+        assert_eq!(d.assignments[2].spec, "ef-topk+qsgd:6");
+        assert!(d.assignments[0].ratio > d.assignments[2].ratio);
+        assert!(d
+            .assignments
+            .iter()
+            .all(|a| a.ratio > 0.0 && a.ratio <= 1.0));
+        // The spent coordinate budget stays below the uniform plan's.
+        let spent: f64 = d
+            .assignments
+            .iter()
+            .zip(segments.iter())
+            .map(|(a, s)| a.ratio * s.len as f64)
+            .sum();
+        assert!(spent < 0.1 * 960.0, "spent {spent} of {}", 0.1 * 960.0);
+    }
+
+    #[test]
+    fn layer_bcrs_policy_is_deterministic() {
+        let segments = segs(&[("a", 100), ("b", 200)]);
+        let links = links(3);
+        let mass = [1.0, 2.0];
+        let mut p1 = LayerBcrsPolicy::new(CommModel::paper_default(), 0.2, 0.9);
+        let mut p2 = LayerBcrsPolicy::new(CommModel::paper_default(), 0.2, 0.9);
+        let d1 = p1.decide(&plan_ctx(&segments, &links, Some(&mass)));
+        let d2 = p2.decide(&plan_ctx(&segments, &links, Some(&mass)));
+        assert_eq!(d1.plan, d2.plan);
+        assert_eq!(d1.scales, d2.scales);
+        assert_eq!(d1.assignments, d2.assignments);
+    }
+
+    #[test]
+    fn default_plan_policy_follows_the_knob() {
+        let mut c = ExperimentConfig::quick(Algorithm::TopK);
+        assert!(default_plan_policy(&c, CommModel::paper_default()).is_none());
+        c.adaptive_plan = Some("static:*=topk".parse().unwrap());
+        assert_eq!(
+            default_plan_policy(&c, CommModel::paper_default())
+                .unwrap()
+                .name(),
+            "static"
+        );
+        c.adaptive_plan = Some("layer-bcrs".parse().unwrap());
+        assert_eq!(
+            default_plan_policy(&c, CommModel::paper_default())
+                .unwrap()
+                .name(),
+            "layer-bcrs"
         );
     }
 }

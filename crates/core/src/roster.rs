@@ -38,12 +38,33 @@
 
 use crate::client::ClientState;
 use crate::config::ExperimentConfig;
-use fl_compress::{CodecRegistry, ResidualStore};
+use fl_compress::{
+    migrate_planned_residual, CodecRegistry, LayerPlan, ResidualState, ResidualStore, SegmentDef,
+};
 use fl_data::{ClientPartition, Dataset};
 use fl_tensor::rng::Xoshiro256;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// The roster's current round-scoped codec plan, installed by the round
+/// engine when an adaptive [`crate::policy::PlanPolicy`] is active. While an
+/// override is set, [`ClientRoster::checkout`] builds clients through
+/// [`ClientState::with_plan_override`] instead of the configuration's static
+/// codec path.
+#[derive(Clone)]
+struct PlanOverride {
+    plan: LayerPlan,
+    scales: Option<Vec<f64>>,
+    /// Bumped every time the *plan* (and therefore the residual part
+    /// structure a codec snapshot carries) changes; scale-only updates keep
+    /// the epoch, because segment-aligned residual parts survive a ratio
+    /// change untouched.
+    epoch: u64,
+    part_counts: Vec<usize>,
+    segment_lens: Vec<usize>,
+}
 
 /// The persistent, population-wide client substrate of a
 /// [`crate::session::FederatedSession`]: per-client RNG streams, the
@@ -59,6 +80,15 @@ pub struct ClientRoster {
     /// same streams — as the legacy eager construction).
     streams: Vec<Mutex<Xoshiro256>>,
     residuals: ResidualStore,
+    /// The adaptive plan currently in force (`None` on the static path —
+    /// checkout then resolves codecs from the configuration, bit-identically
+    /// to pre-adaptive builds). Written only between rounds by the engine's
+    /// single-threaded select stage; checkout clones it before building.
+    plan_override: Mutex<Option<PlanOverride>>,
+    /// Residual part counts of every plan epoch ever installed, for lazy
+    /// migration: a parked snapshot from epoch `e` is re-shaped against the
+    /// current epoch's counts the next time its client is checked out.
+    epoch_counts: Mutex<HashMap<u64, Vec<usize>>>,
     resident: AtomicUsize,
     peak_resident: AtomicUsize,
     round_instantiated: AtomicUsize,
@@ -87,6 +117,8 @@ impl ClientRoster {
             registry,
             streams,
             residuals: ResidualStore::new(),
+            plan_override: Mutex::new(None),
+            epoch_counts: Mutex::new(HashMap::new()),
             resident: AtomicUsize::new(0),
             peak_resident: AtomicUsize::new(0),
             round_instantiated: AtomicUsize::new(0),
@@ -114,9 +146,38 @@ impl ClientRoster {
     pub fn checkout(&self, id: usize) -> ClientState {
         let stream = self.streams[id].lock().clone();
         let local = self.partitions[id].dataset(&self.train);
-        let mut client =
-            ClientState::with_registry(id, local, &self.config, stream, &self.registry);
-        if let Some(state) = self.residuals.take(id as u64) {
+        let over = self.plan_override.lock().clone();
+        let mut client = match &over {
+            Some(o) => ClientState::with_plan_override(
+                id,
+                local,
+                &self.config,
+                stream,
+                &self.registry,
+                &o.plan,
+                o.scales.as_deref(),
+            ),
+            None => ClientState::with_registry(id, local, &self.config, stream, &self.registry),
+        };
+        if let Some((state, epoch)) = self.residuals.take_epoch(id as u64) {
+            let state = match &over {
+                Some(o) if epoch != o.epoch => {
+                    match self.epoch_counts.lock().get(&epoch) {
+                        Some(old_counts) => migrate_planned_residual(
+                            state,
+                            old_counts,
+                            &o.part_counts,
+                            &o.segment_lens,
+                        ),
+                        // A snapshot from before the first plan decision has
+                        // no per-segment part structure to migrate (it came
+                        // from a flat codec); the adaptive codec starts from
+                        // zero accumulated error instead.
+                        None => ResidualState::empty(),
+                    }
+                }
+                _ => state,
+            };
             client.restore_residual(state);
         }
         let resident = self.resident.fetch_add(1, Ordering::SeqCst) + 1;
@@ -127,13 +188,63 @@ impl ClientRoster {
     }
 
     /// Return a client after its round of work: persist the codec's residual
-    /// snapshot into the store (all-zero snapshots are dropped), write the
+    /// snapshot into the store (all-zero snapshots are dropped, and the
+    /// snapshot is tagged with the plan epoch it was taken under), write the
     /// advanced RNG stream back, and drop the rest of the state.
     pub fn checkin(&self, mut client: ClientState) {
         let id = client.id;
-        self.residuals.put(id as u64, client.take_residual());
+        let epoch = self.plan_epoch();
+        self.residuals
+            .put_epoch(id as u64, client.take_residual(), epoch);
         *self.streams[id].lock() = client.into_rng();
         self.resident.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Install (or refresh) the adaptive codec plan every subsequent
+    /// [`checkout`](Self::checkout) resolves against, returning the plan
+    /// epoch now in force. Same plan → same epoch (scale-only updates are
+    /// applied in place); a changed plan bumps the epoch, which drives the
+    /// lazy migration of parked error-feedback residuals on their owners'
+    /// next checkout. Called by the round engine's select stage, between
+    /// rounds — never concurrently with checkouts.
+    pub fn set_plan_override(
+        &self,
+        plan: LayerPlan,
+        scales: Option<Vec<f64>>,
+        segments: &[SegmentDef],
+    ) -> u64 {
+        let mut over = self.plan_override.lock();
+        match over.as_mut() {
+            Some(o) if o.plan == plan => {
+                o.scales = scales;
+                o.epoch
+            }
+            _ => {
+                let part_counts = plan.part_counts(segments).unwrap_or_else(|e| {
+                    panic!("adaptive plan {plan} does not cover the layout: {e}")
+                });
+                let epoch = over.as_ref().map(|o| o.epoch).unwrap_or(0) + 1;
+                self.epoch_counts.lock().insert(epoch, part_counts.clone());
+                *over = Some(PlanOverride {
+                    plan,
+                    scales,
+                    epoch,
+                    part_counts,
+                    segment_lens: segments.iter().map(|s| s.len).collect(),
+                });
+                epoch
+            }
+        }
+    }
+
+    /// The plan epoch currently in force (0 when no adaptive override is
+    /// installed — the static path tags residuals with epoch 0 forever).
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_override
+            .lock()
+            .as_ref()
+            .map(|o| o.epoch)
+            .unwrap_or(0)
     }
 
     /// Number of `ClientState`s currently checked out (resident in memory).
@@ -261,6 +372,68 @@ mod tests {
         assert_eq!(roster.round_instantiated(), 0);
         assert_eq!(roster.total_instantiated(), 2);
         assert_eq!(roster.residual_clients(), 0, "top-k stores no residual");
+    }
+
+    #[test]
+    fn plan_override_migrates_residuals_across_plan_changes() {
+        let (roster, global) = build_roster(Algorithm::TopK, 4);
+        // A mixed plan (never collapses): EF on the weights, stateless bias.
+        let segments = {
+            let probe = roster.checkout(0);
+            let s = crate::client::segment_defs(probe.layout());
+            roster.checkin(probe);
+            s
+        };
+        let e1 = roster.set_plan_override(
+            "*.bias=topk;*=ef-topk+qsgd:8".parse().unwrap(),
+            None,
+            &segments,
+        );
+        assert_eq!(e1, 1);
+        assert_eq!(roster.plan_epoch(), 1);
+        let mut client = roster.checkout(1);
+        let out = client.local_update(&global);
+        let _ = client.encode(&out.delta, 0.05);
+        let norm = client.residual_norm();
+        assert!(norm > 0.0, "EF segments must carry dropped mass");
+        roster.checkin(client);
+        assert_eq!(roster.residual_clients(), 1);
+
+        // Re-installing the same plan (even with fresh ratio scales) keeps
+        // the epoch: the parked snapshot restores verbatim.
+        let scales = vec![0.5; segments.len()];
+        let e_same = roster.set_plan_override(
+            "*.bias=topk;*=ef-topk+qsgd:8".parse().unwrap(),
+            Some(scales),
+            &segments,
+        );
+        assert_eq!(e_same, 1);
+        let client = roster.checkout(1);
+        assert!((client.residual_norm() - norm).abs() < 1e-12);
+        roster.checkin(client);
+
+        // A bit-width change is a new plan: the epoch bumps and the EF→EF
+        // migration carries every residual coordinate across unchanged.
+        let e2 = roster.set_plan_override(
+            "*.bias=topk;*=ef-topk+qsgd:4".parse().unwrap(),
+            None,
+            &segments,
+        );
+        assert_eq!(e2, 2);
+        let client = roster.checkout(1);
+        assert!(
+            (client.residual_norm() - norm).abs() < 1e-12,
+            "EF→EF migration must carry the residual verbatim"
+        );
+        roster.checkin(client);
+
+        // EF → stateless drops the carried mass (nowhere to hold it).
+        let e3 = roster.set_plan_override("*=topk;*.bias=topk".parse().unwrap(), None, &segments);
+        assert_eq!(e3, 3);
+        let client = roster.checkout(1);
+        assert_eq!(client.residual_norm(), 0.0);
+        roster.checkin(client);
+        assert_eq!(roster.residual_clients(), 0);
     }
 
     #[test]

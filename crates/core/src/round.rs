@@ -29,8 +29,8 @@ use crate::bcrs::BcrsSchedule;
 use crate::eval::{evaluate, Evaluation};
 use crate::opwa::OpwaMask;
 use crate::overlap::OverlapCounts;
-use crate::policy::{RatioCtx, SelectionCtx};
-use crate::runner::{LayerBytes, RoundRecord};
+use crate::policy::{PlanCtx, RatioCtx, SelectionCtx};
+use crate::runner::{LayerBytes, PlanTelemetry, RoundRecord};
 use crate::session::FederatedSession;
 use fl_compress::{CompressedUpdate, SparseUpdate};
 use fl_netsim::{CostBasis, Link, RoundBreakdown, RoundTiming};
@@ -150,14 +150,48 @@ impl FederatedSession {
         // Cohort links honour the scenario's per-round overrides (tier
         // resampling, rejoin links); without a scenario this is exactly the
         // static draw.
-        let links = match &self.scenario {
+        let links: Vec<Link> = match &self.scenario {
             Some(handle) => selected
                 .iter()
                 .map(|&i| handle.link_for(i, &self.links))
                 .collect(),
             None => selected.iter().map(|&i| self.links[i]).collect(),
         };
+        self.plan_phase(round, &links);
         Selection { selected, links }
+    }
+
+    /// Advance the adaptive plan policy (when one is configured): hand it the
+    /// round's link snapshot and the previous round's telemetry, install its
+    /// decision as the roster's codec plan for this round's checkouts, and
+    /// stash the decision for the record. A no-op on the static path — no
+    /// policy, no override, no telemetry, bit-identical to pre-adaptive runs.
+    fn plan_phase(&mut self, round: usize, links: &[Link]) {
+        let Some(policy) = self.plan_policy.as_mut() else {
+            return;
+        };
+        let segments = crate::client::segment_defs(&self.layout);
+        let ctx = PlanCtx {
+            round,
+            segments: &segments,
+            links,
+            model_bytes: self.model_bytes as f64,
+            base_ratio: self.config.compression_ratio,
+            prev_layer_bytes: self.records.last().and_then(|r| r.layer_bytes.as_deref()),
+            gradient_mass: self.last_gradient_mass.as_deref(),
+            residual_norm: self.roster.residual_total_norm(),
+        };
+        let decision = policy.decide(&ctx);
+        let policy_name = policy.name();
+        let epoch =
+            self.roster
+                .set_plan_override(decision.plan.clone(), decision.scales, &segments);
+        self.plan_telemetry = Some(PlanTelemetry {
+            policy: policy_name.to_string(),
+            plan: decision.plan.to_string(),
+            epoch,
+            assignments: decision.assignments,
+        });
     }
 
     /// Stage 2: broadcast the global parameters. With a downlink codec the
@@ -331,6 +365,12 @@ impl FederatedSession {
                 aggregate_compressed_sharded(&refs, &coefficients, None, self.threads),
             )
         };
+        // Telemetry for the next round's plan decision: where the aggregated
+        // update's mass concentrated, per layout segment. Computed only when
+        // a plan policy is consuming it — the static path does no extra work.
+        if self.plan_policy.is_some() {
+            self.last_gradient_mass = Some(fl_nn::segment_l1_masses(&self.layout, &aggregated));
+        }
         self.server_opt
             .apply(&mut self.global_params, &aggregated, self.config.server_lr);
         AggregatePhase { overlap }
@@ -480,6 +520,7 @@ impl FederatedSession {
             overlap: aggregate.overlap.map(|c| c.stats()),
             layer_bytes,
             scenario: self.scenario.as_ref().map(|h| h.telemetry()),
+            plan: self.plan_telemetry.take(),
         };
         RoundOutput {
             record,
@@ -892,6 +933,84 @@ mod tests {
         let out = FederatedSession::from_config(&config).run_round();
         assert!(out.record.overlap.is_some());
         assert!(out.record.layer_bytes.is_some());
+    }
+
+    #[test]
+    fn static_adaptive_plan_matches_layer_compressors_bit_for_bit() {
+        // `adaptive_plan: static:<plan>` routes every checkout through the
+        // plan-override path, but with no ratio scales the codec resolution
+        // is exactly the static `layer_compressors` one — every record field
+        // except the new plan telemetry must match bit for bit.
+        let plan = "*.bias=dense;*=ef-topk";
+        let mut fixed = ExperimentConfig::quick(Algorithm::TopK);
+        fixed.rounds = 3;
+        fixed.max_threads = 1;
+        fixed.cost_basis = CostBasis::Encoded;
+        fixed.layer_compressors = Some(plan.parse().unwrap());
+        let mut adaptive = fixed.clone();
+        adaptive.layer_compressors = None;
+        adaptive.adaptive_plan = Some(format!("static:{plan}").parse().unwrap());
+        let a = FederatedSession::from_config(&fixed).run();
+        let b = FederatedSession::from_config(&adaptive).run();
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(b.records.iter()) {
+            assert!(ra.plan.is_none());
+            let telemetry = rb.plan.as_ref().expect("adaptive runs record the plan");
+            assert_eq!(telemetry.policy, "static");
+            assert_eq!(telemetry.plan, plan);
+            assert_eq!(telemetry.epoch, 1, "one plan for the whole run");
+            assert_eq!(telemetry.assignments.len(), 6);
+            let mut rb = rb.clone();
+            rb.plan = None;
+            assert_eq!(*ra, rb, "round {}", ra.round);
+        }
+    }
+
+    #[test]
+    fn layer_bcrs_plan_beats_the_uniform_plan_on_encoded_bytes() {
+        // The telemetry loop pays off: under the encoded cost basis the
+        // adaptive policy's mass-proportional budgets upload strictly fewer
+        // bytes than the same run on the uniform EF plan, at equal rounds.
+        let mut uniform = ExperimentConfig::quick(Algorithm::TopK);
+        uniform.rounds = 4;
+        uniform.max_threads = 1;
+        uniform.cost_basis = CostBasis::Encoded;
+        uniform.layer_compressors = Some("*=ef-topk".parse().unwrap());
+        let mut adaptive = uniform.clone();
+        adaptive.layer_compressors = None;
+        adaptive.adaptive_plan = Some("layer-bcrs".parse().unwrap());
+        let u = FederatedSession::from_config(&uniform).run();
+        let a = FederatedSession::from_config(&adaptive).run();
+        let u_bytes: usize = u.records.iter().map(|r| r.uplink_bytes).sum();
+        let a_bytes: usize = a.records.iter().map(|r| r.uplink_bytes).sum();
+        assert!(
+            a_bytes < u_bytes,
+            "adaptive {a_bytes} must beat uniform {u_bytes}"
+        );
+        // Decisions are visible: per-layer telemetry plus per-layer bytes in
+        // every record (scaled plans always frame segments).
+        for r in &a.records {
+            let telemetry = r.plan.as_ref().expect("plan telemetry");
+            assert_eq!(telemetry.policy, "layer-bcrs");
+            assert_eq!(telemetry.assignments.len(), 6);
+            assert!(telemetry.assignments.iter().all(|s| s.ratio > 0.0));
+            assert!(r.layer_bytes.is_some(), "scaled plans are segment-framed");
+        }
+        // And the model still learns (above the 10-class chance rate after
+        // only four heavily quantized rounds).
+        assert!(a.final_accuracy > 0.1, "{}", a.final_accuracy);
+    }
+
+    #[test]
+    fn adaptive_run_is_deterministic() {
+        let mut config = ExperimentConfig::quick(Algorithm::TopK);
+        config.rounds = 3;
+        config.max_threads = 1;
+        config.cost_basis = CostBasis::Encoded;
+        config.adaptive_plan = Some("layer-bcrs:efficiency=0.8".parse().unwrap());
+        let a = FederatedSession::from_config(&config).run();
+        let b = FederatedSession::from_config(&config).run();
+        assert_eq!(a.records, b.records);
     }
 
     #[test]

@@ -34,6 +34,24 @@ pub struct LayerBytes {
     pub downlink_bytes: usize,
 }
 
+/// The plan decision an adaptive plan policy made for one round, recorded
+/// into [`RoundRecord::plan`] so per-layer decisions are inspectable
+/// (`None` whenever `config.adaptive_plan` is `None` — the static,
+/// fingerprint-pinned path records exactly what it always has).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanTelemetry {
+    /// The deciding policy's name (`"static"` / `"layer-bcrs"`).
+    pub policy: String,
+    /// The resolved plan string (`"linear0.weight=ef-topk+qsgd:8;…"`).
+    pub plan: String,
+    /// The plan epoch the cohort encoded under. Bumped whenever the decision
+    /// changes the codec layout, driving lazy error-feedback residual
+    /// migration; a static policy stays at epoch 0 forever.
+    pub epoch: u64,
+    /// Per-segment assignments (spec + effective ratio), in layout order.
+    pub assignments: Vec<crate::policy::PlanAssignment>,
+}
+
 /// Everything recorded about one communication round.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RoundRecord {
@@ -87,6 +105,9 @@ pub struct RoundRecord {
     /// configuration runs one (`config.scenario`); `None` under the paper's
     /// static fleet.
     pub scenario: Option<ScenarioTelemetry>,
+    /// The adaptive plan policy's decision for this round, present when
+    /// `config.adaptive_plan` is set; `None` on every static path.
+    pub plan: Option<PlanTelemetry>,
 }
 
 impl PartialEq for RoundRecord {
@@ -119,6 +140,7 @@ impl PartialEq for RoundRecord {
             overlap,
             layer_bytes,
             scenario,
+            plan,
         } = other;
         self.round == *round
             && bits(self.test_accuracy) == bits(*test_accuracy)
@@ -137,6 +159,7 @@ impl PartialEq for RoundRecord {
             && self.overlap == *overlap
             && self.layer_bytes == *layer_bytes
             && self.scenario == *scenario
+            && self.plan == *plan
     }
 }
 
@@ -206,13 +229,16 @@ impl ExperimentResult {
     }
 
     /// CSV dump of the round records
-    /// (`round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s,available_clients,joined,departed,link_changes`).
-    /// The trailing four columns carry the fleet scenario's telemetry; under
-    /// the paper's static fleet (`scenario: None`) they report the full
-    /// population as available with zero churn.
+    /// (`round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s,available_clients,joined,departed,link_changes,plan_policy,plan`).
+    /// The `available_clients..link_changes` columns carry the fleet
+    /// scenario's telemetry; under the paper's static fleet
+    /// (`scenario: None`) they report the full population as available with
+    /// zero churn. The trailing two columns carry the adaptive plan policy's
+    /// decision (empty whenever `adaptive_plan: None`); plan strings use
+    /// `;`/`=` separators only, so rows stay comma-splittable.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s,available_clients,joined,departed,link_changes\n",
+            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s,available_clients,joined,departed,link_changes,plan_policy,plan\n",
         );
         for r in &self.records {
             let fleet = r.scenario.unwrap_or(ScenarioTelemetry {
@@ -221,8 +247,12 @@ impl ExperimentResult {
                 departed: 0,
                 link_changes: 0,
             });
+            let (plan_policy, plan) = match &r.plan {
+                Some(p) => (p.policy.as_str(), p.plan.as_str()),
+                None => ("", ""),
+            };
             out.push_str(&format!(
-                "{},{:.4},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{}\n",
+                "{},{:.4},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{}\n",
                 r.round,
                 r.test_accuracy,
                 r.test_loss,
@@ -237,8 +267,42 @@ impl ExperimentResult {
                 fleet.available,
                 fleet.joined,
                 fleet.departed,
-                fleet.link_changes
+                fleet.link_changes,
+                plan_policy,
+                plan
             ));
+        }
+        out
+    }
+
+    /// Per-layer CSV dump
+    /// (`round,layer,uplink_bytes,downlink_bytes,spec,ratio`): one row per
+    /// segment per round that recorded a [`RoundRecord::layer_bytes`]
+    /// breakdown (rounds on the flat codec path emit nothing). The `spec` and
+    /// `ratio` columns carry the adaptive plan policy's per-segment
+    /// assignment when one was recorded, and are empty under a static mixed
+    /// plan. This is the `--layer-csv` bench output — per-layer decisions
+    /// become inspectable without custom parsing.
+    pub fn to_layer_csv(&self) -> String {
+        let mut out = String::from("round,layer,uplink_bytes,downlink_bytes,spec,ratio\n");
+        for r in &self.records {
+            let Some(layers) = &r.layer_bytes else {
+                continue;
+            };
+            for lb in layers {
+                let assignment = r
+                    .plan
+                    .as_ref()
+                    .and_then(|p| p.assignments.iter().find(|a| a.segment == lb.layer));
+                let (spec, ratio) = match assignment {
+                    Some(a) => (a.spec.clone(), format!("{:.6}", a.ratio)),
+                    None => (String::new(), String::new()),
+                };
+                out.push_str(&format!(
+                    "{},{},{},{},{},{}\n",
+                    r.round, lb.layer, lb.uplink_bytes, lb.downlink_bytes, spec, ratio
+                ));
+            }
         }
         out
     }
@@ -459,7 +523,7 @@ mod tests {
         let header = csv.lines().next().unwrap();
         assert_eq!(
             header,
-            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s,available_clients,joined,departed,link_changes"
+            "round,test_accuracy,test_loss,train_loss,mean_cr,uplink_bytes,downlink_bytes,comm_actual_s,cum_actual_s,cum_max_s,cum_min_s,available_clients,joined,departed,link_changes,plan_policy,plan"
         );
         // Every row has exactly as many cells as the header.
         let columns = header.split(',').count();
@@ -475,7 +539,40 @@ mod tests {
         let csv = r.to_csv();
         let n = r.config.num_clients;
         for line in csv.lines().skip(1) {
-            assert!(line.ends_with(&format!(",{n},0,0,0")), "{line}");
+            // Scenario columns report the static fleet; the trailing plan
+            // columns are empty without an adaptive plan.
+            assert!(line.ends_with(&format!(",{n},0,0,0,,")), "{line}");
+        }
+    }
+
+    #[test]
+    fn layer_csv_is_empty_on_the_flat_codec_path() {
+        let r = run_experiment(&quick(Algorithm::TopK));
+        assert!(r.records.iter().all(|rec| rec.layer_bytes.is_none()));
+        let csv = r.to_layer_csv();
+        assert_eq!(csv.lines().count(), 1, "header only: {csv}");
+        assert_eq!(
+            csv.lines().next().unwrap(),
+            "round,layer,uplink_bytes,downlink_bytes,spec,ratio"
+        );
+    }
+
+    #[test]
+    fn layer_csv_rows_match_the_header_column_count() {
+        let mut c = quick(Algorithm::TopK);
+        c.rounds = 2;
+        c.layer_compressors = Some("*.bias=randk;*=topk".parse().unwrap());
+        let r = run_experiment(&c);
+        assert!(r.records.iter().all(|rec| rec.layer_bytes.is_some()));
+        let csv = r.to_layer_csv();
+        let header = csv.lines().next().unwrap();
+        let columns = header.split(',').count();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        // One row per segment per round.
+        let segments = r.records[0].layer_bytes.as_ref().unwrap().len();
+        assert_eq!(rows.len(), segments * r.records.len());
+        for line in &rows {
+            assert_eq!(line.split(',').count(), columns, "malformed row: {line}");
         }
     }
 

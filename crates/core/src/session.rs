@@ -21,15 +21,15 @@
 //! assert_eq!(result.records.len(), 2);
 //! ```
 
-use crate::client::build_model;
+use crate::client::{build_model, segment_defs};
 use crate::config::ExperimentConfig;
 use crate::eval::Evaluation;
 use crate::policy::{
-    default_ratio_policy, default_selector, default_server_opt, ClientSelector, RatioPolicy,
-    ServerOpt,
+    default_plan_policy, default_ratio_policy, default_selector, default_server_opt,
+    ClientSelector, PlanPolicy, RatioPolicy, ServerOpt,
 };
 use crate::roster::ClientRoster;
-use crate::runner::{ExperimentResult, RoundRecord};
+use crate::runner::{ExperimentResult, PlanTelemetry, RoundRecord};
 use crate::scenario::{scenario_seed, ScenarioHandle, ScenarioSelector};
 use fl_compress::{CodecCtx, CodecRegistry, DownlinkChannel};
 use fl_data::{dirichlet_partition, Dataset, PartitionStats};
@@ -192,11 +192,27 @@ impl SessionBuilder {
         // --- Downlink (broadcast) channel --------------------------------------
         // Dedicated seeds keep the broadcast codec's randomness off the
         // selection and uplink streams, so enabling the downlink leg never
-        // perturbs an otherwise-identical run's trajectory.
-        let downlink = config.downlink_compressor.as_ref().map(|spec| {
-            let codec = registry
-                .build(spec, &CodecCtx::new(model_params, config.seed ^ 0xD0C0))
-                .unwrap_or_else(|e| panic!("invalid downlink compressor spec {spec}: {e}"));
+        // perturbs an otherwise-identical run's trajectory. A downlink layer
+        // plan resolves against the same layout the uplink plans use, so a
+        // mixed plan's broadcast ships `Segmented` frames and the per-layer
+        // downlink byte split in the records is honest.
+        let downlink_ctx = CodecCtx::new(model_params, config.seed ^ 0xD0C0);
+        let downlink_codec = match (
+            &config.downlink_compressor,
+            &config.downlink_layer_compressors,
+        ) {
+            (Some(spec), _) => Some(
+                registry
+                    .build(spec, &downlink_ctx)
+                    .unwrap_or_else(|e| panic!("invalid downlink compressor spec {spec}: {e}")),
+            ),
+            (None, Some(plan)) => Some(
+                plan.resolve(&registry, &segment_defs(&layout), &downlink_ctx)
+                    .unwrap_or_else(|e| panic!("invalid downlink layer plan {plan}: {e}")),
+            ),
+            (None, None) => None,
+        };
+        let downlink = downlink_codec.map(|codec| {
             DownlinkChannel::new(
                 codec,
                 &global_params,
@@ -236,6 +252,7 @@ impl SessionBuilder {
         let server_opt = self
             .server_opt
             .unwrap_or_else(|| default_server_opt(&config));
+        let plan_policy = default_plan_policy(&config, comm);
         let records = Vec::with_capacity(config.rounds);
 
         FederatedSession {
@@ -253,6 +270,9 @@ impl SessionBuilder {
             selector,
             ratio_policy,
             server_opt,
+            plan_policy,
+            last_gradient_mass: None,
+            plan_telemetry: None,
             downlink,
             scenario,
             selection_rng,
@@ -290,6 +310,16 @@ pub struct FederatedSession {
     pub(crate) selector: Box<dyn ClientSelector>,
     pub(crate) ratio_policy: Box<dyn RatioPolicy>,
     pub(crate) server_opt: Box<dyn ServerOpt>,
+    /// The adaptive plan policy, when `config.adaptive_plan` is set. Advanced
+    /// once per round in the select stage; `None` keeps the engine on the
+    /// static, fingerprint-pinned codec path.
+    pub(crate) plan_policy: Option<Box<dyn PlanPolicy>>,
+    /// Per-segment L1 mass of the previous round's aggregated update
+    /// (layout order) — the telemetry the next round's plan decision reads.
+    pub(crate) last_gradient_mass: Option<Vec<f64>>,
+    /// The pending round's plan decision, recorded into its [`RoundRecord`]
+    /// by the eval stage.
+    pub(crate) plan_telemetry: Option<PlanTelemetry>,
     pub(crate) downlink: Option<DownlinkChannel>,
     pub(crate) scenario: Option<ScenarioHandle>,
     pub(crate) selection_rng: Xoshiro256,

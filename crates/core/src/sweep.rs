@@ -29,6 +29,7 @@
 
 use crate::algorithm::Algorithm;
 use crate::config::ExperimentConfig;
+use crate::policy::AdaptivePlanSpec;
 use crate::runner::ExperimentResult;
 use crate::session::SessionBuilder;
 use fl_compress::{CompressorSpec, LayerPlan};
@@ -156,6 +157,7 @@ pub struct SweepGrid {
     algorithms: Vec<Algorithm>,
     compressors: Vec<Option<CompressorSpec>>,
     layer_plans: Vec<Option<LayerPlan>>,
+    adaptive_plans: Vec<Option<AdaptivePlanSpec>>,
     downlink_compressors: Vec<Option<CompressorSpec>>,
     scenarios: Vec<Option<ScenarioSpec>>,
     seeds: Vec<u64>,
@@ -172,6 +174,7 @@ impl SweepGrid {
             algorithms: vec![base.algorithm],
             compressors: vec![base.compressor.clone()],
             layer_plans: vec![base.layer_compressors.clone()],
+            adaptive_plans: vec![base.adaptive_plan.clone()],
             downlink_compressors: vec![base.downlink_compressor.clone()],
             scenarios: vec![base.scenario.clone()],
             seeds: vec![base.seed],
@@ -241,6 +244,28 @@ impl SweepGrid {
         self
     }
 
+    /// Sweep over these adaptive plan policies (each becomes the
+    /// configuration's `adaptive_plan`; the knob is mutually exclusive with
+    /// the static `compressor` / `layer_compressors` overrides, so keep those
+    /// axes at `None` when this one is set). Use
+    /// [`adaptive_plan_options`](Self::adaptive_plan_options) to include the
+    /// static baseline (`None`) in the same grid.
+    pub fn adaptive_plans(mut self, specs: impl IntoIterator<Item = AdaptivePlanSpec>) -> Self {
+        self.adaptive_plans = specs.into_iter().map(Some).collect();
+        self
+    }
+
+    /// Like [`adaptive_plans`](Self::adaptive_plans) but taking `Option`s, so
+    /// a grid can compare adaptive scheduling against the static baseline
+    /// side by side.
+    pub fn adaptive_plan_options(
+        mut self,
+        specs: impl IntoIterator<Item = Option<AdaptivePlanSpec>>,
+    ) -> Self {
+        self.adaptive_plans = specs.into_iter().collect();
+        self
+    }
+
     /// Sweep over these broadcast codec specs (each becomes the
     /// configuration's `downlink_compressor`). Use
     /// [`downlink_compressor_options`](Self::downlink_compressor_options) to
@@ -294,6 +319,7 @@ impl SweepGrid {
             * self.algorithms.len()
             * self.compressors.len()
             * self.layer_plans.len()
+            * self.adaptive_plans.len()
             * self.downlink_compressors.len()
             * self.scenarios.len()
             * self.seeds.len()
@@ -305,9 +331,9 @@ impl SweepGrid {
     }
 
     /// Materialise the grid, nested population → dataset → β → ratio →
-    /// algorithm → codec → layer plan → downlink codec → scenario → seed
-    /// (the paper's table ordering, with populations, codecs, plans and
-    /// fleet scenarios as extra rows).
+    /// algorithm → codec → layer plan → adaptive plan → downlink codec →
+    /// scenario → seed (the paper's table ordering, with populations, codecs,
+    /// plans and fleet scenarios as extra rows).
     pub fn configs(&self) -> Vec<ExperimentConfig> {
         let mut out = Vec::with_capacity(self.len());
         for &num_clients in &self.client_counts {
@@ -317,21 +343,24 @@ impl SweepGrid {
                         for &algorithm in &self.algorithms {
                             for compressor in &self.compressors {
                                 for plan in &self.layer_plans {
-                                    for downlink in &self.downlink_compressors {
-                                        for scenario in &self.scenarios {
-                                            for &seed in &self.seeds {
-                                                let mut c = self.base.clone();
-                                                c.num_clients = num_clients;
-                                                c.dataset = dataset;
-                                                c.beta = beta;
-                                                c.compression_ratio = compression_ratio;
-                                                c.algorithm = algorithm;
-                                                c.compressor = compressor.clone();
-                                                c.layer_compressors = plan.clone();
-                                                c.downlink_compressor = downlink.clone();
-                                                c.scenario = scenario.clone();
-                                                c.seed = seed;
-                                                out.push(c);
+                                    for adaptive in &self.adaptive_plans {
+                                        for downlink in &self.downlink_compressors {
+                                            for scenario in &self.scenarios {
+                                                for &seed in &self.seeds {
+                                                    let mut c = self.base.clone();
+                                                    c.num_clients = num_clients;
+                                                    c.dataset = dataset;
+                                                    c.beta = beta;
+                                                    c.compression_ratio = compression_ratio;
+                                                    c.algorithm = algorithm;
+                                                    c.compressor = compressor.clone();
+                                                    c.layer_compressors = plan.clone();
+                                                    c.adaptive_plan = adaptive.clone();
+                                                    c.downlink_compressor = downlink.clone();
+                                                    c.scenario = scenario.clone();
+                                                    c.seed = seed;
+                                                    out.push(c);
+                                                }
                                             }
                                         }
                                     }
@@ -487,6 +516,37 @@ mod tests {
         // The default grid keeps the base's (absent) plan.
         assert!(SweepGrid::new(quick_base()).configs()[0]
             .layer_compressors
+            .is_none());
+    }
+
+    #[test]
+    fn adaptive_plan_axis_expands_the_grid() {
+        let grid = SweepGrid::new(quick_base())
+            .adaptive_plan_options([
+                None,
+                Some("layer-bcrs".parse().unwrap()),
+                Some("static:*=topk".parse().unwrap()),
+            ])
+            .compression_ratios([0.1, 0.05]);
+        assert_eq!(grid.len(), 6);
+        let configs = grid.configs();
+        assert!(configs[0].adaptive_plan.is_none());
+        assert_eq!(
+            configs[1].adaptive_plan.as_ref().unwrap().to_string(),
+            "layer-bcrs"
+        );
+        assert_eq!(
+            configs[2].adaptive_plan.as_ref().unwrap().to_string(),
+            "static:*=topk"
+        );
+        assert!(configs.iter().all(|c| c.validate().is_ok()));
+        // The plain builder takes owned specs.
+        let owned = SweepGrid::new(quick_base())
+            .adaptive_plans(["layer-bcrs".parse::<AdaptivePlanSpec>().unwrap()]);
+        assert!(owned.configs()[0].adaptive_plan.is_some());
+        // The default grid keeps the base's (absent) adaptive policy.
+        assert!(SweepGrid::new(quick_base()).configs()[0]
+            .adaptive_plan
             .is_none());
     }
 

@@ -25,6 +25,6 @@ pub use loss::SoftmaxCrossEntropy;
 pub use model::{mlp, small_cnn, small_cnn_flat, Sequential};
 pub use optim::Sgd;
 pub use params::{
-    flatten_params, num_params, try_unflatten_params, unflatten_params, LayoutError, ParamLayout,
-    ParamSegment,
+    flatten_params, num_params, segment_l1_masses, try_unflatten_params, unflatten_params,
+    LayoutError, ParamLayout, ParamSegment,
 };

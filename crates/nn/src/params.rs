@@ -243,6 +243,17 @@ pub fn unflatten_params(model: &mut Sequential, flat: &[f32]) {
     }
 }
 
+/// Per-segment L1 mass of a flat vector under a layout: one `Σ|xᵢ|` per
+/// segment, in layout order. The round engine feeds the aggregated update
+/// through this to observe where the model's gradient signal concentrates —
+/// the telemetry an adaptive plan policy splits its byte budget by.
+pub fn segment_l1_masses(layout: &ParamLayout, flat: &[f32]) -> Vec<f64> {
+    debug_assert!(layout.check(flat).is_ok(), "{:?}", layout.check(flat));
+    (0..layout.num_segments())
+        .map(|i| layout.slice(flat, i).iter().map(|&x| x.abs() as f64).sum())
+        .collect()
+}
+
 /// Concatenate every gradient tensor into one flat vector, aligned with
 /// [`flatten_params`].
 pub fn flatten_grads(model: &Sequential) -> Vec<f32> {
@@ -315,6 +326,17 @@ mod tests {
         let grads = flatten_grads(&model);
         assert_eq!(grads.len(), num_params(&model));
         assert!(grads.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn segment_l1_masses_sum_per_segment() {
+        let layout =
+            ParamLayout::from_segments([("a.weight".to_string(), 3), ("a.bias".to_string(), 2)]);
+        let flat = [1.0f32, -2.0, 3.0, -0.5, 0.5];
+        let masses = segment_l1_masses(&layout, &flat);
+        assert_eq!(masses, vec![6.0, 1.0]);
+        // A zero vector yields all-zero masses (the allocator's fallback case).
+        assert_eq!(segment_l1_masses(&layout, &[0.0; 5]), vec![0.0, 0.0],);
     }
 
     #[test]

@@ -122,20 +122,22 @@ pub use fl_tensor as tensor;
 /// The types most users need, in one import.
 pub mod prelude {
     pub use fl_compress::{
-        CodecCtx, CodecRegistry, CodecStage, CompressedUpdate, Compressor, CompressorSpec,
-        DownlinkChannel, ErrorFeedback, LayerPlan, PlanRule, PlannedCodec, Qsgd, RandK,
-        ResidualState, ResidualStore, SegmentDef, SparseUpdate, SpecError, Threshold, TopK,
-        UpdateCodec, WireError, WireUpdate,
+        migrate_planned_residual, CodecCtx, CodecRegistry, CodecStage, CompressedUpdate,
+        Compressor, CompressorSpec, DownlinkChannel, ErrorFeedback, LayerPlan, PlanRule,
+        PlannedCodec, Qsgd, RandK, ResidualState, ResidualStore, SegmentDef, SparseUpdate,
+        SpecError, Threshold, TopK, UpdateCodec, WireError, WireUpdate,
     };
     pub use fl_core::runner::{evaluate_params, run_experiment_with, stream_experiment};
     pub use fl_core::{
-        default_codec_spec, record_scenario_trace, resolve_codec_spec, run_experiment, run_sweep,
-        run_sweep_threaded, scenario_seed, segment_defs, Algorithm, AvailabilitySelector,
+        allocate_layer_budgets, default_codec_spec, default_plan_policy, plan_weights,
+        record_scenario_trace, resolve_codec_spec, run_experiment, run_sweep, run_sweep_threaded,
+        scenario_seed, segment_defs, AdaptivePlanSpec, Algorithm, AvailabilitySelector,
         BcrsRatioPolicy, BcrsSchedule, BcrsScheduler, ClientRoster, ClientSelector,
-        ExperimentConfig, ExperimentResult, FederatedSession, LayerBytes, ModelPreset,
-        MomentumServer, OpwaMask, OverlapCounts, OverlapStats, RatioDecision, RatioPolicy,
-        RoundOutput, RoundRecord, ScenarioHandle, ScenarioSelector, ServerOpt, SessionBuilder,
-        SgdServer, SweepGrid, UniformRatio, UniformSelector,
+        ExperimentConfig, ExperimentResult, FederatedSession, LayerBcrsPolicy, LayerBytes,
+        ModelPreset, MomentumServer, OpwaMask, OverlapCounts, OverlapStats, PlanAssignment,
+        PlanCtx, PlanDecision, PlanPolicy, PlanTelemetry, RatioDecision, RatioPolicy, RoundOutput,
+        RoundRecord, ScenarioHandle, ScenarioSelector, ServerOpt, SessionBuilder, SgdServer,
+        StaticPlanPolicy, SweepGrid, UniformRatio, UniformSelector,
     };
     pub use fl_data::{
         dirichlet_partition, BatchLoader, ClientPartition, Dataset, DatasetPreset, PartitionStats,
@@ -147,8 +149,8 @@ pub mod prelude {
         TimeAccumulator, TimedEvent, TraceReader, TraceScenario,
     };
     pub use fl_nn::{
-        flatten_params, mlp, small_cnn, try_unflatten_params, unflatten_params, Layer, LayoutError,
-        ParamLayout, ParamSegment, Sequential, Sgd, SoftmaxCrossEntropy,
+        flatten_params, mlp, segment_l1_masses, small_cnn, try_unflatten_params, unflatten_params,
+        Layer, LayoutError, ParamLayout, ParamSegment, Sequential, Sgd, SoftmaxCrossEntropy,
     };
     pub use fl_tensor::{Rng, Shape, SplitMix64, Tensor, Xoshiro256};
 }

@@ -74,6 +74,7 @@ fn fingerprint(records: &[RoundRecord]) -> u64 {
             overlap,
             layer_bytes,
             scenario,
+            plan,
         } = r;
         h.usize(*round);
         h.f64(*test_accuracy);
@@ -128,6 +129,21 @@ fn fingerprint(records: &[RoundRecord]) -> u64 {
             h.usize(t.joined);
             h.usize(t.departed);
             h.usize(t.link_changes);
+        }
+        // Same post-pin rule as `scenario`: `plan: None` (every static run)
+        // hashes nothing, so the EXPECTED table predating adaptive plans
+        // stays valid.
+        if let Some(p) = plan {
+            h.u64(1);
+            h.bytes(p.policy.as_bytes());
+            h.bytes(p.plan.as_bytes());
+            h.u64(p.epoch);
+            h.usize(p.assignments.len());
+            for a in &p.assignments {
+                h.bytes(a.segment.as_bytes());
+                h.bytes(a.spec.as_bytes());
+                h.f64(a.ratio);
+            }
         }
     }
     h.0
