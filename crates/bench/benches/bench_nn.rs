@@ -88,9 +88,9 @@ fn bench_evaluation(c: &mut Criterion) {
     let spec = DatasetPreset::Cifar10Like.spec(0.1);
     let (_, test) = spec.generate(3);
     let mut rng = Xoshiro256::new(3);
-    let mut model = mlp(test.feature_dim(), &[128, 64], test.num_classes(), &mut rng);
+    let model = mlp(test.feature_dim(), &[128, 64], test.num_classes(), &mut rng);
     c.bench_function("evaluate_test_split", |b| {
-        b.iter(|| black_box(fl_core::eval::evaluate(&mut model, black_box(&test), 64)))
+        b.iter(|| black_box(fl_core::eval::evaluate(&model, black_box(&test), 64)))
     });
 }
 

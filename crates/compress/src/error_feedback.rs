@@ -13,11 +13,13 @@
 //! (Sattler et al. 2019; Li & Li 2023).
 
 use crate::compressor::{CompressedUpdate, Compressor};
+use fl_tensor::kernels;
 
 /// Stateful error-feedback wrapper around any [`Compressor`].
 pub struct ErrorFeedback<C: Compressor> {
     inner: C,
     residual: Vec<f32>,
+    corrected: Vec<f32>,
 }
 
 impl<C: Compressor> ErrorFeedback<C> {
@@ -26,6 +28,7 @@ impl<C: Compressor> ErrorFeedback<C> {
         Self {
             inner,
             residual: vec![0.0; dense_len],
+            corrected: vec![0.0; dense_len],
         }
     }
 
@@ -60,21 +63,17 @@ impl<C: Compressor> ErrorFeedback<C> {
             self.residual.len(),
             "update length changed between rounds"
         );
-        let corrected: Vec<f32> = dense
-            .iter()
-            .zip(self.residual.iter())
-            .map(|(d, r)| d + r)
-            .collect();
-        let compressed = self.inner.compress(&corrected, ratio);
+        // corrected = dense + residual, fused into the persistent buffer
+        // (1.0 * r is exactly r, so this matches the naive `d + r` loop bit
+        // for bit).
+        self.corrected.copy_from_slice(dense);
+        kernels::axpy(1.0, &self.residual, &mut self.corrected);
+        let compressed = self.inner.compress(&self.corrected, ratio);
         let sent = compressed.to_dense();
-        for ((res, &corr), &s) in self
-            .residual
-            .iter_mut()
-            .zip(corrected.iter())
-            .zip(sent.iter())
-        {
-            *res = corr - s;
-        }
+        // residual = corrected - sent, again via the fused kernel
+        // (`corr + (-1.0) * s` is IEEE-identical to `corr - s`).
+        self.residual.copy_from_slice(&self.corrected);
+        kernels::axpy(-1.0, &sent, &mut self.residual);
         compressed
     }
 }

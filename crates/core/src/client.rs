@@ -11,8 +11,10 @@ use fl_compress::{
 use fl_data::{BatchLoader, Dataset};
 use fl_nn::{
     flatten_params, mlp, unflatten_params, ParamLayout, Sequential, Sgd, SoftmaxCrossEntropy,
+    Workspace,
 };
 use fl_tensor::rng::Xoshiro256;
+use fl_tensor::Tensor;
 
 /// The result of one client's local training in one round.
 #[derive(Clone, Debug)]
@@ -43,6 +45,14 @@ pub struct ClientState {
     momentum: f32,
     weight_decay: f32,
     local_epochs: usize,
+    // Reusable training buffers: after the first batch warms them up, a
+    // steady-state local-training batch performs no heap allocation.
+    ws: Workspace,
+    loss_fn: SoftmaxCrossEntropy,
+    grad: Tensor,
+    order: Vec<usize>,
+    batch_x: Tensor,
+    batch_y: Vec<usize>,
 }
 
 impl ClientState {
@@ -96,13 +106,12 @@ impl ClientState {
         registry: &CodecRegistry,
         plan_override: Option<(&LayerPlan, Option<&[f64]>)>,
     ) -> Self {
-        let mut model_rng = Xoshiro256::new(config.seed); // same init as the server
-        let model = build_model(
-            &config.model,
-            dataset.feature_dim(),
-            dataset.num_classes(),
-            &mut model_rng,
-        );
+        // The replica's parameters are always overwritten by the broadcast
+        // global vector before training (`local_update` starts with
+        // `unflatten_params`), so a zero init is bit-identical to the
+        // server-seeded random init — and skips ~`num_params` normal draws
+        // on every checkout, a large share of small-model round time.
+        let model = build_model_zeroed(&config.model, dataset.feature_dim(), dataset.num_classes());
         let num_params = model.num_params();
         let layout = ParamLayout::of(&model);
         let ctx = CodecCtx::new(num_params, config.seed ^ id as u64);
@@ -139,6 +148,12 @@ impl ClientState {
             momentum: config.momentum,
             weight_decay: config.weight_decay,
             local_epochs: config.local_epochs,
+            ws: Workspace::new(),
+            loss_fn: SoftmaxCrossEntropy::new(),
+            grad: Tensor::empty(),
+            order: Vec::new(),
+            batch_x: Tensor::empty(),
+            batch_y: Vec::new(),
         }
     }
 
@@ -164,16 +179,25 @@ impl ClientState {
         let start = std::time::Instant::now();
         unflatten_params(&mut self.model, global_params);
         let mut optimizer = Sgd::new(self.local_lr, self.momentum, self.weight_decay);
-        let mut loss_fn = SoftmaxCrossEntropy::new();
         let mut loss_acc = 0.0f64;
         let mut loss_count = 0usize;
         for _ in 0..self.local_epochs {
-            for (x, y) in self.loader.epoch_batches(&self.dataset, &mut self.rng) {
+            // One shuffle per epoch, same draw order and batch boundaries as
+            // `BatchLoader::epoch_batches`, but gathered into reusable
+            // buffers: the steady-state batch loop below allocates nothing.
+            self.loader
+                .shuffle_epoch(&self.dataset, &mut self.rng, &mut self.order);
+            for (s, e) in self.loader.batch_ranges(self.dataset.len()) {
+                self.dataset.gather_batch_into(
+                    &self.order[s..e],
+                    &mut self.batch_x,
+                    &mut self.batch_y,
+                );
                 self.model.zero_grad();
-                let logits = self.model.forward(&x);
-                let loss = loss_fn.forward(&logits, &y);
-                let grad = loss_fn.backward();
-                self.model.backward(&grad);
+                let logits = self.model.forward_in(&self.batch_x, &mut self.ws);
+                let loss = self.loss_fn.forward(logits, &self.batch_y);
+                self.loss_fn.backward_in(&mut self.grad);
+                self.model.backward_in(&self.grad, &mut self.ws);
                 optimizer.step(&mut self.model);
                 loss_acc += loss as f64;
                 loss_count += 1;
@@ -266,6 +290,18 @@ pub fn build_model(
             mlp(input_dim, &[*hidden1, *hidden2], classes, rng)
         }
         ModelPreset::Linear => fl_nn::model::logistic_regression(input_dim, classes, rng),
+    }
+}
+
+/// Build the model described by a [`ModelPreset`] with all-zero parameters —
+/// for replicas whose parameters are immediately overwritten (client
+/// checkouts), where the random init would only burn normal draws.
+pub fn build_model_zeroed(preset: &ModelPreset, input_dim: usize, classes: usize) -> Sequential {
+    match preset {
+        ModelPreset::Mlp { hidden1, hidden2 } => {
+            fl_nn::mlp_zeroed(input_dim, &[*hidden1, *hidden2], classes)
+        }
+        ModelPreset::Linear => fl_nn::model::logistic_regression_zeroed(input_dim, classes),
     }
 }
 

@@ -26,7 +26,7 @@ use crate::aggregate::{
     aggregate_compressed_sharded, aggregate_sparse_sharded, data_fractions_or_uniform,
 };
 use crate::bcrs::BcrsSchedule;
-use crate::eval::{evaluate, Evaluation};
+use crate::eval::{evaluate_with_threads, Evaluation};
 use crate::opwa::OpwaMask;
 use crate::overlap::OverlapCounts;
 use crate::policy::{PlanCtx, RatioCtx, SelectionCtx};
@@ -466,10 +466,11 @@ impl FederatedSession {
         let should_eval = (round + 1).is_multiple_of(eval_every) || round + 1 == self.config.rounds;
         if should_eval {
             unflatten_params(&mut self.global_model, &self.global_params);
-            self.last_eval = Some(evaluate(
-                &mut self.global_model,
+            self.last_eval = Some(evaluate_with_threads(
+                &self.global_model,
                 &self.test,
                 self.config.batch_size.max(64),
+                self.threads,
             ));
         }
         let eval = self.last_eval.unwrap_or(Evaluation {

@@ -363,7 +363,7 @@ pub fn evaluate_params(
         &mut rng,
     );
     try_unflatten_params(&mut model, params)?;
-    Ok(evaluate(&mut model, dataset, config.batch_size.max(64)).accuracy)
+    Ok(evaluate(&model, dataset, config.batch_size.max(64)).accuracy)
 }
 
 #[cfg(test)]

@@ -9,23 +9,27 @@
 //! the appended `RoundRecord` itself.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 
 use fl_core::{Algorithm, ExperimentConfig, FederatedSession};
 
 /// Net live heap bytes under the counting allocator.
 static NET_BYTES: AtomicIsize = AtomicIsize::new(0);
+/// Monotonic count of every `alloc` call — allocation *traffic*, not just net
+/// growth, so buffers that are allocated and immediately freed still show up.
+static TOTAL_ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
 struct CountingAlloc;
 
-// SAFETY: delegates every operation to `System`; the counter is the only
+// SAFETY: delegates every operation to `System`; the counters are the only
 // added behaviour. `realloc` is left on the default implementation, which
-// routes through `alloc`/`dealloc` and therefore keeps the counter exact.
+// routes through `alloc`/`dealloc` and therefore keeps the counters exact.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             NET_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
+            TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         p
     }
@@ -73,4 +77,70 @@ fn steady_state_rounds_do_not_grow_the_heap() {
              (net per round: {net_after_round:?})"
         );
     }
+}
+
+#[test]
+fn steady_state_training_batches_allocate_nothing() {
+    // The allocation-free hot path, asserted at its strongest: once the
+    // workspace and batch buffers are warm, a training batch must perform
+    // ZERO heap allocations — not merely zero net growth. This replicates
+    // `ClientState::local_update`'s inner loop through the same public APIs.
+    use fl_data::Dataset;
+    use fl_nn::{mlp, Sgd, SoftmaxCrossEntropy, Workspace};
+    use fl_tensor::rng::{Rng, Xoshiro256};
+    use fl_tensor::Tensor;
+
+    let mut rng = Xoshiro256::new(11);
+    let feature_dim = 32;
+    let classes = 4;
+    let n = 64;
+    let batch = 16; // divides n: every batch has the same shape
+    let mut features = Vec::with_capacity(n * feature_dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        labels.push(i % classes);
+        for _ in 0..feature_dim {
+            features.push(rng.next_f32() - 0.5);
+        }
+    }
+    let dataset = Dataset::new(features, labels, feature_dim, classes);
+
+    let mut model = mlp(feature_dim, &[24, 16], classes, &mut rng);
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut loss_fn = SoftmaxCrossEntropy::new();
+    let mut ws = Workspace::new();
+    let mut grad = Tensor::empty();
+    let mut x = Tensor::empty();
+    let mut y = Vec::new();
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+
+    let mut step =
+        |s: usize, e: usize, order: &[usize], model: &mut fl_nn::Sequential, ws: &mut Workspace| {
+            dataset.gather_batch_into(&order[s..e], &mut x, &mut y);
+            model.zero_grad();
+            let logits = model.forward_in(&x, ws);
+            loss_fn.forward(logits, &y);
+            loss_fn.backward_in(&mut grad);
+            model.backward_in(&grad, ws);
+            opt.step(model);
+        };
+
+    // Warm-up: two full batches grow every buffer to steady-state size
+    // (including the momentum velocity allocated on the first step).
+    step(0, batch, &order, &mut model, &mut ws);
+    step(batch, 2 * batch, &order, &mut model, &mut ws);
+
+    let before = TOTAL_ALLOCS.load(Ordering::Relaxed);
+    for round in 0..5 {
+        for b in 0..n / batch {
+            step(b * batch, (b + 1) * batch, &order, &mut model, &mut ws);
+        }
+        let _ = round;
+    }
+    let allocs = TOTAL_ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state training batches performed {allocs} heap allocations"
+    );
 }

@@ -1,6 +1,6 @@
 //! In-memory classification dataset.
 
-use fl_tensor::{Shape, Tensor};
+use fl_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 /// A classification dataset: a dense `[n, feature_dim]` feature matrix plus
@@ -86,22 +86,54 @@ impl Dataset {
     /// Build a `[k, feature_dim]` batch tensor plus label vector for the given
     /// sample indices.
     pub fn gather_batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
-        let mut feats = Vec::with_capacity(indices.len() * self.feature_dim);
-        let mut labels = Vec::with_capacity(indices.len());
-        for &i in indices {
-            feats.extend_from_slice(self.sample(i));
-            labels.push(self.labels[i]);
+        let mut x = Tensor::empty();
+        let mut y = Vec::new();
+        self.gather_batch_into(indices, &mut x, &mut y);
+        (x, y)
+    }
+
+    /// Gather the given sample indices into reusable buffers: `x` becomes the
+    /// `[k, feature_dim]` batch tensor and `y` the label vector. Steady-state
+    /// calls with a same-sized batch perform no heap allocation.
+    pub fn gather_batch_into(&self, indices: &[usize], x: &mut Tensor, y: &mut Vec<usize>) {
+        x.resize_to(&[indices.len(), self.feature_dim]);
+        let xd = x.data_mut();
+        y.clear();
+        y.reserve(indices.len());
+        for (row, &i) in indices.iter().enumerate() {
+            xd[row * self.feature_dim..(row + 1) * self.feature_dim]
+                .copy_from_slice(self.sample(i));
+            y.push(self.labels[i]);
         }
-        (
-            Tensor::from_vec(Shape::matrix(indices.len(), self.feature_dim), feats),
-            labels,
-        )
+    }
+
+    /// Batch over the contiguous index range `start..end` — a single
+    /// `memcpy` of the feature rows instead of a per-sample gather. Used by
+    /// evaluation and other sequential scans.
+    pub fn gather_range(&self, start: usize, end: usize) -> (Tensor, Vec<usize>) {
+        let mut x = Tensor::empty();
+        let mut y = Vec::new();
+        self.gather_range_into(start, end, &mut x, &mut y);
+        (x, y)
+    }
+
+    /// [`gather_range`](Self::gather_range) into reusable buffers.
+    pub fn gather_range_into(&self, start: usize, end: usize, x: &mut Tensor, y: &mut Vec<usize>) {
+        assert!(
+            start <= end && end <= self.len(),
+            "range {start}..{end} out of bounds for {} samples",
+            self.len()
+        );
+        x.resize_to(&[end - start, self.feature_dim]);
+        x.data_mut()
+            .copy_from_slice(&self.features[start * self.feature_dim..end * self.feature_dim]);
+        y.clear();
+        y.extend_from_slice(&self.labels[start..end]);
     }
 
     /// The whole dataset as one batch.
     pub fn full_batch(&self) -> (Tensor, Vec<usize>) {
-        let indices: Vec<usize> = (0..self.len()).collect();
-        self.gather_batch(&indices)
+        self.gather_range(0, self.len())
     }
 
     /// Dataset restricted to the given sample indices (copies the data).
@@ -153,6 +185,44 @@ mod tests {
         assert_eq!(x.shape().dims(), &[2, 2]);
         assert_eq!(x.data(), &[2.0, 2.1, 0.0, 0.1]);
         assert_eq!(y, vec![1, 0]);
+    }
+
+    #[test]
+    fn gather_range_matches_indexed_gather() {
+        let d = toy();
+        for (start, end) in [(0, 3), (1, 3), (0, 0), (2, 2), (1, 2)] {
+            let indices: Vec<usize> = (start..end).collect();
+            let (xi, yi) = d.gather_batch(&indices);
+            let (xr, yr) = d.gather_range(start, end);
+            assert_eq!(xr.shape().dims(), xi.shape().dims());
+            assert_eq!(xr.data(), xi.data());
+            assert_eq!(yr, yi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_range_rejects_overrun() {
+        toy().gather_range(1, 4);
+    }
+
+    #[test]
+    fn gather_batch_into_reuses_buffers() {
+        let d = toy();
+        let mut x = Tensor::empty();
+        let mut y = Vec::new();
+        d.gather_batch_into(&[2, 0], &mut x, &mut y);
+        assert_eq!(x.data(), &[2.0, 2.1, 0.0, 0.1]);
+        assert_eq!(y, vec![1, 0]);
+        let ptr = x.data().as_ptr();
+        d.gather_batch_into(&[1, 2], &mut x, &mut y);
+        assert_eq!(x.data(), &[1.0, 1.1, 2.0, 2.1]);
+        assert_eq!(y, vec![1, 1]);
+        assert_eq!(
+            ptr,
+            x.data().as_ptr(),
+            "same-size regather must not realloc"
+        );
     }
 
     #[test]

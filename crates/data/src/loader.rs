@@ -58,6 +58,28 @@ impl BatchLoader {
         }
         batches
     }
+
+    /// Shuffle one epoch's sample order into the caller's reusable `order`
+    /// buffer — the allocation-free counterpart of
+    /// [`epoch_batches`](Self::epoch_batches). The caller walks the returned
+    /// order in `batch_size` strides (honouring `drop_last` via
+    /// [`batch_ranges`](Self::batch_ranges)) and gathers each slice with
+    /// [`Dataset::gather_batch_into`]. Shuffle draw order and batch
+    /// boundaries are identical to `epoch_batches`.
+    pub fn shuffle_epoch<R: Rng>(&self, dataset: &Dataset, rng: &mut R, order: &mut Vec<usize>) {
+        order.clear();
+        order.extend(0..dataset.len());
+        rng.shuffle(order);
+    }
+
+    /// Iterator over the `[start, end)` index ranges of one epoch's batches.
+    pub fn batch_ranges(&self, n: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let bs = self.batch_size;
+        let drop_last = self.drop_last;
+        (0..n.div_ceil(bs).max(1))
+            .map(move |b| (b * bs, ((b + 1) * bs).min(n)))
+            .filter(move |&(s, e)| s < e && (!drop_last || e - s == bs))
+    }
 }
 
 #[cfg(test)]
@@ -125,5 +147,38 @@ mod tests {
     #[should_panic]
     fn zero_batch_size_rejected() {
         BatchLoader::new(0, false);
+    }
+
+    #[test]
+    fn in_place_epoch_matches_epoch_batches() {
+        let d = toy();
+        let loader = BatchLoader::new(3, false);
+        let mut r1 = Xoshiro256::new(7);
+        let reference = loader.epoch_batches(&d, &mut r1);
+
+        let mut r2 = Xoshiro256::new(7);
+        let mut order = Vec::new();
+        loader.shuffle_epoch(&d, &mut r2, &mut order);
+        let mut x = Tensor::empty();
+        let mut y = Vec::new();
+        let ranges: Vec<_> = loader.batch_ranges(d.len()).collect();
+        assert_eq!(ranges.len(), reference.len());
+        for ((s, e), (rx, ry)) in ranges.into_iter().zip(reference.iter()) {
+            d.gather_batch_into(&order[s..e], &mut x, &mut y);
+            assert_eq!(x.data(), rx.data());
+            assert_eq!(&y, ry);
+        }
+    }
+
+    #[test]
+    fn batch_ranges_honours_drop_last() {
+        let l = BatchLoader::new(4, true);
+        assert_eq!(l.batch_ranges(10).collect::<Vec<_>>(), vec![(0, 4), (4, 8)]);
+        let l2 = BatchLoader::new(4, false);
+        assert_eq!(
+            l2.batch_ranges(10).collect::<Vec<_>>(),
+            vec![(0, 4), (4, 8), (8, 10)]
+        );
+        assert_eq!(l2.batch_ranges(0).count(), 0);
     }
 }

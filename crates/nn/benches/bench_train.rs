@@ -1,0 +1,73 @@
+//! Fused (workspace) vs allocating training step on the default experiment
+//! MLP — the microbenchmark behind the committed `BENCH_train.json` numbers.
+//!
+//! Both variants compute bit-identical parameter trajectories (pinned by the
+//! `workspace_equivalence` property tests); the fused path simply reuses
+//! every intermediate buffer instead of reallocating it per batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fl_nn::{mlp, Sgd, SoftmaxCrossEntropy, Workspace};
+use fl_tensor::rng::Xoshiro256;
+use fl_tensor::{Shape, Tensor};
+use std::hint::black_box;
+
+const FEATURES: usize = 384;
+const BATCH: usize = 64;
+const CLASSES: usize = 10;
+
+fn setup() -> (fl_nn::Sequential, Tensor, Vec<usize>) {
+    let mut rng = Xoshiro256::new(1);
+    let model = mlp(FEATURES, &[128, 64], CLASSES, &mut rng);
+    let x = Tensor::rand_normal(Shape::matrix(BATCH, FEATURES), 0.0, 1.0, &mut rng);
+    let y: Vec<usize> = (0..BATCH).map(|i| i % CLASSES).collect();
+    (model, x, y)
+}
+
+fn bench_step(c: &mut Criterion) {
+    // Allocating reference: the classic wrapper calls, which clone the
+    // output/gradient tensors on every pass.
+    let (mut model, x, y) = setup();
+    let mut loss = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    c.bench_function("sgd_step_alloc_batch64_mlp", |b| {
+        b.iter(|| {
+            model.zero_grad();
+            let logits = model.forward(black_box(&x));
+            loss.forward(&logits, &y);
+            let g = loss.backward();
+            model.backward(&g);
+            opt.step(&mut model);
+        })
+    });
+
+    // Fused path: every buffer lives in the caller-owned workspace.
+    let (mut model, x, y) = setup();
+    let mut loss = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut ws = Workspace::new();
+    let mut grad = Tensor::empty();
+    c.bench_function("sgd_step_fused_batch64_mlp", |b| {
+        b.iter(|| {
+            model.zero_grad();
+            let logits = model.forward_in(black_box(&x), &mut ws);
+            loss.forward(logits, &y);
+            loss.backward_in(&mut grad);
+            model.backward_in(&grad, &mut ws);
+            opt.step(&mut model);
+        })
+    });
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_step
+}
+criterion_main!(benches);

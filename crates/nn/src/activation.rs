@@ -1,12 +1,13 @@
 //! Parameter-free activation layers.
 
 use crate::layer::Layer;
+use crate::workspace::LayerWs;
 use fl_tensor::Tensor;
 
 /// Rectified linear unit, `y = max(x, 0)`.
 #[derive(Default)]
 pub struct Relu {
-    mask: Option<Vec<bool>>,
+    fallback: LayerWs,
 }
 
 impl Relu {
@@ -17,32 +18,34 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let mut out = input.clone();
-        let mask: Vec<bool> = input.data().iter().map(|&x| x > 0.0).collect();
+    fn forward_in(&self, input: &Tensor, out: &mut Tensor, ws: &mut LayerWs) {
+        out.copy_from(input);
+        ws.mask.clear();
+        ws.mask.extend(input.data().iter().map(|&x| x > 0.0));
         out.map_inplace(|x| if x > 0.0 { x } else { 0.0 });
-        self.mask = Some(mask);
-        out
+        ws.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mask = self
-            .mask
-            .as_ref()
-            .expect("Relu backward called before forward");
+    fn backward_in(&mut self, grad_output: &Tensor, grad_input: &mut Tensor, ws: &mut LayerWs) {
+        assert!(ws.ready, "Relu backward called before forward");
         assert_eq!(
-            mask.len(),
+            ws.mask.len(),
             grad_output.numel(),
             "Relu backward size mismatch"
         );
-        let mut grad = grad_output.clone();
-        for (g, &m) in grad.data_mut().iter_mut().zip(mask.iter()) {
+        grad_input.copy_from(grad_output);
+        for (g, &m) in grad_input.data_mut().iter_mut().zip(ws.mask.iter()) {
             if !m {
                 *g = 0.0;
             }
         }
-        grad
     }
+
+    fn fallback_ws(&mut self) -> &mut LayerWs {
+        &mut self.fallback
+    }
+
+    fn visit_params_and_grads(&mut self, _f: &mut dyn FnMut(&mut Tensor, &Tensor)) {}
 
     fn params(&self) -> Vec<&Tensor> {
         vec![]
@@ -66,7 +69,7 @@ impl Layer for Relu {
 /// Hyperbolic tangent activation.
 #[derive(Default)]
 pub struct Tanh {
-    output: Option<Tensor>,
+    fallback: LayerWs,
 }
 
 impl Tanh {
@@ -77,24 +80,31 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let mut out = input.clone();
+    fn forward_in(&self, input: &Tensor, out: &mut Tensor, ws: &mut LayerWs) {
+        out.copy_from(input);
         out.map_inplace(|x| x.tanh());
-        self.output = Some(out.clone());
-        out
+        ws.ensure_bufs(1);
+        ws.bufs[0].copy_from(out);
+        ws.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let out = self
-            .output
-            .as_ref()
-            .expect("Tanh backward called before forward");
-        let mut grad = grad_output.clone();
-        for (g, &y) in grad.data_mut().iter_mut().zip(out.data().iter()) {
+    fn backward_in(&mut self, grad_output: &Tensor, grad_input: &mut Tensor, ws: &mut LayerWs) {
+        assert!(ws.ready, "Tanh backward called before forward");
+        grad_input.copy_from(grad_output);
+        for (g, &y) in grad_input
+            .data_mut()
+            .iter_mut()
+            .zip(ws.bufs[0].data().iter())
+        {
             *g *= 1.0 - y * y;
         }
-        grad
     }
+
+    fn fallback_ws(&mut self) -> &mut LayerWs {
+        &mut self.fallback
+    }
+
+    fn visit_params_and_grads(&mut self, _f: &mut dyn FnMut(&mut Tensor, &Tensor)) {}
 
     fn params(&self) -> Vec<&Tensor> {
         vec![]

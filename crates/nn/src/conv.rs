@@ -6,9 +6,46 @@
 //! and [`crate::model::small_cnn`] wires these layers into a compact CNN.
 
 use crate::layer::Layer;
-use fl_tensor::matmul::{matmul_a_bt, matmul_at_b};
+use crate::workspace::LayerWs;
+use fl_tensor::matmul::{matmul_a_bt_into, matmul_at_b_into, matmul_into};
 use fl_tensor::rng::Rng;
 use fl_tensor::{Shape, Tensor};
+use std::fmt;
+
+// Workspace scratch channels.
+const WS_COLS: usize = 0; // im2col matrix [b*ho*wo, in_ch*k*k]
+const WS_PATCHES: usize = 1; // out_patches / grad_patches [b*ho*wo, out_ch]
+const WS_DW: usize = 2; // weight-gradient scratch
+const WS_DCOLS: usize = 3; // gradient w.r.t. the im2col matrix
+const WS_GBIAS: usize = 4; // bias-gradient scratch
+const WS_WT: usize = 5; // W^T scratch for the forward matmul
+
+/// Error returned when a convolution kernel does not fit its padded input —
+/// the configuration whose naive `h + 2p + 1 - k` output size would wrap
+/// below zero in `usize` arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShapeError {
+    /// Kernel side length.
+    pub kernel: usize,
+    /// Input height including both pads.
+    pub padded_h: usize,
+    /// Input width including both pads.
+    pub padded_w: usize,
+}
+
+impl fmt::Display for ConvShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel {k}x{k} does not fit the padded input {h}x{w}",
+            k = self.kernel,
+            h = self.padded_h,
+            w = self.padded_w
+        )
+    }
+}
+
+impl std::error::Error for ConvShapeError {}
 
 /// 2-D convolution with square kernels, stride 1 and symmetric zero padding.
 ///
@@ -22,8 +59,7 @@ pub struct Conv2d {
     out_ch: usize,
     kernel: usize,
     padding: usize,
-    cached_cols: Option<Tensor>, // [batch * h_out * w_out, in_ch * k * k]
-    cached_input_shape: Option<(usize, usize, usize, usize)>,
+    fallback: LayerWs,
 }
 
 impl Conv2d {
@@ -35,6 +71,7 @@ impl Conv2d {
         padding: usize,
         rng: &mut R,
     ) -> Self {
+        assert!(kernel >= 1, "Conv2d kernel must be at least 1x1");
         let fan_in = in_ch * kernel * kernel;
         Self {
             weight: Tensor::kaiming(Shape::matrix(out_ch, fan_in), fan_in, rng),
@@ -45,27 +82,43 @@ impl Conv2d {
             out_ch,
             kernel,
             padding,
-            cached_cols: None,
-            cached_input_shape: None,
+            fallback: LayerWs::new(),
         }
     }
 
-    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        (
-            h + 2 * self.padding + 1 - self.kernel,
-            w + 2 * self.padding + 1 - self.kernel,
-        )
+    /// Output spatial size for an `h`×`w` input, or a [`ConvShapeError`] when
+    /// the kernel is larger than the padded input (which would otherwise wrap
+    /// the `usize` subtraction and request an absurd im2col allocation).
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize), ConvShapeError> {
+        let padded_h = h + 2 * self.padding;
+        let padded_w = w + 2 * self.padding;
+        if self.kernel > padded_h || self.kernel > padded_w {
+            return Err(ConvShapeError {
+                kernel: self.kernel,
+                padded_h,
+                padded_w,
+            });
+        }
+        Ok((padded_h + 1 - self.kernel, padded_w + 1 - self.kernel))
     }
 
-    /// im2col: unfold the padded input into a `[batch*h_out*w_out, in_ch*k*k]` matrix.
-    fn im2col(&self, input: &Tensor) -> Tensor {
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        self.output_hw(h, w)
+            .unwrap_or_else(|e| panic!("Conv2d forward: {e}"))
+    }
+
+    /// im2col: unfold the padded input into a `[batch*h_out*w_out, in_ch*k*k]`
+    /// matrix written into the reusable `cols` tensor.
+    fn im2col_into(&self, input: &Tensor, cols: &mut Tensor) {
         let dims = input.shape().dims();
         let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let (ho, wo) = self.out_hw(h, w);
         let k = self.kernel;
         let pad = self.padding as isize;
         let cols_per_patch = c * k * k;
-        let mut cols = vec![0.0f32; b * ho * wo * cols_per_patch];
+        cols.resize_to(&[b * ho * wo, cols_per_patch]);
+        cols.fill(0.0);
+        let cd = cols.data_mut();
         let data = input.data();
         for bi in 0..b {
             for oy in 0..ho {
@@ -78,7 +131,7 @@ impl Conv2d {
                                 let ix = ox as isize + kx as isize - pad;
                                 let col_idx = patch_base + (ci * k + ky) * k + kx;
                                 if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                    cols[col_idx] =
+                                    cd[col_idx] =
                                         data[((bi * c + ci) * h + iy as usize) * w + ix as usize];
                                 }
                             }
@@ -87,16 +140,18 @@ impl Conv2d {
                 }
             }
         }
-        Tensor::from_vec(Shape::matrix(b * ho * wo, cols_per_patch), cols)
     }
 
-    /// col2im: fold gradients w.r.t. the unfolded matrix back into input shape.
-    fn col2im(&self, cols: &Tensor, b: usize, c: usize, h: usize, w: usize) -> Tensor {
+    /// col2im: fold gradients w.r.t. the unfolded matrix back into input
+    /// shape, written into the reusable `out` tensor.
+    fn col2im_into(&self, cols: &Tensor, b: usize, c: usize, h: usize, w: usize, out: &mut Tensor) {
         let (ho, wo) = self.out_hw(h, w);
         let k = self.kernel;
         let pad = self.padding as isize;
         let cols_per_patch = c * k * k;
-        let mut out = vec![0.0f32; b * c * h * w];
+        out.resize_to(&[b, c, h, w]);
+        out.fill(0.0);
+        let od = out.data_mut();
         let cd = cols.data();
         for bi in 0..b {
             for oy in 0..ho {
@@ -108,7 +163,7 @@ impl Conv2d {
                             for kx in 0..k {
                                 let ix = ox as isize + kx as isize - pad;
                                 if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                    out[((bi * c + ci) * h + iy as usize) * w + ix as usize] +=
+                                    od[((bi * c + ci) * h + iy as usize) * w + ix as usize] +=
                                         cd[patch_base + (ci * k + ky) * k + kx];
                                 }
                             }
@@ -117,74 +172,97 @@ impl Conv2d {
                 }
             }
         }
-        Tensor::from_vec(Shape::new(&[b, c, h, w]), out)
     }
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward_in(&self, input: &Tensor, out: &mut Tensor, ws: &mut LayerWs) {
         let dims = input.shape().dims();
         assert_eq!(dims.len(), 4, "Conv2d expects [batch, ch, h, w]");
         assert_eq!(dims[1], self.in_ch, "Conv2d: channel mismatch");
         let (b, h, w) = (dims[0], dims[2], dims[3]);
         let (ho, wo) = self.out_hw(h, w);
+        ws.set_dims(dims);
         // cols: [b*ho*wo, c*k*k]; out_patches = cols @ W^T: [b*ho*wo, out_ch]
-        let cols = self.im2col(input);
-        let out_patches = matmul_a_bt(&cols, &self.weight);
-        self.cached_cols = Some(cols);
-        self.cached_input_shape = Some((b, self.in_ch, h, w));
+        ws.ensure_bufs(WS_WT + 1);
+        {
+            let (cols, patches, wt) = ws.buf_triple(WS_COLS, WS_PATCHES, WS_WT);
+            self.im2col_into(input, cols);
+            matmul_a_bt_into(cols, &self.weight, wt, patches);
+        }
         // Rearrange to [b, out_ch, ho, wo] and add bias.
-        let pd = out_patches.data();
+        let pd = ws.bufs[WS_PATCHES].data();
         let bias = self.bias.data();
-        let mut out = vec![0.0f32; b * self.out_ch * ho * wo];
+        out.resize_to(&[b, self.out_ch, ho, wo]);
+        let od = out.data_mut();
         for bi in 0..b {
             for oy in 0..ho {
                 for ox in 0..wo {
                     let patch = (bi * ho + oy) * wo + ox;
                     for oc in 0..self.out_ch {
-                        out[((bi * self.out_ch + oc) * ho + oy) * wo + ox] =
+                        od[((bi * self.out_ch + oc) * ho + oy) * wo + ox] =
                             pd[patch * self.out_ch + oc] + bias[oc];
                     }
                 }
             }
         }
-        Tensor::from_vec(Shape::new(&[b, self.out_ch, ho, wo]), out)
+        ws.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cols = self
-            .cached_cols
-            .as_ref()
-            .expect("Conv2d backward called before forward");
-        let (b, c, h, w) = self
-            .cached_input_shape
-            .expect("Conv2d backward called before forward");
+    fn backward_in(&mut self, grad_output: &Tensor, grad_input: &mut Tensor, ws: &mut LayerWs) {
+        assert!(ws.ready, "Conv2d backward called before forward");
+        let (b, c, h, w) = (ws.dims[0], ws.dims[1], ws.dims[2], ws.dims[3]);
         let (ho, wo) = self.out_hw(h, w);
         let god = grad_output.data();
         // Rearrange grad_output [b, out_ch, ho, wo] -> [b*ho*wo, out_ch]
-        let mut gp = vec![0.0f32; b * ho * wo * self.out_ch];
-        let mut gbias = vec![0.0f32; self.out_ch];
-        for bi in 0..b {
-            for oc in 0..self.out_ch {
-                for oy in 0..ho {
-                    for ox in 0..wo {
-                        let v = god[((bi * self.out_ch + oc) * ho + oy) * wo + ox];
-                        gp[((bi * ho + oy) * wo + ox) * self.out_ch + oc] = v;
-                        gbias[oc] += v;
+        {
+            let (patches, gbias) = ws.buf_pair(WS_PATCHES, WS_GBIAS);
+            patches.resize_to(&[b * ho * wo, self.out_ch]);
+            gbias.resize_to(&[self.out_ch]);
+            gbias.fill(0.0);
+            let gp = patches.data_mut();
+            let gb = gbias.data_mut();
+            for bi in 0..b {
+                for oc in 0..self.out_ch {
+                    for oy in 0..ho {
+                        for ox in 0..wo {
+                            let v = god[((bi * self.out_ch + oc) * ho + oy) * wo + ox];
+                            gp[((bi * ho + oy) * wo + ox) * self.out_ch + oc] = v;
+                            gb[oc] += v;
+                        }
                     }
                 }
             }
         }
-        let grad_patches = Tensor::from_vec(Shape::matrix(b * ho * wo, self.out_ch), gp);
         // dW = grad_patches^T @ cols : [out_ch, c*k*k]
-        let dw = matmul_at_b(&grad_patches, cols);
-        self.grad_weight.add_assign(&dw);
-        for (g, v) in self.grad_bias.data_mut().iter_mut().zip(gbias.iter()) {
+        {
+            let (patches, cols, dw) = ws.buf_triple(WS_PATCHES, WS_COLS, WS_DW);
+            matmul_at_b_into(patches, cols, dw);
+        }
+        self.grad_weight.add_assign(&ws.bufs[WS_DW]);
+        for (g, v) in self
+            .grad_bias
+            .data_mut()
+            .iter_mut()
+            .zip(ws.bufs[WS_GBIAS].data().iter())
+        {
             *g += *v;
         }
         // dcols = grad_patches @ W : [b*ho*wo, c*k*k]
-        let dcols = fl_tensor::matmul::matmul(&grad_patches, &self.weight);
-        self.col2im(&dcols, b, c, h, w)
+        {
+            let (patches, dcols) = ws.buf_pair(WS_PATCHES, WS_DCOLS);
+            matmul_into(patches, &self.weight, dcols);
+        }
+        self.col2im_into(&ws.bufs[WS_DCOLS], b, c, h, w, grad_input);
+    }
+
+    fn fallback_ws(&mut self) -> &mut LayerWs {
+        &mut self.fallback
+    }
+
+    fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.grad_weight);
+        f(&mut self.bias, &self.grad_bias);
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -216,7 +294,7 @@ impl Layer for Conv2d {
 /// Global average pooling: `[batch, ch, h, w] -> [batch, ch]`.
 #[derive(Default)]
 pub struct GlobalAvgPool {
-    cached_shape: Option<(usize, usize, usize, usize)>,
+    fallback: LayerWs,
 }
 
 impl GlobalAvgPool {
@@ -227,39 +305,45 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward_in(&self, input: &Tensor, out: &mut Tensor, ws: &mut LayerWs) {
         let dims = input.shape().dims();
         assert_eq!(dims.len(), 4, "GlobalAvgPool expects [batch, ch, h, w]");
         let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-        self.cached_shape = Some((b, c, h, w));
+        ws.set_dims(dims);
         let data = input.data();
         let denom = (h * w) as f32;
-        let mut out = vec![0.0f32; b * c];
+        out.resize_to(&[b, c]);
+        let od = out.data_mut();
         for bi in 0..b {
             for ci in 0..c {
                 let base = (bi * c + ci) * h * w;
-                out[bi * c + ci] = data[base..base + h * w].iter().sum::<f32>() / denom;
+                od[bi * c + ci] = data[base..base + h * w].iter().sum::<f32>() / denom;
             }
         }
-        Tensor::from_vec(Shape::matrix(b, c), out)
+        ws.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let (b, c, h, w) = self
-            .cached_shape
-            .expect("GlobalAvgPool backward called before forward");
+    fn backward_in(&mut self, grad_output: &Tensor, grad_input: &mut Tensor, ws: &mut LayerWs) {
+        assert!(ws.ready, "GlobalAvgPool backward called before forward");
+        let (b, c, h, w) = (ws.dims[0], ws.dims[1], ws.dims[2], ws.dims[3]);
         let god = grad_output.data();
         let denom = (h * w) as f32;
-        let mut out = vec![0.0f32; b * c * h * w];
+        grad_input.resize_to(&[b, c, h, w]);
+        let od = grad_input.data_mut();
         for bi in 0..b {
             for ci in 0..c {
                 let g = god[bi * c + ci] / denom;
                 let base = (bi * c + ci) * h * w;
-                out[base..base + h * w].iter_mut().for_each(|x| *x = g);
+                od[base..base + h * w].iter_mut().for_each(|x| *x = g);
             }
         }
-        Tensor::from_vec(Shape::new(&[b, c, h, w]), out)
     }
+
+    fn fallback_ws(&mut self) -> &mut LayerWs {
+        &mut self.fallback
+    }
+
+    fn visit_params_and_grads(&mut self, _f: &mut dyn FnMut(&mut Tensor, &Tensor)) {}
 
     fn params(&self) -> Vec<&Tensor> {
         vec![]
@@ -283,7 +367,7 @@ impl Layer for GlobalAvgPool {
 /// Reshape `[batch, ch, h, w]` activations into `[batch, ch*h*w]` (no parameters).
 #[derive(Default)]
 pub struct Flatten {
-    cached_shape: Option<Vec<usize>>,
+    fallback: LayerWs,
 }
 
 impl Flatten {
@@ -294,26 +378,28 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let dims = input.shape().dims().to_vec();
+    fn forward_in(&self, input: &Tensor, out: &mut Tensor, ws: &mut LayerWs) {
+        let dims = input.shape().dims();
         assert!(dims.len() >= 2, "Flatten expects a batched tensor");
         let batch = dims[0];
         let rest: usize = dims[1..].iter().product();
-        self.cached_shape = Some(dims);
-        let mut out = input.clone();
-        out.reshape(Shape::matrix(batch, rest));
-        out
+        ws.set_dims(dims);
+        out.resize_to(&[batch, rest]);
+        out.data_mut().copy_from_slice(input.data());
+        ws.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dims = self
-            .cached_shape
-            .as_ref()
-            .expect("Flatten backward called before forward");
-        let mut out = grad_output.clone();
-        out.reshape(Shape::new(dims));
-        out
+    fn backward_in(&mut self, grad_output: &Tensor, grad_input: &mut Tensor, ws: &mut LayerWs) {
+        assert!(ws.ready, "Flatten backward called before forward");
+        grad_input.resize_to(&ws.dims);
+        grad_input.data_mut().copy_from_slice(grad_output.data());
     }
+
+    fn fallback_ws(&mut self) -> &mut LayerWs {
+        &mut self.fallback
+    }
+
+    fn visit_params_and_grads(&mut self, _f: &mut dyn FnMut(&mut Tensor, &Tensor)) {}
 
     fn params(&self) -> Vec<&Tensor> {
         vec![]
@@ -341,6 +427,7 @@ pub struct Unflatten {
     channels: usize,
     height: usize,
     width: usize,
+    fallback: LayerWs,
 }
 
 impl Unflatten {
@@ -351,12 +438,13 @@ impl Unflatten {
             channels,
             height,
             width,
+            fallback: LayerWs::new(),
         }
     }
 }
 
 impl Layer for Unflatten {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward_in(&self, input: &Tensor, out: &mut Tensor, _ws: &mut LayerWs) {
         let dims = input.shape().dims();
         assert_eq!(dims.len(), 2, "Unflatten expects [batch, features]");
         assert_eq!(
@@ -364,25 +452,21 @@ impl Layer for Unflatten {
             self.channels * self.height * self.width,
             "feature count does not match target shape"
         );
-        let mut out = input.clone();
-        out.reshape(Shape::new(&[
-            dims[0],
-            self.channels,
-            self.height,
-            self.width,
-        ]));
-        out
+        out.resize_to(&[dims[0], self.channels, self.height, self.width]);
+        out.data_mut().copy_from_slice(input.data());
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn backward_in(&mut self, grad_output: &Tensor, grad_input: &mut Tensor, _ws: &mut LayerWs) {
         let dims = grad_output.shape().dims();
-        let mut out = grad_output.clone();
-        out.reshape(Shape::matrix(
-            dims[0],
-            self.channels * self.height * self.width,
-        ));
-        out
+        grad_input.resize_to(&[dims[0], self.channels * self.height * self.width]);
+        grad_input.data_mut().copy_from_slice(grad_output.data());
     }
+
+    fn fallback_ws(&mut self) -> &mut LayerWs {
+        &mut self.fallback
+    }
+
+    fn visit_params_and_grads(&mut self, _f: &mut dyn FnMut(&mut Tensor, &Tensor)) {}
 
     fn params(&self) -> Vec<&Tensor> {
         vec![]
@@ -516,5 +600,34 @@ mod tests {
         assert_eq!(y.shape().dims(), &[3, 32]);
         let dx = fl.backward(&y);
         assert_eq!(dx.shape().dims(), &[3, 2, 4, 4]);
+    }
+
+    #[test]
+    fn oversized_kernel_reports_shape_error() {
+        // Regression: `h + 2p + 1 - k` used to wrap in usize when the kernel
+        // exceeded the padded input, requesting an absurd output allocation.
+        let mut rng = Xoshiro256::new(5);
+        let conv = Conv2d::new(1, 1, 5, 1, &mut rng);
+        // Padded input is 4x4 (2 + 2*1), kernel 5 does not fit.
+        let err = conv.output_hw(2, 2).unwrap_err();
+        assert_eq!(
+            err,
+            ConvShapeError {
+                kernel: 5,
+                padded_h: 4,
+                padded_w: 4
+            }
+        );
+        assert!(err.to_string().contains("5x5"));
+        // The largest input the kernel fits yields a 1x1 output.
+        assert_eq!(conv.output_hw(3, 3), Ok((1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_panics_in_forward() {
+        let mut rng = Xoshiro256::new(6);
+        let mut conv = Conv2d::new(1, 1, 7, 0, &mut rng);
+        conv.forward(&Tensor::zeros(Shape::new(&[1, 1, 4, 4])));
     }
 }

@@ -10,6 +10,12 @@
 //! Layers follow a classic explicit forward/backward contract
 //! ([`layer::Layer`]); models are built with [`model::Sequential`] or the
 //! convenience constructors [`model::mlp`] and [`model::small_cnn`].
+//!
+//! The training hot path is allocation-free: a [`workspace::Workspace`] owns
+//! every intermediate buffer, and the `forward_in` / `backward_in` methods on
+//! [`model::Sequential`] and [`layer::Layer`] reuse those buffers batch after
+//! batch (the allocating `forward` / `backward` wrappers remain for
+//! convenience and compute bit-identical results).
 
 pub mod activation;
 pub mod conv;
@@ -19,12 +25,15 @@ pub mod loss;
 pub mod model;
 pub mod optim;
 pub mod params;
+pub mod workspace;
 
+pub use conv::ConvShapeError;
 pub use layer::Layer;
 pub use loss::SoftmaxCrossEntropy;
-pub use model::{mlp, small_cnn, small_cnn_flat, Sequential};
+pub use model::{mlp, mlp_zeroed, small_cnn, small_cnn_flat, Sequential};
 pub use optim::Sgd;
 pub use params::{
     flatten_params, num_params, segment_l1_masses, try_unflatten_params, unflatten_params,
     LayoutError, ParamLayout, ParamSegment,
 };
+pub use workspace::{LayerWs, Workspace};

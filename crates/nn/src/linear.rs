@@ -1,9 +1,18 @@
 //! Fully-connected (dense) layer.
 
 use crate::layer::Layer;
-use fl_tensor::matmul::{add_bias_rows, matmul, matmul_a_bt, matmul_at_b, sum_rows};
+use crate::workspace::LayerWs;
+use fl_tensor::matmul::{
+    add_bias_rows, matmul_a_bt_into, matmul_at_b_into, matmul_into, sum_rows_into,
+};
 use fl_tensor::rng::Rng;
 use fl_tensor::{Shape, Tensor};
+
+// Workspace scratch channels.
+const WS_INPUT: usize = 0; // cached forward input
+const WS_DW: usize = 1; // weight-gradient scratch
+const WS_DB: usize = 2; // bias-gradient scratch
+const WS_WT: usize = 3; // W^T scratch for dX
 
 /// `y = x @ W + b` with `W: [in, out]`, `b: [out]`.
 pub struct Linear {
@@ -11,9 +20,9 @@ pub struct Linear {
     bias: Tensor,
     grad_weight: Tensor,
     grad_bias: Tensor,
-    cached_input: Option<Tensor>,
     in_features: usize,
     out_features: usize,
+    fallback: LayerWs,
 }
 
 impl Linear {
@@ -24,11 +33,27 @@ impl Linear {
         Self {
             grad_weight: Tensor::zeros(Shape::matrix(in_features, out_features)),
             grad_bias: Tensor::zeros(Shape::vector(out_features)),
-            cached_input: None,
             weight,
             bias,
             in_features,
             out_features,
+            fallback: LayerWs::new(),
+        }
+    }
+
+    /// New layer with all-zero weights and bias — for replicas whose
+    /// parameters are immediately overwritten (e.g. a federated client
+    /// receiving the global model), where a random init would only burn
+    /// normal draws.
+    pub fn zeroed(in_features: usize, out_features: usize) -> Self {
+        Self {
+            weight: Tensor::zeros(Shape::matrix(in_features, out_features)),
+            bias: Tensor::zeros(Shape::vector(out_features)),
+            grad_weight: Tensor::zeros(Shape::matrix(in_features, out_features)),
+            grad_bias: Tensor::zeros(Shape::vector(out_features)),
+            in_features,
+            out_features,
+            fallback: LayerWs::new(),
         }
     }
 
@@ -44,31 +69,42 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward_in(&self, input: &Tensor, out: &mut Tensor, ws: &mut LayerWs) {
         assert_eq!(
             input.shape().dims()[1],
             self.in_features,
             "Linear forward: expected {} input features",
             self.in_features
         );
-        let mut out = matmul(input, &self.weight);
-        add_bias_rows(&mut out, &self.bias);
-        self.cached_input = Some(input.clone());
-        out
+        matmul_into(input, &self.weight, out);
+        add_bias_rows(out, &self.bias);
+        ws.ensure_bufs(WS_WT + 1);
+        ws.bufs[WS_INPUT].copy_from(input);
+        ws.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Linear backward called before forward");
+    fn backward_in(&mut self, grad_output: &Tensor, grad_input: &mut Tensor, ws: &mut LayerWs) {
+        assert!(ws.ready, "Linear backward called before forward");
         // dW = X^T @ dY ; db = column sums of dY ; dX = dY @ W^T
-        let dw = matmul_at_b(input, grad_output);
-        self.grad_weight.add_assign(&dw);
-        let db = sum_rows(grad_output);
-        self.grad_bias.add_assign(&db);
+        {
+            let (input, dw) = ws.buf_pair(WS_INPUT, WS_DW);
+            matmul_at_b_into(input, grad_output, dw);
+            self.grad_weight.add_assign(dw);
+        }
+        let db = &mut ws.bufs[WS_DB];
+        sum_rows_into(grad_output, db);
+        self.grad_bias.add_assign(db);
         // grad_output: [batch, out], weight: [in, out] => dX = dY @ W^T : [batch, in]
-        matmul_a_bt(grad_output, &self.weight)
+        matmul_a_bt_into(grad_output, &self.weight, &mut ws.bufs[WS_WT], grad_input);
+    }
+
+    fn fallback_ws(&mut self) -> &mut LayerWs {
+        &mut self.fallback
+    }
+
+    fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.grad_weight);
+        f(&mut self.bias, &self.grad_bias);
     }
 
     fn params(&self) -> Vec<&Tensor> {

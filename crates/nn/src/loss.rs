@@ -1,6 +1,6 @@
 //! Softmax cross-entropy loss for classification.
 
-use fl_tensor::{Shape, Tensor};
+use fl_tensor::Tensor;
 
 /// Combined softmax + cross-entropy over integer class labels.
 ///
@@ -9,8 +9,9 @@ use fl_tensor::{Shape, Tensor};
 /// into the last layer's `backward`.
 #[derive(Default)]
 pub struct SoftmaxCrossEntropy {
-    cached_probs: Option<Tensor>,
-    cached_labels: Option<Vec<usize>>,
+    probs: Tensor,
+    labels: Vec<usize>,
+    ready: bool,
 }
 
 impl SoftmaxCrossEntropy {
@@ -19,30 +20,39 @@ impl SoftmaxCrossEntropy {
         Self::default()
     }
 
-    /// Numerically stable softmax over the rows of a `[batch, classes]` tensor.
-    pub fn softmax(logits: &Tensor) -> Tensor {
+    /// Numerically stable softmax over the rows of a `[batch, classes]`
+    /// tensor, written into the reusable `out` tensor.
+    pub fn softmax_into(logits: &Tensor, out: &mut Tensor) {
         let dims = logits.shape().dims();
         assert_eq!(dims.len(), 2, "softmax expects [batch, classes]");
         let (b, c) = (dims[0], dims[1]);
         let ld = logits.data();
-        let mut out = vec![0.0f32; b * c];
+        out.resize_to(&[b, c]);
+        let od = out.data_mut();
         for i in 0..b {
             let row = &ld[i * c..(i + 1) * c];
             let maxv = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0f32;
             for (j, &x) in row.iter().enumerate() {
                 let e = (x - maxv).exp();
-                out[i * c + j] = e;
+                od[i * c + j] = e;
                 denom += e;
             }
             for j in 0..c {
-                out[i * c + j] /= denom;
+                od[i * c + j] /= denom;
             }
         }
-        Tensor::from_vec(Shape::matrix(b, c), out)
     }
 
-    /// Mean cross-entropy loss; caches what `backward` needs.
+    /// Numerically stable softmax over the rows of a `[batch, classes]` tensor.
+    pub fn softmax(logits: &Tensor) -> Tensor {
+        let mut out = Tensor::empty();
+        Self::softmax_into(logits, &mut out);
+        out
+    }
+
+    /// Mean cross-entropy loss; caches what `backward` needs in reusable
+    /// internal buffers (steady-state calls perform no heap allocation).
     pub fn forward(&mut self, logits: &Tensor, labels: &[usize]) -> f32 {
         let dims = logits.shape().dims();
         let (b, c) = (dims[0], dims[1]);
@@ -51,35 +61,37 @@ impl SoftmaxCrossEntropy {
             labels.iter().all(|&y| y < c),
             "label out of range for {c} classes"
         );
-        let probs = Self::softmax(logits);
-        let pd = probs.data();
+        Self::softmax_into(logits, &mut self.probs);
+        let pd = self.probs.data();
         let mut loss = 0.0f32;
         for (i, &y) in labels.iter().enumerate() {
             loss -= pd[i * c + y].max(1e-12).ln();
         }
-        self.cached_probs = Some(probs);
-        self.cached_labels = Some(labels.to_vec());
+        self.labels.clear();
+        self.labels.extend_from_slice(labels);
+        self.ready = true;
         loss / b as f32
+    }
+
+    /// Gradient of the mean loss w.r.t. the logits, written into the reusable
+    /// `out` tensor.
+    pub fn backward_in(&self, out: &mut Tensor) {
+        assert!(self.ready, "loss backward called before forward");
+        let dims = self.probs.shape().dims();
+        let (b, c) = (dims[0], dims[1]);
+        out.copy_from(&self.probs);
+        let gd = out.data_mut();
+        for (i, &y) in self.labels.iter().enumerate() {
+            gd[i * c + y] -= 1.0;
+        }
+        let scale = 1.0 / b as f32;
+        gd.iter_mut().for_each(|x| *x *= scale);
     }
 
     /// Gradient of the mean loss w.r.t. the logits.
     pub fn backward(&self) -> Tensor {
-        let probs = self
-            .cached_probs
-            .as_ref()
-            .expect("loss backward called before forward");
-        let labels = self.cached_labels.as_ref().unwrap();
-        let dims = probs.shape().dims();
-        let (b, c) = (dims[0], dims[1]);
-        let mut grad = probs.clone();
-        {
-            let gd = grad.data_mut();
-            for (i, &y) in labels.iter().enumerate() {
-                gd[i * c + y] -= 1.0;
-            }
-            let scale = 1.0 / b as f32;
-            gd.iter_mut().for_each(|x| *x *= scale);
-        }
+        let mut grad = Tensor::empty();
+        self.backward_in(&mut grad);
         grad
     }
 
@@ -114,6 +126,7 @@ impl SoftmaxCrossEntropy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fl_tensor::Shape;
 
     #[test]
     fn softmax_rows_sum_to_one() {

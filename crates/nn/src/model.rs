@@ -4,18 +4,23 @@ use crate::activation::Relu;
 use crate::conv::{Conv2d, Flatten, GlobalAvgPool, Unflatten};
 use crate::layer::Layer;
 use crate::linear::Linear;
+use crate::workspace::Workspace;
 use fl_tensor::rng::Rng;
 use fl_tensor::Tensor;
 
 /// A plain sequential stack of layers.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    ws: Workspace,
 }
 
 impl Sequential {
     /// Empty model.
     pub fn new() -> Self {
-        Self { layers: Vec::new() }
+        Self {
+            layers: Vec::new(),
+            ws: Workspace::new(),
+        }
     }
 
     /// Append a layer (builder style).
@@ -34,21 +39,57 @@ impl Sequential {
         self.layers.is_empty()
     }
 
-    /// Forward pass through every layer.
-    pub fn forward(&mut self, input: &Tensor) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x);
+    /// Allocation-free forward pass: activations ping-pong between the
+    /// workspace's two buffers, per-layer backward state lands in the
+    /// workspace's layer slots, and the returned reference points into the
+    /// workspace. Takes `&self` — a shared model can run concurrent forward
+    /// passes over per-thread workspaces.
+    pub fn forward_in<'w>(&self, input: &Tensor, ws: &'w mut Workspace) -> &'w Tensor {
+        ws.ensure_layers(self.layers.len());
+        if self.layers.is_empty() {
+            ws.x_a.copy_from(input);
+            return &ws.x_a;
         }
-        x
+        self.layers[0].forward_in(input, &mut ws.x_a, &mut ws.layers[0]);
+        for i in 1..self.layers.len() {
+            self.layers[i].forward_in(&ws.x_a, &mut ws.x_b, &mut ws.layers[i]);
+            std::mem::swap(&mut ws.x_a, &mut ws.x_b);
+        }
+        &ws.x_a
     }
 
-    /// Backward pass; `grad_output` is `dL/d(model output)`.
-    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+    /// Allocation-free backward pass through the same workspace the forward
+    /// pass used; returns `dL/d(input)` as a reference into the workspace.
+    pub fn backward_in<'w>(&mut self, grad_output: &Tensor, ws: &'w mut Workspace) -> &'w Tensor {
+        ws.ensure_layers(self.layers.len());
+        if self.layers.is_empty() {
+            ws.g_a.copy_from(grad_output);
+            return &ws.g_a;
         }
+        let last = self.layers.len() - 1;
+        self.layers[last].backward_in(grad_output, &mut ws.g_a, &mut ws.layers[last]);
+        for i in (0..last).rev() {
+            self.layers[i].backward_in(&ws.g_a, &mut ws.g_b, &mut ws.layers[i]);
+            std::mem::swap(&mut ws.g_a, &mut ws.g_b);
+        }
+        &ws.g_a
+    }
+
+    /// Forward pass through every layer (allocating wrapper over
+    /// [`forward_in`](Self::forward_in) using the model's private workspace).
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut ws = std::mem::take(&mut self.ws);
+        let out = self.forward_in(input, &mut ws).clone();
+        self.ws = ws;
+        out
+    }
+
+    /// Backward pass; `grad_output` is `dL/d(model output)` (allocating
+    /// wrapper over [`backward_in`](Self::backward_in)).
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut ws = std::mem::take(&mut self.ws);
+        let g = self.backward_in(grad_output, &mut ws).clone();
+        self.ws = ws;
         g
     }
 
@@ -56,6 +97,15 @@ impl Sequential {
     pub fn zero_grad(&mut self) {
         for layer in &mut self.layers {
             layer.zero_grad();
+        }
+    }
+
+    /// Visit each `(param, grad)` pair in [`params`](Self::params) order with
+    /// simultaneous mutable parameter / immutable gradient access (the
+    /// allocation-free accessor behind the fused optimizer step).
+    pub fn visit_params_and_grads(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params_and_grads(f);
         }
     }
 
@@ -117,6 +167,22 @@ pub fn mlp<R: Rng>(input_dim: usize, hidden: &[usize], classes: usize, rng: &mut
     model.push(Box::new(Linear::new(prev, classes, rng)))
 }
 
+/// [`mlp`] with all-zero parameters — for replicas that are immediately
+/// overwritten with externally supplied parameters (a federated client
+/// receiving the broadcast model). Skipping the Kaiming draws makes replica
+/// construction O(params) copies instead of O(params) normal samples.
+pub fn mlp_zeroed(input_dim: usize, hidden: &[usize], classes: usize) -> Sequential {
+    let mut model = Sequential::new();
+    let mut prev = input_dim;
+    for &h in hidden {
+        model = model
+            .push(Box::new(Linear::zeroed(prev, h)))
+            .push(Box::new(Relu::new()));
+        prev = h;
+    }
+    model.push(Box::new(Linear::zeroed(prev, classes)))
+}
+
 /// A compact CNN for `[batch, channels, size, size]` image-shaped inputs:
 /// two 3x3 conv + ReLU stages, global average pooling, then a linear head.
 pub fn small_cnn<R: Rng>(
@@ -173,6 +239,11 @@ pub fn small_cnn_flat<R: Rng>(
 /// used by quick tests.
 pub fn logistic_regression<R: Rng>(input_dim: usize, classes: usize, rng: &mut R) -> Sequential {
     Sequential::new().push(Box::new(Linear::new(input_dim, classes, rng)))
+}
+
+/// [`logistic_regression`] with all-zero parameters (see [`mlp_zeroed`]).
+pub fn logistic_regression_zeroed(input_dim: usize, classes: usize) -> Sequential {
+    Sequential::new().push(Box::new(Linear::zeroed(input_dim, classes)))
 }
 
 /// Unused flatten re-export kept for model builders that consume raw images

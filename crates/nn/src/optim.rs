@@ -1,7 +1,7 @@
 //! Stochastic gradient descent with optional momentum and weight decay.
 
 use crate::model::Sequential;
-use fl_tensor::Tensor;
+use fl_tensor::{kernels, Tensor};
 
 /// Plain SGD: `p <- p - lr * (g + wd * p)` with optional classical momentum.
 pub struct Sgd {
@@ -37,37 +37,37 @@ impl Sgd {
     }
 
     /// Apply one update step using the gradients currently stored in `model`.
+    ///
+    /// Allocation-free: parameters and gradients are visited in place (no
+    /// gradient clones) and the update runs through the fused
+    /// [`fl_tensor::kernels`] loops; the velocity buffers are allocated once
+    /// on the first momentum step and reused afterwards.
     pub fn step(&mut self, model: &mut Sequential) {
-        let grads: Vec<Tensor> = model.grads().iter().map(|g| (*g).clone()).collect();
-        let params = model.params_mut();
-        assert_eq!(params.len(), grads.len(), "params/grads mismatch");
-        if self.momentum > 0.0 && self.velocity.len() != params.len() {
-            self.velocity = params
-                .iter()
-                .map(|p| Tensor::zeros(p.shape().clone()))
-                .collect();
+        if self.momentum > 0.0 && self.velocity.is_empty() {
+            let velocity = &mut self.velocity;
+            model.visit_params_and_grads(&mut |p, _g| {
+                velocity.push(Tensor::zeros(p.shape().clone()));
+            });
         }
-        for (i, (param, grad)) in params.into_iter().zip(grads.iter()).enumerate() {
-            if self.momentum > 0.0 {
-                let v = &mut self.velocity[i];
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = &mut self.velocity;
+        let mut i = 0usize;
+        model.visit_params_and_grads(&mut |param, grad| {
+            if mu > 0.0 {
                 // v <- mu * v + g + wd * p ; p <- p - lr * v
-                for ((vj, &gj), &pj) in v
-                    .data_mut()
-                    .iter_mut()
-                    .zip(grad.data().iter())
-                    .zip(param.data().iter())
-                {
-                    *vj = self.momentum * *vj + gj + self.weight_decay * pj;
-                }
-                param.axpy(-self.lr, v);
+                kernels::sgd_momentum_step(
+                    lr,
+                    mu,
+                    wd,
+                    param.data_mut(),
+                    velocity[i].data_mut(),
+                    grad.data(),
+                );
             } else {
-                let wd = self.weight_decay;
-                let lr = self.lr;
-                for (pj, &gj) in param.data_mut().iter_mut().zip(grad.data().iter()) {
-                    *pj -= lr * (gj + wd * *pj);
-                }
+                kernels::sgd_step(lr, wd, param.data_mut(), grad.data());
             }
-        }
+            i += 1;
+        });
     }
 }
 

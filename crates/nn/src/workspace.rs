@@ -1,0 +1,137 @@
+//! Reusable scratch arenas for the allocation-free training hot path.
+//!
+//! A [`Workspace`] owns every intermediate buffer a forward/backward pass
+//! needs — the activation and gradient ping-pong buffers threaded between
+//! layers by [`crate::model::Sequential`], plus one [`LayerWs`] slot per layer
+//! holding that layer's cross-pass state (cached inputs, im2col columns, ReLU
+//! masks, …). Buffers are grown on first use and reused verbatim afterwards,
+//! so a steady-state training batch performs no heap allocation at all.
+//!
+//! Ownership: the *caller* of the `_in` training API owns the workspace and
+//! threads it through `forward_in` / `backward_in`; layers never allocate
+//! cross-pass state of their own on that path. The allocating `forward` /
+//! `backward` wrappers keep a private fallback workspace per layer/model so
+//! existing callers observe identical behaviour.
+
+use fl_tensor::Tensor;
+
+/// Per-layer scratch slot: reusable tensors, a boolean mask (ReLU), and a
+/// cached shape (reshape/pooling layers), all owned by the enclosing
+/// [`Workspace`] rather than the layer.
+#[derive(Default)]
+pub struct LayerWs {
+    /// Generic tensor scratch, indexed by a layer-private channel number.
+    pub bufs: Vec<Tensor>,
+    /// Boolean element mask (ReLU keeps its activation mask here).
+    pub mask: Vec<bool>,
+    /// Cached input dimensions for layers whose backward needs them.
+    pub dims: Vec<usize>,
+    /// Set by `forward_in` once this slot holds a valid cached state;
+    /// `backward_in` asserts it for a clear backward-before-forward panic.
+    pub ready: bool,
+}
+
+impl LayerWs {
+    /// Fresh, empty slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the scratch-tensor vector to at least `n` (empty) tensors.
+    pub fn ensure_bufs(&mut self, n: usize) {
+        if self.bufs.len() < n {
+            self.bufs.resize_with(n, Tensor::empty);
+        }
+    }
+
+    /// Record the input dimensions for the backward pass (reuses the buffer).
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
+    }
+
+    /// Two distinct scratch tensors borrowed simultaneously (split borrow).
+    pub fn buf_pair(&mut self, i: usize, j: usize) -> (&mut Tensor, &mut Tensor) {
+        assert_ne!(i, j, "buf_pair needs two distinct channels");
+        self.ensure_bufs(i.max(j) + 1);
+        if i < j {
+            let (left, right) = self.bufs.split_at_mut(j);
+            (&mut left[i], &mut right[0])
+        } else {
+            let (left, right) = self.bufs.split_at_mut(i);
+            (&mut right[0], &mut left[j])
+        }
+    }
+
+    /// Three distinct scratch tensors borrowed simultaneously (split borrow).
+    pub fn buf_triple(
+        &mut self,
+        i: usize,
+        j: usize,
+        k: usize,
+    ) -> (&mut Tensor, &mut Tensor, &mut Tensor) {
+        assert!(
+            i != j && j != k && i != k,
+            "buf_triple needs three distinct channels"
+        );
+        self.ensure_bufs(i.max(j).max(k) + 1);
+        let ptr = self.bufs.as_mut_ptr();
+        // SAFETY: the three indices are pairwise distinct and in bounds, so
+        // the raw-pointer borrows never alias.
+        unsafe { (&mut *ptr.add(i), &mut *ptr.add(j), &mut *ptr.add(k)) }
+    }
+}
+
+/// Scratch arena for one model: activation/gradient ping-pong buffers plus a
+/// [`LayerWs`] per layer slot. Create one per training context (it is cheap
+/// and empty until first use) and reuse it for every batch.
+#[derive(Default)]
+pub struct Workspace {
+    pub(crate) x_a: Tensor,
+    pub(crate) x_b: Tensor,
+    pub(crate) g_a: Tensor,
+    pub(crate) g_b: Tensor,
+    pub(crate) layers: Vec<LayerWs>,
+}
+
+impl Workspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the per-layer slot vector to at least `n` slots.
+    pub(crate) fn ensure_layers(&mut self, n: usize) {
+        if self.layers.len() < n {
+            self.layers.resize_with(n, LayerWs::default);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buf_pair_returns_distinct_buffers() {
+        let mut ws = LayerWs::new();
+        {
+            let (a, b) = ws.buf_pair(0, 2);
+            a.resize_to(&[2]);
+            a.fill(1.0);
+            b.resize_to(&[3]);
+            b.fill(2.0);
+        }
+        assert_eq!(ws.bufs[0].data(), &[1.0, 1.0]);
+        assert_eq!(ws.bufs[2].data(), &[2.0, 2.0, 2.0]);
+        let (hi, lo) = ws.buf_pair(2, 0);
+        assert_eq!(hi.data(), &[2.0, 2.0, 2.0]);
+        assert_eq!(lo.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct channels")]
+    fn buf_pair_rejects_aliasing() {
+        LayerWs::new().buf_pair(1, 1);
+    }
+}

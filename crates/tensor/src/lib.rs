@@ -17,8 +17,11 @@
 //! * [`stats`] — mean / variance / histogram helpers used by the overlap
 //!   analysis and the experiment reports.
 //! * [`parallel`] — a tiny chunked `parallel_for` built on scoped threads.
+//! * [`kernels`] — fused in-place element-wise update kernels (axpy,
+//!   SGD steps) behind the allocation-free training hot path.
 
 pub mod dist;
+pub mod kernels;
 pub mod matmul;
 pub mod parallel;
 pub mod rng;

@@ -49,6 +49,25 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     matmul_with_threads(a, b, auto_threads(m, k, n))
 }
 
+/// [`matmul`] writing into a reusable output tensor (resized as needed; no
+/// allocation once `out` has capacity). Bit-identical to [`matmul`].
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k) = as_matrix_dims(a, "matmul lhs");
+    let (k2, n) = as_matrix_dims(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
+    out.resize_to(&[m, n]);
+    out.fill(0.0);
+    nt_parallel::<true, false>(
+        a.data(),
+        k,
+        k,
+        b.data(),
+        n,
+        out.data_mut(),
+        auto_threads(m, k, n),
+    );
+}
+
 /// [`matmul`] with an explicit thread cap (the auto-picked count is a pure
 /// performance choice; results are bit-identical for any value).
 pub fn matmul_with_threads(a: &Tensor, b: &Tensor, max_threads: usize) -> Tensor {
@@ -66,6 +85,28 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = as_matrix_dims(a, "matmul_at_b lhs");
     let (_, n) = as_matrix_dims(b, "matmul_at_b rhs");
     matmul_at_b_with_threads(a, b, auto_threads(m, k, n))
+}
+
+/// [`matmul_at_b`] writing into a reusable output tensor. Bit-identical to
+/// [`matmul_at_b`].
+pub fn matmul_at_b_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (k, m) = as_matrix_dims(a, "matmul_at_b lhs");
+    let (k2, n) = as_matrix_dims(b, "matmul_at_b rhs");
+    assert_eq!(
+        k, k2,
+        "matmul_at_b: leading dimensions differ ({k} vs {k2})"
+    );
+    out.resize_to(&[m, n]);
+    out.fill(0.0);
+    nt_parallel::<true, true>(
+        a.data(),
+        m,
+        k,
+        b.data(),
+        n,
+        out.data_mut(),
+        auto_threads(m, k, n),
+    );
 }
 
 /// [`matmul_at_b`] with an explicit thread cap.
@@ -90,6 +131,27 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = as_matrix_dims(a, "matmul_a_bt lhs");
     let (n, _) = as_matrix_dims(b, "matmul_a_bt rhs");
     matmul_a_bt_with_threads(a, b, auto_threads(m, k, n))
+}
+
+/// [`matmul_a_bt`] writing into a reusable output tensor, with the `B^T`
+/// copy landing in a reusable scratch tensor. Bit-identical to
+/// [`matmul_a_bt`].
+pub fn matmul_a_bt_into(a: &Tensor, b: &Tensor, bt_scratch: &mut Tensor, out: &mut Tensor) {
+    let (m, k) = as_matrix_dims(a, "matmul_a_bt lhs");
+    let (n, k2) = as_matrix_dims(b, "matmul_a_bt rhs");
+    assert_eq!(k, k2, "matmul_a_bt: inner dimensions differ ({k} vs {k2})");
+    transpose_into(b, bt_scratch);
+    out.resize_to(&[m, n]);
+    out.fill(0.0);
+    nt_parallel::<false, false>(
+        a.data(),
+        k,
+        k,
+        bt_scratch.data(),
+        n,
+        out.data_mut(),
+        auto_threads(m, k, n),
+    );
 }
 
 /// [`matmul_a_bt`] with an explicit thread cap.
@@ -135,8 +197,18 @@ fn nt_parallel<const SKIP: bool, const AT: bool>(
     if n == 0 || out.is_empty() {
         return;
     }
+    // When every `B` entry is finite, skipping a zero `A` entry and
+    // accumulating its `a * b` contribution are bit-identical: the product is
+    // then `±0.0`, `x + (-0.0) == x` for every `x`, and `x + (+0.0)` differs
+    // only for `x == -0.0` — which an accumulator seeded from `+0.0` can
+    // never become, because a round-to-nearest sum is `-0.0` only when both
+    // addends are `-0.0`. So one finiteness pass over `B` lets the
+    // zero-skipping kernels run the branch-free register tile on zero-heavy
+    // inputs (post-ReLU activations); non-finite `B` keeps the historical
+    // element-skipping path.
+    let b_all_finite = SKIP && bd.iter().all(|v| v.is_finite());
     parallel_row_blocks(out, n, max_threads, |row0, chunk| {
-        nt_rows::<SKIP, AT>(ad, a_stride, row0, k, bd, n, chunk);
+        nt_rows::<SKIP, AT>(ad, a_stride, row0, k, bd, n, chunk, b_all_finite);
     });
 }
 
@@ -148,6 +220,7 @@ fn nt_parallel<const SKIP: bool, const AT: bool>(
 /// in ascending order — so every output element still receives its `k`
 /// contributions in exactly the ascending single-accumulator order of the
 /// plain ikj loop, regardless of the blocking.
+#[allow(clippy::too_many_arguments)]
 fn nt_rows<const SKIP: bool, const AT: bool>(
     ad: &[f32],
     a_stride: usize,
@@ -156,6 +229,7 @@ fn nt_rows<const SKIP: bool, const AT: bool>(
     bd: &[f32],
     n: usize,
     out_block: &mut [f32],
+    b_all_finite: bool,
 ) {
     let rows = out_block.len() / n;
     let rows_main = rows - rows % MR;
@@ -163,83 +237,95 @@ fn nt_rows<const SKIP: bool, const AT: bool>(
     // `B` panel packed per (`jc`, `kb`) block: each register tile's stripe
     // becomes one contiguous `NR`-wide run, so the hot loop streams L1
     // lines in order instead of hopping `n`-strided rows. Pure copies —
-    // the arithmetic and its order are untouched.
-    let mut bpack = vec![0.0f32; KC * NC];
-    // `A` panel packed per (`i`, `kb`) tile in the transposed-read mode:
-    // the `[k, m]` layout makes each `A` load an `m`-strided column walk, so
-    // gathering the `MR`×`kb_len` panel once (reads are contiguous `MR` runs
-    // along `m`) replaces one strided pass per `j` tile with a single copy.
-    // Pure data movement — values and accumulation order are untouched.
-    let mut apack = [0.0f32; MR * KC];
-    for jc in (0..n_main).step_by(NC) {
-        let jc_end = (jc + NC).min(n_main);
-        for kb in (0..k).step_by(KC) {
-            let kb_end = (kb + KC).min(k);
-            let kb_len = kb_end - kb;
-            for (jt, j) in (jc..jc_end).step_by(NR).enumerate() {
-                for p in kb..kb_end {
-                    let src = &bd[p * n + j..p * n + j + NR];
-                    let at = (jt * kb_len + (p - kb)) * NR;
-                    bpack[at..at + NR].copy_from_slice(src);
-                }
-            }
-            for i in (0..rows_main).step_by(MR) {
-                if AT {
-                    for (pi, p) in (kb..kb_end).enumerate() {
-                        let src = &ad[p * a_stride + row0 + i..p * a_stride + row0 + i + MR];
-                        for (r, &v) in src.iter().enumerate() {
-                            apack[r * kb_len + pi] = v;
-                        }
-                    }
-                }
-                // Hoisted zero scan: when the `MR`×`KC` panel of `A` is
-                // zero-free (the overwhelmingly common case for real
-                // activations), the register tile runs branch-free; the
-                // skip only changes results for non-finite `B` entries,
-                // and only where a zero actually occurs.
-                let panel_has_zero = SKIP
-                    && if AT {
-                        apack[..MR * kb_len].contains(&0.0)
-                    } else {
-                        (0..MR).any(|r| {
-                            (kb..kb_end).any(|p| a_at::<AT>(ad, a_stride, row0 + i + r, p) == 0.0)
-                        })
-                    };
+    // the arithmetic and its order are untouched. The pack buffer is a
+    // thread-local grown once per thread, so steady-state matmuls perform
+    // no heap allocation; every stripe is fully rewritten before it is
+    // read, so reuse cannot leak stale values.
+    thread_local! {
+        static BPACK: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    BPACK.with(|cell| {
+        let mut bpack = cell.borrow_mut();
+        bpack.resize(KC * NC, 0.0);
+        // `A` panel packed per (`i`, `kb`) tile in the transposed-read mode:
+        // the `[k, m]` layout makes each `A` load an `m`-strided column walk, so
+        // gathering the `MR`×`kb_len` panel once (reads are contiguous `MR` runs
+        // along `m`) replaces one strided pass per `j` tile with a single copy.
+        // Pure data movement — values and accumulation order are untouched.
+        let mut apack = [0.0f32; MR * KC];
+        for jc in (0..n_main).step_by(NC) {
+            let jc_end = (jc + NC).min(n_main);
+            for kb in (0..k).step_by(KC) {
+                let kb_end = (kb + KC).min(k);
+                let kb_len = kb_end - kb;
                 for (jt, j) in (jc..jc_end).step_by(NR).enumerate() {
-                    let mut acc = [[0.0f32; NR]; MR];
-                    for (r, acc_row) in acc.iter_mut().enumerate() {
-                        let at = (i + r) * n + j;
-                        acc_row.copy_from_slice(&out_block[at..at + NR]);
+                    for p in kb..kb_end {
+                        let src = &bd[p * n + j..p * n + j + NR];
+                        let at = (jt * kb_len + (p - kb)) * NR;
+                        bpack[at..at + NR].copy_from_slice(src);
                     }
-                    let stripe = &bpack[jt * kb_len * NR..(jt + 1) * kb_len * NR];
-                    // In the transposed mode the tile reads the packed panel
-                    // as an ordinary row-major `[MR, kb_len]` block (stride
-                    // `kb_len`, row 0, `p` offset 0).
-                    match (AT, panel_has_zero) {
-                        (true, true) => {
-                            nt_tile::<true, false>(&apack, kb_len, 0, 0, stripe, &mut acc)
-                        }
-                        (true, false) => {
-                            nt_tile::<false, false>(&apack, kb_len, 0, 0, stripe, &mut acc)
-                        }
-                        (false, true) => {
-                            nt_tile::<true, AT>(ad, a_stride, row0 + i, kb, stripe, &mut acc)
-                        }
-                        (false, false) => {
-                            nt_tile::<false, AT>(ad, a_stride, row0 + i, kb, stripe, &mut acc)
+                }
+                for i in (0..rows_main).step_by(MR) {
+                    if AT {
+                        for (pi, p) in (kb..kb_end).enumerate() {
+                            let src = &ad[p * a_stride + row0 + i..p * a_stride + row0 + i + MR];
+                            for (r, &v) in src.iter().enumerate() {
+                                apack[r * kb_len + pi] = v;
+                            }
                         }
                     }
-                    for (r, acc_row) in acc.iter().enumerate() {
-                        let at = (i + r) * n + j;
-                        out_block[at..at + NR].copy_from_slice(acc_row);
+                    // Hoisted zero scan: the skip only changes results for
+                    // non-finite `B` entries (see `nt_parallel`), so with an
+                    // all-finite `B` the scan is skipped outright and the tile
+                    // runs branch-free even on zero-heavy `A` panels; otherwise
+                    // a zero-free `A` panel still earns the fast tile.
+                    let panel_has_zero = SKIP
+                        && !b_all_finite
+                        && if AT {
+                            apack[..MR * kb_len].contains(&0.0)
+                        } else {
+                            (0..MR).any(|r| {
+                                (kb..kb_end)
+                                    .any(|p| a_at::<AT>(ad, a_stride, row0 + i + r, p) == 0.0)
+                            })
+                        };
+                    for (jt, j) in (jc..jc_end).step_by(NR).enumerate() {
+                        let mut acc = [[0.0f32; NR]; MR];
+                        for (r, acc_row) in acc.iter_mut().enumerate() {
+                            let at = (i + r) * n + j;
+                            acc_row.copy_from_slice(&out_block[at..at + NR]);
+                        }
+                        let stripe = &bpack[jt * kb_len * NR..(jt + 1) * kb_len * NR];
+                        // In the transposed mode the tile reads the packed panel
+                        // as an ordinary row-major `[MR, kb_len]` block (stride
+                        // `kb_len`, row 0, `p` offset 0).
+                        match (AT, panel_has_zero) {
+                            (true, true) => {
+                                nt_tile::<true, false>(&apack, kb_len, 0, 0, stripe, &mut acc)
+                            }
+                            (true, false) => {
+                                nt_tile::<false, false>(&apack, kb_len, 0, 0, stripe, &mut acc)
+                            }
+                            (false, true) => {
+                                nt_tile::<true, AT>(ad, a_stride, row0 + i, kb, stripe, &mut acc)
+                            }
+                            (false, false) => {
+                                nt_tile::<false, AT>(ad, a_stride, row0 + i, kb, stripe, &mut acc)
+                            }
+                        }
+                        for (r, acc_row) in acc.iter().enumerate() {
+                            let at = (i + r) * n + j;
+                            out_block[at..at + NR].copy_from_slice(acc_row);
+                        }
                     }
                 }
             }
         }
-    }
+    });
+    let tail_skip = SKIP && !b_all_finite;
     if n_main < n {
         for r in 0..rows_main {
-            nt_row_tail::<SKIP, AT>(
+            nt_row_tail::<AT>(
                 ad,
                 a_stride,
                 row0 + r,
@@ -248,11 +334,12 @@ fn nt_rows<const SKIP: bool, const AT: bool>(
                 n,
                 n_main,
                 &mut out_block[r * n..(r + 1) * n],
+                tail_skip,
             );
         }
     }
     for r in rows_main..rows {
-        nt_row_tail::<SKIP, AT>(
+        nt_row_tail::<AT>(
             ad,
             a_stride,
             row0 + r,
@@ -261,6 +348,7 @@ fn nt_rows<const SKIP: bool, const AT: bool>(
             n,
             0,
             &mut out_block[r * n..(r + 1) * n],
+            tail_skip,
         );
     }
 }
@@ -294,8 +382,11 @@ fn nt_tile<const CHECK: bool, const AT: bool>(
 
 /// Single-row fallback covering columns `j0..n`: the plain ikj loop, i.e.
 /// the same p-ascending single-accumulator order as the register tile.
+/// `skip` is the zero-skip requirement after the caller's `B` finiteness
+/// check — false whenever `B` is all-finite, which lets the loop run
+/// branch-free (the compiler unswitches on the loop-invariant flag).
 #[allow(clippy::too_many_arguments)]
-fn nt_row_tail<const SKIP: bool, const AT: bool>(
+fn nt_row_tail<const AT: bool>(
     ad: &[f32],
     a_stride: usize,
     row: usize,
@@ -304,10 +395,11 @@ fn nt_row_tail<const SKIP: bool, const AT: bool>(
     n: usize,
     j0: usize,
     out_row: &mut [f32],
+    skip: bool,
 ) {
     for p in 0..k {
         let a_ip = a_at::<AT>(ad, a_stride, row, p);
-        if SKIP && a_ip == 0.0 {
+        if skip && a_ip == 0.0 {
             continue;
         }
         let b_row = &bd[p * n + j0..(p + 1) * n];
@@ -320,10 +412,18 @@ fn nt_row_tail<const SKIP: bool, const AT: bool>(
 /// Matrix transpose of a `[m, n]` tensor, copied tile by tile so both the
 /// read and the write side stay cache-resident.
 pub fn transpose(a: &Tensor) -> Tensor {
+    let mut out = Tensor::empty();
+    transpose_into(a, &mut out);
+    out
+}
+
+/// [`transpose`] writing into a reusable output tensor.
+pub fn transpose_into(a: &Tensor, out: &mut Tensor) {
     const TB: usize = 32;
     let (m, n) = as_matrix_dims(a, "transpose");
     let ad = a.data();
-    let mut out = vec![0.0f32; m * n];
+    out.resize_to(&[n, m]);
+    let od = out.data_mut();
     for i0 in (0..m).step_by(TB) {
         let i_end = (i0 + TB).min(m);
         for j0 in (0..n).step_by(TB) {
@@ -331,19 +431,18 @@ pub fn transpose(a: &Tensor) -> Tensor {
             for i in i0..i_end {
                 let row = &ad[i * n..(i + 1) * n];
                 for j in j0..j_end {
-                    out[j * m + i] = row[j];
+                    od[j * m + i] = row[j];
                 }
             }
         }
     }
-    Tensor::from_vec(Shape::matrix(n, m), out)
 }
 
 /// Add a row vector `bias` (`[n]`) to every row of a `[m, n]` matrix in place.
 pub fn add_bias_rows(a: &mut Tensor, bias: &Tensor) {
     let (_, n) = as_matrix_dims(a, "add_bias_rows matrix");
     assert_eq!(bias.numel(), n, "bias length must equal column count");
-    let bd = bias.data().to_vec();
+    let bd = bias.data();
     for row in a.data_mut().chunks_exact_mut(n) {
         for (o, &bv) in row.iter_mut().zip(bd.iter()) {
             *o += bv;
@@ -354,14 +453,22 @@ pub fn add_bias_rows(a: &mut Tensor, bias: &Tensor) {
 /// Sum over rows of a `[m, n]` matrix, producing a `[n]` vector
 /// (used for bias gradients).
 pub fn sum_rows(a: &Tensor) -> Tensor {
+    let mut out = Tensor::empty();
+    sum_rows_into(a, &mut out);
+    out
+}
+
+/// [`sum_rows`] writing into a reusable output tensor.
+pub fn sum_rows_into(a: &Tensor, out: &mut Tensor) {
     let (_, n) = as_matrix_dims(a, "sum_rows");
-    let mut out = vec![0.0f32; n];
+    out.resize_to(&[n]);
+    out.fill(0.0);
+    let od = out.data_mut();
     for row in a.data().chunks_exact(n) {
-        for (o, &v) in out.iter_mut().zip(row.iter()) {
+        for (o, &v) in od.iter_mut().zip(row.iter()) {
             *o += v;
         }
     }
-    Tensor::from_vec(Shape::vector(n), out)
 }
 
 fn as_matrix_dims(t: &Tensor, what: &str) -> (usize, usize) {
@@ -484,6 +591,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_skip_semantics_preserved_for_non_finite_b() {
+        // The historical contract: a zero `A` entry contributes nothing even
+        // when the `B` row it faces holds non-finite values — the finiteness
+        // fast path must not change that. NaN-safe comparison via to_bits.
+        let mut rng = Xoshiro256::new(17);
+        for &(m, k, n) in &[(3usize, 5usize, 7usize), (7, 9, 17), (13, 4, 49)] {
+            let mut a = Tensor::rand_uniform(Shape::matrix(m, k), -2.0, 2.0, &mut rng);
+            for v in a.data_mut().iter_mut().step_by(3) {
+                *v = 0.0;
+            }
+            let mut b = Tensor::rand_uniform(Shape::matrix(k, n), -2.0, 2.0, &mut rng);
+            b.data_mut()[0] = f32::INFINITY;
+            b.data_mut()[(k * n) / 2] = f32::NAN;
+            b.data_mut()[k * n - 1] = f32::NEG_INFINITY;
+            let reference = matmul_reference(&a, &b);
+            let tiled = matmul(&a, &b);
+            for (i, (x, y)) in tiled.data().iter().zip(reference.data().iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "matmul {m}x{k}x{n} with non-finite B diverged at {i}: {x} vs {y}"
+                );
+            }
+        }
+        // A fully zero A row must stay zero even against an all-inf B row.
+        let a = mat(1, 2, &[0.0, 1.0]);
+        let b = mat(2, 2, &[f32::INFINITY, f32::NAN, 2.0, 3.0]);
+        assert_eq!(matmul(&a, &b).data(), &[2.0, 3.0]);
+    }
+
+    #[test]
     fn results_are_thread_count_invariant() {
         let mut rng = Xoshiro256::new(5);
         let a = Tensor::rand_uniform(Shape::matrix(37, 23), -1.0, 1.0, &mut rng);
@@ -559,6 +697,38 @@ mod tests {
         assert_eq!(a.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
         let s = sum_rows(&a);
         assert_eq!(s.data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones_bit_for_bit() {
+        let mut rng = Xoshiro256::new(21);
+        let mut out = Tensor::empty();
+        let mut bt = Tensor::empty();
+        // Reused across shapes on purpose: stale sizes/contents must not leak.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (7, 9, 17),
+            (13, 33, 20),
+            (6, 8, 16),
+        ] {
+            let a = Tensor::rand_uniform(Shape::matrix(m, k), -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(Shape::matrix(k, n), -1.0, 1.0, &mut rng);
+            matmul_into(&a, &b, &mut out);
+            assert_eq!(out, matmul(&a, &b), "matmul_into {m}x{k}x{n}");
+
+            let a_km = Tensor::rand_uniform(Shape::matrix(k, m), -1.0, 1.0, &mut rng);
+            matmul_at_b_into(&a_km, &b, &mut out);
+            assert_eq!(out, matmul_at_b(&a_km, &b), "matmul_at_b_into {m}x{k}x{n}");
+
+            let b_nk = Tensor::rand_uniform(Shape::matrix(n, k), -1.0, 1.0, &mut rng);
+            matmul_a_bt_into(&a, &b_nk, &mut bt, &mut out);
+            assert_eq!(out, matmul_a_bt(&a, &b_nk), "matmul_a_bt_into {m}x{k}x{n}");
+            assert_eq!(bt, transpose(&b_nk));
+
+            let mut sums = Tensor::empty();
+            sum_rows_into(&a, &mut sums);
+            assert_eq!(sums, sum_rows(&a), "sum_rows_into {m}x{k}");
+        }
     }
 
     #[test]

@@ -34,6 +34,15 @@ impl Shape {
         &self.dims
     }
 
+    /// Replace the dimensions in place, reusing the existing `Vec` capacity.
+    /// Once a shape has held its maximum rank, later `set_dims` calls never
+    /// touch the heap — this is what keeps workspace tensors that cycle
+    /// through several shapes per batch allocation-free.
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        self.dims.clear();
+        self.dims.extend_from_slice(dims);
+    }
+
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
         self.dims.len()

@@ -16,6 +16,13 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+impl Default for Tensor {
+    /// The empty tensor (see [`Tensor::empty`]).
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl std::fmt::Debug for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Tensor(shape={}, numel={})", self.shape, self.data.len())
@@ -131,6 +138,38 @@ impl Tensor {
         self.data.iter_mut().for_each(|x| *x = value);
     }
 
+    /// An empty (zero-element) tensor, the initial state of a reusable
+    /// workspace buffer before its first [`Tensor::resize_to`].
+    pub fn empty() -> Self {
+        Self {
+            shape: Shape::vector(0),
+            data: Vec::new(),
+        }
+    }
+
+    /// Resize this tensor in place to `dims`, reusing the existing buffer
+    /// capacity. Newly exposed elements are zero; existing elements up to the
+    /// new length keep their values. When `dims` already matches the current
+    /// shape this is a no-op, so steady-state reuse performs no heap
+    /// allocation at all.
+    pub fn resize_to(&mut self, dims: &[usize]) {
+        if self.shape.dims() != dims {
+            self.shape.set_dims(dims);
+        }
+        let n = self.shape.numel();
+        if self.data.len() != n {
+            self.data.resize(n, 0.0);
+        }
+    }
+
+    /// Make this tensor an exact copy of `src` (shape and data), reusing the
+    /// existing buffer capacity — the allocation-free analogue of
+    /// `*self = src.clone()`.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.resize_to(src.shape.dims());
+        self.data.copy_from_slice(&src.data);
+    }
+
     // ---- element-wise arithmetic -------------------------------------------------
 
     /// `self += other` (element-wise). Shapes must hold the same element count.
@@ -154,12 +193,10 @@ impl Tensor {
         self.data.iter_mut().for_each(|x| *x *= s);
     }
 
-    /// `self += alpha * other` (BLAS axpy).
+    /// `self += alpha * other` (BLAS axpy), via the fused unrolled kernel.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.numel(), other.numel(), "axpy: size mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * *b;
-        }
+        crate::kernels::axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Element-wise difference `self - other` as a new tensor.
@@ -331,6 +368,33 @@ mod tests {
         a.reshape(Shape::new(&[3, 2]));
         assert_eq!(a.shape().dims(), &[3, 2]);
         assert_eq!(a.at(&[2, 1]), 7.0);
+    }
+
+    #[test]
+    fn resize_to_reuses_capacity_and_zeroes_growth() {
+        let mut t = Tensor::empty();
+        t.resize_to(&[2, 3]);
+        assert_eq!(t.shape().dims(), &[2, 3]);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+        t.fill(5.0);
+        t.resize_to(&[4]);
+        assert_eq!(t.data(), &[5.0, 5.0, 5.0, 5.0]);
+        let cap_ptr = t.data().as_ptr();
+        t.resize_to(&[2, 3]);
+        assert_eq!(
+            t.data().as_ptr(),
+            cap_ptr,
+            "shrink-then-grow must not realloc"
+        );
+        assert_eq!(t.data(), &[5.0, 5.0, 5.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = Tensor::from_vec(Shape::new(&[2, 2]), vec![1.0, -2.0, 3.5, 0.25]);
+        let mut dst = Tensor::empty();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]
